@@ -1,0 +1,59 @@
+// Ablation: where does Synchronous Safety's web latency come from?
+// Decomposes the measured request latency into wire time, buffering wait
+// (time from guest transmit to epoch-end release, computed from the
+// delivered-packet log) and audit/checkpoint pause -- making the Figure 7
+// mechanism explicit.
+#include "bench_util.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace crimes;
+  using namespace crimes::bench;
+
+  print_header("Ablation: synchronous-safety latency decomposition");
+  std::printf("%-10s %14s %10s %12s %12s\n", "interval", "latency(ms)",
+              "wire(ms)", "buffer(ms)", "pause(ms)");
+
+  const WebServerProfile profile = WebServerProfile::medium();
+  for (const int interval : {20, 50, 100, 200}) {
+    Hypervisor hypervisor(1u << 20);
+    GuestConfig gc;
+    gc.page_count = 262144;  // 1 GiB guest, as in run_web
+    Vm& vm = hypervisor.create_domain("web", gc.page_count);
+    GuestKernel kernel(vm, gc);
+    kernel.boot();
+
+    CrimesConfig config;
+    config.checkpoint = CheckpointConfig::full(millis(interval));
+    config.mode = SafetyMode::Synchronous;
+    config.record_execution = false;
+    Crimes crimes(hypervisor, kernel, config);
+    WebServerWorkload server(kernel, crimes.nic(), profile);
+    WrkClient client(server, crimes.network(), 48, 8);
+    crimes.set_workload(&server);
+    crimes.initialize();
+    client.start(crimes.clock().now());
+    const RunSummary summary = crimes.run(millis(3000));
+
+    double buffer_wait_ms = 0.0;
+    for (const auto& d : crimes.network().log()) {
+      buffer_wait_ms += to_ms(d.released_at - d.packet.sent_at);
+    }
+    const double avg_buffer =
+        crimes.network().log().empty()
+            ? 0.0
+            : buffer_wait_ms /
+                  static_cast<double>(crimes.network().log().size());
+    const double wire_ms = 2.0 * to_ms(crimes.network().wire_latency());
+    std::printf("%-10d %14.2f %10.2f %12.2f %12.3f\n", interval,
+                client.stats().mean_latency_ms(), wire_ms, avg_buffer,
+                summary.avg_pause_ms());
+    std::fflush(stdout);
+  }
+  std::printf("\nlatency ~= wire + buffer: buffering (not scanning or "
+              "checkpointing) dominates. The closed loop sends each request "
+              "right after the previous release, so the reply waits nearly "
+              "a full epoch in the buffer.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: the marginal contribution of each checkpointing optimization
+// across dirty-page rates. DESIGN.md calls out that each optimization
+// targets a different cost term (copy, map, bitscan); this sweep shows
+// which one dominates at which dirty rate -- something the paper's fixed
+// benchmarks only sample.
+#include "bench_util.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace crimes;
+  using namespace crimes::bench;
+
+  print_header("Ablation: per-epoch pause (ms) vs dirty-page rate");
+  std::printf("%-12s %10s %10s %10s %10s %18s\n", "touches/ms", "Full",
+              "Pre-map", "Memcpy", "No-opt", "dominant term (No-opt)");
+
+  for (const double rate : {5.0, 20.0, 80.0, 320.0, 1280.0}) {
+    ParsecProfile profile;
+    profile.name = "synthetic";
+    profile.working_set_pages = 16384;
+    profile.touches_per_ms = rate;
+    profile.accesses_per_us = 100.0;
+    profile.duration_ms = 1600.0;
+
+    std::printf("%-12.0f", rate);
+    PhaseCosts no_opt_avg{};
+    for (const auto& [label, scheme] : schemes(millis(200))) {
+      const RunSummary summary = run_parsec_scheme(profile, scheme);
+      if (label == "No-opt") no_opt_avg = summary.avg_costs();
+      std::printf(" %10.2f", summary.avg_pause_ms());
+      std::fflush(stdout);
+    }
+    const char* dominant = "copy";
+    if (no_opt_avg.bitscan > no_opt_avg.copy &&
+        no_opt_avg.bitscan > no_opt_avg.map) {
+      dominant = "bitscan";
+    } else if (no_opt_avg.map > no_opt_avg.copy) {
+      dominant = "map";
+    }
+    std::printf(" %18s\n", dominant);
+  }
+  std::printf("\nthe socket copy dominates No-opt at every dirty rate "
+              "(Opt 1 is the big win); the bitscan and map terms only "
+              "matter once memcpy removes the copy cost (Opts 2+3). Full's "
+              "pause plateaus at high rates as the dirty set saturates at "
+              "the working set.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Shared helpers for the per-table/per-figure benchmark binaries.
+//
+// Each bench prints the rows/series of one table or figure from the paper's
+// evaluation (section 5). Values are virtual-time measurements produced by
+// the simulator; EXPERIMENTS.md records how they compare to the paper.
+#pragma once
+
+#include "asan/shadow_memory.h"
+#include "core/crimes.h"
+#include "detect/canary_scan.h"
+#include "workload/parsec.h"
+#include "workload/web_server.h"
+#include "workload/wrk_client.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace crimes::bench {
+
+// The four checkpointing schemes of Figures 3/4/6a, in paper order.
+inline std::vector<std::pair<std::string, CheckpointConfig>> schemes(
+    Nanos interval) {
+  return {
+      {"Full", CheckpointConfig::full(interval)},
+      {"Pre-map", CheckpointConfig::premap(interval)},
+      {"Memcpy", CheckpointConfig::memcpy_only(interval)},
+      {"No-opt", CheckpointConfig::no_opt(interval)},
+  };
+}
+
+struct SchemeRun {
+  RunSummary summary;
+  double asan_normalized = 0.0;  // only set by run_asan_baseline
+};
+
+// Runs one PARSEC profile under one checkpointing scheme and returns the
+// summary. A fresh hypervisor + guest is built per run (as the paper
+// restarts the VM per experiment).
+inline RunSummary run_parsec_scheme(const ParsecProfile& profile,
+                                    const CheckpointConfig& scheme,
+                                    SafetyMode mode = SafetyMode::Synchronous,
+                                    bool with_canary_module = false) {
+  Hypervisor hypervisor(1u << 21);  // 8 GiB of machine frames
+  const GuestConfig gc = profile.recommended_guest();
+  Vm& vm = hypervisor.create_domain(profile.name, gc.page_count);
+  GuestKernel kernel(vm, gc);
+  kernel.boot();
+
+  CrimesConfig config;
+  config.checkpoint = scheme;
+  config.mode = mode;
+  config.record_execution = false;  // no attack in overhead experiments
+  Crimes crimes(hypervisor, kernel, config);
+  if (with_canary_module) {
+    crimes.add_module(std::make_unique<CanaryScanModule>());
+  }
+  ParsecWorkload app(kernel, profile);
+  crimes.set_workload(&app);
+  crimes.initialize();
+  return crimes.run(millis(profile.duration_ms * 2));
+}
+
+// The AddressSanitizer baseline of Figure 3: the workload runs inside the
+// VM with inline checks on every instrumentable access and *no* CRIMES
+// protection. Normalized runtime = 1 + per-access overhead.
+inline double run_asan_baseline(const ParsecProfile& profile,
+                                const CostModel& costs =
+                                    CostModel::defaults()) {
+  Hypervisor hypervisor(1u << 21);
+  const GuestConfig gc = profile.recommended_guest();
+  Vm& vm = hypervisor.create_domain(profile.name, gc.page_count);
+  GuestKernel kernel(vm, gc);
+  kernel.boot();
+
+  ParsecWorkload app(kernel, profile);
+  SimClock clock;
+  Nanos work{0};
+  while (!app.finished()) {
+    app.run_epoch(clock.now(), millis(200));
+    clock.advance(millis(200));
+    work += millis(200);
+  }
+  const Nanos overhead = costs.asan_per_access * app.total_accesses();
+  return to_ms(work + overhead) / to_ms(work);
+}
+
+// --- Web-server experiment harness (Table 1, Figure 7) ---------------------
+
+struct WebRunResult {
+  double mean_latency_ms = 0.0;
+  double throughput_rps = 0.0;
+  RunSummary summary;
+};
+
+inline WebRunResult run_web(const WebServerProfile& profile, SafetyMode mode,
+                            const CheckpointConfig& scheme,
+                            Nanos run_work_time, std::size_t connections = 48,
+                            std::size_t requests_per_conn = 8) {
+  Hypervisor hypervisor(1u << 20);
+  GuestConfig gc;
+  // A 1 GiB guest, as in the paper's testbed -- the bit-by-bit bitmap scan
+  // cost in Table 1 depends on total guest size, not the working set.
+  gc.page_count = 262144;
+  Vm& vm = hypervisor.create_domain("web", gc.page_count);
+  GuestKernel kernel(vm, gc);
+  kernel.boot();
+
+  CrimesConfig config;
+  config.checkpoint = scheme;
+  config.mode = mode;
+  config.record_execution = false;
+  Crimes crimes(hypervisor, kernel, config);
+  WebServerWorkload server(kernel, crimes.nic(), profile);
+  WrkClient client(server, crimes.network(), connections, requests_per_conn);
+  crimes.set_workload(&server);
+  crimes.initialize();
+  client.start(crimes.clock().now());
+
+  const Nanos start = crimes.clock().now();
+  WebRunResult result;
+  result.summary = crimes.run(run_work_time);
+  const Nanos elapsed = crimes.clock().now() - start;
+  result.mean_latency_ms = client.stats().mean_latency_ms();
+  result.throughput_rps = client.stats().throughput_rps(elapsed);
+  return result;
+}
+
+// --- Output helpers ---------------------------------------------------------
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline double geo_mean(const std::vector<double>& values) {
+  double log_sum = 0;
+  for (const double v : values) log_sum += std::log(v);
+  return values.empty() ? 0.0
+                        : std::exp(log_sum /
+                                   static_cast<double>(values.size()));
+}
+
+}  // namespace crimes::bench

@@ -1,0 +1,44 @@
+// Figure 3: normalized runtime of the PARSEC suite with a 200 ms
+// checkpoint interval, for Full / Pre-map / Memcpy / No-opt CRIMES plus the
+// AddressSanitizer (AS) baseline, and the geometric mean.
+//
+// Paper headline: Full-opt CRIMES averages +9.8%; No-opt Remus and AS are
+// 1.4-1.6x; fluidanimate is the outlier (No-opt ~4.7x).
+#include "bench_util.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace crimes;
+  using namespace crimes::bench;
+
+  const Nanos interval = millis(200);
+  print_header("Figure 3: normalized PARSEC runtime, 200 ms interval");
+  std::printf("%-14s %8s %8s %8s %8s %8s\n", "benchmark", "Full", "Pre-map",
+              "Memcpy", "No-opt", "AS");
+
+  std::vector<std::vector<double>> columns(5);
+  for (ParsecProfile profile : ParsecProfile::suite()) {
+    profile.duration_ms = 3000.0;  // 15 epochs: enough to converge
+    std::printf("%-14s ", profile.name.c_str());
+    std::size_t col = 0;
+    for (const auto& [label, scheme] : schemes(interval)) {
+      const RunSummary summary = run_parsec_scheme(profile, scheme);
+      const double norm = summary.normalized_runtime();
+      columns[col++].push_back(norm);
+      std::printf("%8.3f ", norm);
+      std::fflush(stdout);
+    }
+    const double asan = run_asan_baseline(profile);
+    columns[4].push_back(asan);
+    std::printf("%8.3f\n", asan);
+  }
+
+  std::printf("%-14s ", "geo-mean");
+  for (const auto& column : columns) {
+    std::printf("%8.3f ", geo_mean(column));
+  }
+  std::printf("\n\npaper: geo-mean Full ~1.098; No-opt and AS 1.4-1.6; "
+              "fluidanimate No-opt ~4.7\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6a: fluidanimate normalized runtime vs. epoch interval for each
+// optimization level. fluidanimate dirties by far the most pages per epoch,
+// so this is where the optimizations matter most (paper: Full is ~3.5x
+// faster than No-opt).
+#include "bench_util.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace crimes;
+  using namespace crimes::bench;
+
+  ParsecProfile profile = ParsecProfile::by_name("fluidanimate");
+  profile.duration_ms = 1200.0;  // fluidanimate epochs are expensive to copy
+
+  const std::vector<int> intervals = {60, 100, 140, 200};
+  print_header("Figure 6a: fluidanimate normalized runtime vs interval");
+  std::printf("%-10s %10s %10s %10s %10s\n", "interval", "Full", "Pre-map",
+              "Memcpy", "No-opt");
+
+  double full_200 = 0, no_opt_200 = 0;
+  for (const int interval : intervals) {
+    std::printf("%-10d", interval);
+    for (const auto& [label, scheme] : schemes(millis(interval))) {
+      const double norm =
+          run_parsec_scheme(profile, scheme).normalized_runtime();
+      if (interval == 200 && label == "Full") full_200 = norm;
+      if (interval == 200 && label == "No-opt") no_opt_200 = norm;
+      std::printf(" %10.3f", norm);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nFull runtime is %.1fx faster than No-opt at 200 ms "
+              "(paper: ~3.5x; No-opt ~4.7x native)\n",
+              no_opt_200 / full_200);
+  return 0;
+}

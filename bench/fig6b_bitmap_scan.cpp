@@ -1,0 +1,57 @@
+// Figure 6b: simulated bitmap-scan cost vs. VM size, bit-by-bit
+// ("Not Optimized") vs. word-chunked ("Optimized").
+//
+// Unlike the system benches, these are REAL wall-clock measurements of the
+// two scan algorithms in hypervisor/dirty_bitmap.cpp, run over randomly
+// populated bitmaps sized for 1-16 GiB guests at a ~1% dirty ratio
+// (mirroring the paper's "randomly generated bitmap representative of the
+// size of a VM").
+#include "common/rng.h"
+#include "hypervisor/dirty_bitmap.h"
+
+#include <chrono>
+#include <cstdio>
+
+int main() {
+  using namespace crimes;
+
+  std::printf("\n=== Figure 6b: bitmap scan cost vs VM size (real time) "
+              "===\n");
+  std::printf("%-10s %14s %16s %10s\n", "VM (GiB)", "Optimized (ms)",
+              "Not Optimized (ms)", "speedup");
+
+  constexpr int kReps = 5;
+  volatile std::size_t sink = 0;  // defeat dead-code elimination
+
+  for (const int gib : {1, 2, 4, 8, 12, 16}) {
+    const std::size_t pages =
+        static_cast<std::size_t>(gib) * (1u << 30) / kPageSize;
+    DirtyBitmap bitmap(pages);
+    Rng rng(static_cast<std::uint64_t>(gib) * 12345);
+    const std::size_t dirty_target = pages / 100;  // ~1% dirty
+    for (std::size_t i = 0; i < dirty_target; ++i) {
+      bitmap.mark(Pfn{rng.next_below(pages)});
+    }
+
+    const auto time_ms = [&](auto scan) {
+      double best = 1e30;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        sink = sink + scan().size();
+        const auto stop = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (ms < best) best = ms;
+      }
+      return best;
+    };
+
+    const double optimized = time_ms([&] { return bitmap.scan_chunked(); });
+    const double naive = time_ms([&] { return bitmap.scan_naive(); });
+    std::printf("%-10d %14.3f %16.3f %9.1fx\n", gib, optimized, naive,
+                naive / optimized);
+  }
+  std::printf("\npaper: both grow with VM size; the bit-by-bit scan grows "
+              "much faster (~60 ms at 16 GiB on their hardware)\n");
+  return 0;
+}

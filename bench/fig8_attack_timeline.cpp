@@ -1,0 +1,75 @@
+// Figure 8 / case study 1 (section 5.5): the buffer-overflow attack
+// detection-and-response timeline. A canary-protected program overflows a
+// heap object mid-epoch; CRIMES detects at the epoch boundary, rolls back,
+// replays to pinpoint the write, extracts forensics and persists
+// checkpoints.
+//
+// Paper: overflow at t0 inside a 50 ms epoch; detected 24.4 ms later at
+// epoch end; replay prepared ~29 ms after t0; memory dump ~5 s; writing
+// checkpoints to disk 100+ s.
+#include "core/crimes.h"
+#include "detect/canary_scan.h"
+#include "workload/overflow.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace crimes;
+
+  Hypervisor hypervisor(1u << 19);
+  GuestConfig gc;
+  gc.page_count = 8192;
+  Vm& vm = hypervisor.create_domain("victim", gc.page_count);
+  GuestKernel kernel(vm, gc);
+  kernel.boot();
+
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(millis(50));
+  Crimes crimes(hypervisor, kernel, config);
+  crimes.add_module(std::make_unique<CanaryScanModule>());
+
+  OverflowScript script;
+  script.attack_at = millis(225);  // epoch 5 covers [200,250): t0 is 25 ms in
+  OverflowWorkload app(kernel, script);
+  crimes.set_workload(&app);
+  crimes.initialize();
+
+  const RunSummary summary = crimes.run(millis(2000));
+  if (!summary.attack_detected) {
+    std::printf("ERROR: attack not detected\n");
+    return 1;
+  }
+  const AttackReport& attack = *crimes.attack();
+  const Nanos t0 = app.attack_time();
+
+  std::printf("\n=== Figure 8: CRIMES attack detection timeline ===\n");
+  const auto rel = [&](Nanos t) { return to_ms(t - t0); };
+  std::printf("t0 + %8.1f ms  buffer overflow executes (epoch %zu)\n", 0.0,
+              summary.epochs);
+  std::printf("t0 + %8.1f ms  epoch ends; VM suspended; canary scan fails\n",
+              rel(attack.timeline.detected_at));
+  std::printf("t0 + %8.1f ms  rollback + replay complete; attack "
+              "pinpointed at instruction %llu\n",
+              rel(attack.timeline.replay_done_at),
+              static_cast<unsigned long long>(
+                  attack.pinpoint ? attack.pinpoint->instr_index : 0));
+  std::printf("t0 + %8.1f ms  forensic report ready (%zu memory dumps)\n",
+              rel(attack.timeline.analysis_done_at), attack.dumps.size());
+  std::printf("t0 + %8.1f ms  full-system checkpoints persisted to disk\n",
+              rel(attack.timeline.persisted_at));
+
+  std::printf("\nper-epoch audit cost (avg): %.3f ms over %zu canaries\n",
+              to_ms(summary.avg_costs().vmi),
+              kernel.heap().table_count());
+  if (attack.pinpoint) {
+    std::printf("replay: %zu ops re-executed, %zu memory events, found=%s\n",
+                attack.pinpoint->ops_replayed,
+                attack.pinpoint->events_delivered,
+                attack.pinpoint->found ? "yes" : "no");
+  }
+  std::printf("\npaper: detect at ~24.4 ms after t0 (50 ms epochs), replay "
+              "ready ~29 ms, dump ~5 s, checkpoints to disk 100+ s\n");
+  std::printf("\n--- forensic report ---\n%s\n",
+              attack.forensic_text.c_str());
+  return 0;
+}

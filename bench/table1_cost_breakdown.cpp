@@ -1,0 +1,40 @@
+// Table 1: cost breakdown of time spent in the paused state for different
+// web workload intensities, *unoptimized* Remus + VMI scan, 20 ms epochs.
+//
+// Paper row (Medium): suspend 0.98, vmi 0.34, bitscan 1.97, map 1.88,
+// copy 14.63, resume 1.48 (ms).
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+int main() {
+  using namespace crimes;
+  using namespace crimes::bench;
+
+  print_header(
+      "Table 1: pause-state cost breakdown (ms), No-opt, 20 ms epoch");
+  std::printf("%-10s %8s %8s %8s %8s %8s %8s %10s\n", "Workload", "suspend",
+              "vmi", "bitscan", "map", "copy", "resume", "dirty/ep");
+
+  const std::vector<std::pair<std::string, WebServerProfile>> workloads = {
+      {"Light", WebServerProfile::light()},
+      {"Medium", WebServerProfile::medium()},
+      {"High", WebServerProfile::high()},
+  };
+
+  for (const auto& [name, profile] : workloads) {
+    const WebRunResult r =
+        run_web(profile, SafetyMode::Synchronous,
+                CheckpointConfig::no_opt(millis(20)), millis(2000));
+    const PhaseCosts avg = r.summary.avg_costs();
+    std::printf("%-10s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %10.0f\n",
+                name.c_str(), to_ms(avg.suspend), to_ms(avg.vmi),
+                to_ms(avg.bitscan), to_ms(avg.map), to_ms(avg.copy),
+                to_ms(avg.resume), r.summary.avg_dirty_pages());
+  }
+  std::printf(
+      "\npaper (Medium): suspend 0.98, vmi 0.34, bitscan 1.97, map 1.88, "
+      "copy 14.63, resume 1.48\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Offline dump inspector: the investigator-side tool.
+//
+// First stages an attack and persists its artifacts with ArtifactStore,
+// then plays the investigator: loads the .dump files back from disk and
+// reruns the forensics plugins on them. With an argument it skips the
+// staging and inspects an existing case directory:
+//
+//   ./examples/inspect_dump [case-directory]
+#include "core/crimes.h"
+#include "detect/malware_scan.h"
+#include "forensics/artifact_store.h"
+#include "workload/malware.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace fs = std::filesystem;
+using namespace crimes;
+namespace fx = crimes::forensics;
+
+namespace {
+
+// Rebuild a MemoryDump-equivalent view from loaded data. The plugins need
+// symbols, which travel out of band (like a Volatility profile); for the
+// demo we reuse the live kernel's table.
+void inspect(const fs::path& file, const SymbolTable& symbols,
+             OsFlavor flavor) {
+  const fx::MemoryDumpData data = fx::ArtifactStore::load_dump(file);
+  std::printf("\n--- %s: '%s', %zu pages, captured at %.1f ms ---\n",
+              file.filename().c_str(), data.label.c_str(),
+              data.pages.size(), to_ms(data.captured_at));
+
+  // Materialize the image into a scratch VM so the standard dump capture
+  // path (and thus every plugin) works on it.
+  Hypervisor scratch(data.pages.size() + 16);
+  Vm& vm = scratch.create_domain("loaded", data.pages.size());
+  {
+    ForeignMapping map(vm);
+    for (std::size_t i = 0; i < data.pages.size(); ++i) {
+      if (!(data.pages[i] == zero_page())) map.page(Pfn{i}) = data.pages[i];
+    }
+  }
+  vm.vcpu() = data.vcpu;
+  const MemoryDump dump = MemoryDump::capture(vm, symbols, flavor,
+                                              data.label, data.captured_at);
+
+  std::printf("%s", fx::render_pslist(fx::pslist(dump)).c_str());
+  const auto sockets = fx::netscan(dump);
+  if (!sockets.empty()) {
+    std::printf("%s", fx::render_netscan(sockets).c_str());
+  }
+  std::size_t suspicious = 0;
+  for (const auto& row : fx::psxview(dump)) {
+    if (row.suspicious()) ++suspicious;
+  }
+  std::printf("psxview: %zu suspicious row(s)\n", suspicious);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Stage: detect an attack and persist the case.
+  Hypervisor hypervisor;
+  GuestConfig gc;
+  gc.flavor = OsFlavor::Windows;
+  Vm& vm = hypervisor.create_domain("desktop", gc.page_count);
+  GuestKernel kernel(vm, gc);
+  kernel.boot();
+
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(millis(50));
+  Crimes crimes(hypervisor, kernel, config);
+  crimes.add_module(std::make_unique<MalwareScanModule>(
+      MalwareScanModule::default_blacklist()));
+  MalwareWorkload app(kernel, crimes.nic(), millis(90));
+  crimes.set_workload(&app);
+  crimes.initialize();
+  (void)crimes.run(millis(1000));
+  if (crimes.attack() == nullptr) {
+    std::printf("staging failed: no attack detected\n");
+    return 1;
+  }
+
+  const fs::path root = argc > 1 ? fs::path(argv[1])
+                                 : fs::temp_directory_path() / "crimes-cases";
+  fx::ArtifactStore store(root, "case-reg-read");
+  store.save_report(crimes.attack()->forensic_text);
+  for (const auto& dump : crimes.attack()->dumps) {
+    store.save_dump(dump);
+  }
+  std::printf("persisted %zu artifact(s) under %s\n",
+              store.manifest().size(), store.directory().c_str());
+
+  // Investigate: read every dump back and rerun the plugins.
+  for (const auto& artifact : store.manifest()) {
+    if (artifact.kind == "dump") {
+      inspect(artifact.file, kernel.symbols(), kernel.flavor());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Walkthrough of case study 1 (section 5.5): guest-aided buffer-overflow
+// detection with rollback-and-replay pinpointing.
+//
+// The guest program links against the canary-placing malloc wrapper; the
+// hypervisor-side CanaryScanModule validates the canaries that landed on
+// dirtied pages at every epoch boundary. When one fails, CRIMES rolls the
+// VM back to the last clean checkpoint and replays the epoch with memory-
+// event monitoring armed, freezing the VM at the exact offending write.
+//
+//   ./examples/overflow_forensics
+#include "core/crimes.h"
+#include "detect/canary_scan.h"
+#include "workload/overflow.h"
+
+#include <cstdio>
+
+int main() {
+  using namespace crimes;
+
+  Hypervisor hypervisor;
+  GuestConfig guest_config;  // Linux guest
+  Vm& vm = hypervisor.create_domain("app-server", guest_config.page_count);
+  GuestKernel kernel(vm, guest_config);
+  kernel.boot();
+
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(millis(50));
+  config.rollback_replay = true;  // enable the pinpoint pipeline
+  Crimes crimes(hypervisor, kernel, config);
+  crimes.add_module(std::make_unique<CanaryScanModule>());
+
+  // A C program with a memcpy-with-wrong-length bug that fires at t=130ms.
+  OverflowScript script;
+  script.attack_at = millis(130);
+  script.object_size = 256;
+  script.overrun_bytes = 24;
+  OverflowWorkload program(kernel, script);
+  crimes.set_workload(&program);
+  crimes.initialize();
+
+  std::printf("running %zu canary-protected heap objects...\n",
+              kernel.heap().table_count());
+  const RunSummary summary = crimes.run(millis(2000));
+
+  if (!summary.attack_detected) {
+    std::printf("no attack detected (unexpected)\n");
+    return 1;
+  }
+  const AttackReport& attack = *crimes.attack();
+
+  std::printf("\n-- detection --\n");
+  for (const auto& finding : attack.findings) {
+    std::printf("%s [%s] %s\n", to_string(finding.severity),
+                finding.module.c_str(), finding.description.c_str());
+  }
+
+  std::printf("\n-- replay pinpoint --\n");
+  if (attack.pinpoint && attack.pinpoint->found) {
+    std::printf("ground truth : instruction %llu\n",
+                static_cast<unsigned long long>(*program.attack_instr()));
+    std::printf("replay found : instruction %llu (write of %zu bytes, "
+                "%zu ops replayed, %zu memory events)\n",
+                static_cast<unsigned long long>(
+                    attack.pinpoint->instr_index),
+                attack.pinpoint->write_len, attack.pinpoint->ops_replayed,
+                attack.pinpoint->events_delivered);
+  }
+
+  std::printf("\n-- snapshots for offline analysis --\n");
+  for (const auto& dump : attack.dumps) {
+    std::printf("%-22s captured at %8.1f ms (%zu pages)\n",
+                dump.label().c_str(), to_ms(dump.captured_at()),
+                dump.page_count());
+  }
+
+  std::printf("\n%s\n", attack.forensic_text.c_str());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Choosing a safety mode for a latency-sensitive VM (section 5.4).
+//
+// Runs the same nginx-like server + closed-loop wrk client three ways --
+// unprotected, Best Effort Safety, Synchronous Safety -- and prints the
+// latency/throughput trade-off at two epoch intervals, illustrating the
+// paper's guidance: network-bound VMs want small intervals or best-effort.
+//
+//   ./examples/webserver_protection
+#include "core/crimes.h"
+#include "workload/web_server.h"
+#include "workload/wrk_client.h"
+
+#include <cstdio>
+
+namespace {
+
+struct Result {
+  double latency_ms;
+  double throughput_rps;
+};
+
+Result run_one(crimes::SafetyMode mode, crimes::Nanos interval) {
+  using namespace crimes;
+  Hypervisor hypervisor(1u << 20);
+  GuestConfig gc;
+  gc.page_count = 16384;  // 64 MiB guest keeps the example snappy
+  Vm& vm = hypervisor.create_domain("web", gc.page_count);
+  GuestKernel kernel(vm, gc);
+  kernel.boot();
+
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(interval);
+  config.mode = mode;
+  config.record_execution = false;
+  Crimes crimes(hypervisor, kernel, config);
+  WebServerWorkload server(kernel, crimes.nic(),
+                           WebServerProfile::medium());
+  WrkClient client(server, crimes.network(), 48, 8);
+  crimes.set_workload(&server);
+  crimes.initialize();
+  client.start(crimes.clock().now());
+
+  const Nanos start = crimes.clock().now();
+  (void)crimes.run(millis(2000));
+  const Nanos elapsed = crimes.clock().now() - start;
+  return {client.stats().mean_latency_ms(),
+          client.stats().throughput_rps(elapsed)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace crimes;
+
+  std::printf("%-24s %12s %14s\n", "configuration", "latency(ms)",
+              "throughput(rps)");
+  const Result base = run_one(SafetyMode::Disabled, millis(100));
+  std::printf("%-24s %12.2f %14.0f\n", "unprotected", base.latency_ms,
+              base.throughput_rps);
+
+  for (const int interval : {20, 100}) {
+    const Result be = run_one(SafetyMode::BestEffort, millis(interval));
+    std::printf("%-24s %12.2f %14.0f\n",
+                ("best-effort @" + std::to_string(interval) + "ms").c_str(),
+                be.latency_ms, be.throughput_rps);
+    const Result sync = run_one(SafetyMode::Synchronous, millis(interval));
+    std::printf("%-24s %12.2f %14.0f\n",
+                ("synchronous @" + std::to_string(interval) + "ms").c_str(),
+                sync.latency_ms, sync.throughput_rps);
+  }
+
+  std::printf(
+      "\nBest Effort keeps native performance but an attack's outputs can\n"
+      "escape for up to one epoch; Synchronous guarantees zero external\n"
+      "impact at the cost of buffering every reply until the audit "
+      "passes.\n");
+  return 0;
+}

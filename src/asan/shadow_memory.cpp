@@ -1,0 +1,87 @@
+#include "asan/shadow_memory.h"
+
+#include <stdexcept>
+
+namespace crimes {
+
+ShadowMemory::ShadowMemory(Vaddr base, std::size_t bytes)
+    : base_(base), shadow_((bytes + kGranule - 1) / kGranule, 0) {}
+
+bool ShadowMemory::in_range(Vaddr va, std::size_t len) const {
+  return va.value() >= base_.value() &&
+         va.value() + len <= base_.value() + shadow_.size() * kGranule;
+}
+
+void ShadowMemory::poison(Vaddr va, std::size_t len) {
+  if (!in_range(va, len)) {
+    throw std::out_of_range("ShadowMemory::poison: outside covered range");
+  }
+  const std::size_t first = (va.value() - base_.value()) / kGranule;
+  const std::size_t last = (va.value() - base_.value() + len - 1) / kGranule;
+  for (std::size_t i = first; i <= last; ++i) shadow_[i] = 1;
+}
+
+void ShadowMemory::unpoison(Vaddr va, std::size_t len) {
+  if (!in_range(va, len)) {
+    throw std::out_of_range("ShadowMemory::unpoison: outside covered range");
+  }
+  const std::size_t first = (va.value() - base_.value()) / kGranule;
+  const std::size_t last = (va.value() - base_.value() + len - 1) / kGranule;
+  for (std::size_t i = first; i <= last; ++i) shadow_[i] = 0;
+}
+
+bool ShadowMemory::is_poisoned(Vaddr va, std::size_t len) const {
+  if (len == 0) return false;
+  if (!in_range(va, len)) return true;  // out of covered range = bad access
+  const std::size_t first = (va.value() - base_.value()) / kGranule;
+  const std::size_t last = (va.value() - base_.value() + len - 1) / kGranule;
+  for (std::size_t i = first; i <= last; ++i) {
+    if (shadow_[i] != 0) return true;
+  }
+  return false;
+}
+
+AsanRuntime::AsanRuntime(GuestKernel& kernel, const CostModel& costs)
+    : kernel_(&kernel),
+      costs_(&costs),
+      shadow_(kernel.layout().va_of(kernel.layout().heap_base),
+              kernel.layout().heap_pages * kPageSize) {
+  // Fresh heap: everything is unaddressable until malloc'd.
+  shadow_.poison(shadow_.base(), shadow_.covered_bytes());
+}
+
+Vaddr AsanRuntime::malloc(std::size_t size) {
+  const Vaddr obj = kernel_->heap().malloc(size);
+  shadow_.unpoison(obj, size);
+  // The trailing canary slot is the red zone: poisoned so any overflow
+  // into it trips the inline check.
+  shadow_.poison(obj + size, kCanaryBytes);
+  size_of_obj_[obj.value()] = size;
+  return obj;
+}
+
+void AsanRuntime::free(Vaddr obj) {
+  auto it = size_of_obj_.find(obj.value());
+  if (it == size_of_obj_.end()) {
+    throw std::out_of_range("AsanRuntime::free: not an allocated object");
+  }
+  kernel_->heap().free(obj);
+  shadow_.poison(obj, it->second);  // use-after-free detection
+  size_of_obj_.erase(it);
+}
+
+bool AsanRuntime::write(Vaddr va, std::span<const std::byte> data) {
+  ++checks_;
+  const bool bad = shadow_.is_poisoned(va, data.size());
+  if (bad) {
+    violations_.push_back(AsanViolation{
+        .va = va,
+        .length = data.size(),
+        .instr_index = kernel_->vm().vcpu().instr_retired + 1,
+    });
+  }
+  kernel_->write_virt(va, data);
+  return !bad;
+}
+
+}  // namespace crimes

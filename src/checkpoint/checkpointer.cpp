@@ -1,0 +1,242 @@
+#include "checkpoint/checkpointer.h"
+
+#include "common/log.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace crimes {
+
+const char* CheckpointConfig::label() const {
+  if (opt_memcpy && opt_premap && opt_chunked_scan) return "Full";
+  if (opt_memcpy && opt_premap) return "Pre-map";
+  if (opt_memcpy) return "Memcpy";
+  return "No-opt";
+}
+
+Checkpointer::Checkpointer(Hypervisor& hypervisor, Vm& primary,
+                           SimClock& clock, const CostModel& costs,
+                           CheckpointConfig config)
+    : hypervisor_(&hypervisor),
+      primary_(&primary),
+      clock_(&clock),
+      costs_(&costs),
+      config_(config) {
+  if (config_.opt_premap && !config_.opt_memcpy) {
+    // Pre-mapping the backup's frames only makes sense once the
+    // checkpointer copies into them directly (the paper stacks the
+    // optimizations in this order).
+    throw std::invalid_argument(
+        "CheckpointConfig: opt_premap requires opt_memcpy");
+  }
+  if (config_.remote_backup && (config_.opt_memcpy || config_.opt_premap)) {
+    throw std::invalid_argument(
+        "CheckpointConfig: remote_backup cannot map the backup locally "
+        "(Optimizations 1 and 2 do not apply)");
+  }
+  if (config_.compress && config_.opt_memcpy) {
+    throw std::invalid_argument(
+        "CheckpointConfig: compression applies to the socket transport "
+        "only");
+  }
+  if (config_.opt_memcpy) {
+    transport_ = std::make_unique<MemcpyTransport>(costs);
+  } else if (config_.compress) {
+    transport_ = std::make_unique<CompressedSocketTransport>(costs);
+  } else {
+    transport_ = std::make_unique<SocketTransport>(costs);
+  }
+}
+
+Checkpointer::~Checkpointer() {
+  if (backup_ != nullptr && hypervisor_->has_domain(backup_->id())) {
+    hypervisor_->destroy_domain(backup_->id());
+  }
+}
+
+void Checkpointer::initialize() {
+  if (backup_ != nullptr) {
+    throw std::logic_error("Checkpointer: already initialized");
+  }
+  backup_ = &hypervisor_->create_domain(primary_->name() + "-backup",
+                                        primary_->page_count());
+  backup_->pause();  // the backup never executes
+
+  full_sync();
+  startup_cost_ = costs_->copy_memcpy_per_page * primary_->page_count();
+
+  if (config_.opt_premap) {
+    // Build the global PFN->MFN array for both domains once (Optimization
+    // 2). This inflates startup time but removes per-epoch map work.
+    startup_cost_ += costs_->premap_startup_per_page *
+                     (primary_->page_count() + backup_->page_count());
+  }
+  clock_->advance(startup_cost_);
+
+  primary_->enable_log_dirty();
+  CRIMES_LOG(Info, "checkpointer")
+      << "initialized (" << config_.label() << ", interval "
+      << to_ms(config_.epoch_interval) << " ms, backup domain "
+      << backup_->id().value() << ")";
+}
+
+void Checkpointer::full_sync() {
+  ForeignMapping src = hypervisor_->map_foreign(primary_->id());
+  ForeignMapping dst = hypervisor_->map_foreign(backup_->id());
+  for (std::size_t i = 0; i < primary_->page_count(); ++i) {
+    const Pfn pfn{i};
+    // Never-written primary pages are zero on both sides already; copying
+    // them would only materialize backup frames for nothing.
+    if (!src.is_backed(pfn)) continue;
+    std::memcpy(dst.page(pfn).data.data(), src.peek(pfn).data.data(),
+                kPageSize);
+  }
+  backup_vcpu_ = primary_->vcpu();
+  // The backup domain carries the checkpointed vCPU too, so dom0 tools
+  // (memory dumps, VMI) can translate through its CR3 directly.
+  backup_->vcpu() = backup_vcpu_;
+}
+
+Nanos Checkpointer::map_cost(std::size_t dirty_pages) const {
+  if (config_.opt_premap) return costs_->premap_per_epoch;
+  // Without pre-mapping, every dirty page is mapped and unmapped each
+  // epoch. The memcpy transport maps *both* the primary's and the backup's
+  // frames (the socket transport's receive side maps the backup inside the
+  // separate Restore process, which is not on this host's critical path).
+  const std::size_t per_page_mappings = config_.opt_memcpy ? 2 : 1;
+  return costs_->map_per_page * (dirty_pages * per_page_mappings);
+}
+
+EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
+  if (backup_ == nullptr) {
+    throw std::logic_error("Checkpointer: initialize() not called");
+  }
+  EpochResult result;
+  const DirtyBitmap& bitmap = primary_->dirty_bitmap();
+  const std::size_t dirty_count = bitmap.dirty_count();
+
+  // 1. Suspend the primary: quiesce vCPUs and in-flight DMA.
+  primary_->suspend();
+  result.costs.suspend = costs_->suspend_cost(dirty_count);
+
+  // 2. Scan the dirty bitmap (Optimization 3 picks the algorithm).
+  if (config_.opt_chunked_scan) {
+    result.dirty = bitmap.scan_chunked();
+    result.costs.bitscan = costs_->bitscan_chunked_cost(bitmap.word_count(),
+                                                        result.dirty.size());
+  } else {
+    result.dirty = bitmap.scan_naive();
+    result.costs.bitscan = costs_->bitscan_naive_cost(bitmap.page_count());
+  }
+  result.costs.dirty_pages = result.dirty.size();
+
+  // 3. Security audit while the VM is quiesced.
+  if (audit) {
+    const AuditResult verdict = audit(result.dirty);
+    result.costs.vmi = verdict.cost;
+    result.audit_passed = verdict.passed;
+  } else {
+    result.costs.vmi = costs_->vmi_noop_scan;
+    result.audit_passed = true;
+  }
+
+  if (!result.audit_passed) {
+    // Evidence found: freeze the VM, keep the backup clean, keep the dirty
+    // bitmap so rollback knows what the failed epoch touched.
+    primary_->pause();
+    clock_->advance(result.costs.suspend + result.costs.bitscan +
+                    result.costs.vmi);
+    CRIMES_LOG(Warn, "checkpointer")
+        << "audit FAILED at " << to_ms(clock_->now()) << " ms; VM paused";
+    return result;
+  }
+
+  // 4. Map the dirty frames (Optimization 2 makes this ~free).
+  result.costs.map = map_cost(result.dirty.size());
+
+  // 5. Propagate dirty pages into the backup (Optimization 1 picks how).
+  {
+    ForeignMapping src = hypervisor_->map_foreign(primary_->id());
+    ForeignMapping dst = hypervisor_->map_foreign(backup_->id());
+    result.costs.copy = transport_->copy(src, dst, result.dirty);
+    if (config_.remote_backup) {
+      // Remus releases the epoch only after the remote host acknowledges
+      // the complete checkpoint.
+      result.costs.copy += costs_->remote_ack_rtt;
+    }
+  }
+  backup_vcpu_ = primary_->vcpu();
+  backup_->vcpu() = backup_vcpu_;
+  primary_->dirty_bitmap().clear_all();
+  ++checkpoints_taken_;
+  if (config_.history_capacity > 0) push_history();
+
+  // 6. Resume speculative execution.
+  primary_->resume();
+  result.costs.resume = costs_->resume_cost(result.dirty.size());
+
+  clock_->advance(result.costs.pause_total());
+  return result;
+}
+
+Nanos Checkpointer::rollback() {
+  if (primary_->state() != VmState::Paused) {
+    throw std::logic_error("Checkpointer::rollback: primary must be Paused");
+  }
+  const std::vector<Pfn> dirty = primary_->dirty_bitmap().scan_chunked();
+  ForeignMapping src = hypervisor_->map_foreign(backup_->id());
+  ForeignMapping dst = hypervisor_->map_foreign(primary_->id());
+  for (const Pfn pfn : dirty) {
+    // peek: a page first touched during the failed epoch has no backup
+    // frame; its checkpoint-time contents were all zeroes.
+    std::memcpy(dst.page(pfn).data.data(), src.peek(pfn).data.data(),
+                kPageSize);
+  }
+  primary_->vcpu() = backup_vcpu_;
+  primary_->dirty_bitmap().clear_all();
+
+  const Nanos cost = costs_->rollback_prepare_base +
+                     costs_->rollback_per_dirty_page * dirty.size();
+  clock_->advance(cost);
+  CRIMES_LOG(Info, "checkpointer")
+      << "rolled back " << dirty.size() << " pages to last clean checkpoint";
+  return cost;
+}
+
+Vm& Checkpointer::backup() {
+  if (backup_ == nullptr) {
+    throw std::logic_error("Checkpointer: initialize() not called");
+  }
+  return *backup_;
+}
+
+Vm& Checkpointer::failover() {
+  if (backup_ == nullptr) {
+    throw std::logic_error("Checkpointer::failover: no backup image");
+  }
+  if (hypervisor_->has_domain(primary_->id())) {
+    hypervisor_->destroy_domain(primary_->id());
+  }
+  Vm& promoted = *backup_;
+  promoted.unpause();  // the backup becomes the live VM
+  CRIMES_LOG(Warn, "checkpointer")
+      << "failover: promoted backup domain " << promoted.id().value()
+      << " (speculative state since the last checkpoint is lost)";
+  backup_ = nullptr;  // lifecycle ownership stays with the hypervisor
+  return promoted;
+}
+
+void Checkpointer::push_history() {
+  Snapshot snap;
+  snap.taken_at = clock_->now();
+  snap.vcpu = backup_vcpu_;
+  snap.pages.resize(backup_->page_count());
+  const Vm& backup = *backup_;
+  for (std::size_t i = 0; i < backup.page_count(); ++i) {
+    snap.pages[i] = backup.page(Pfn{i});
+  }
+  history_.push_back(std::move(snap));
+  while (history_.size() > config_.history_capacity) history_.pop_front();
+}
+
+}  // namespace crimes

@@ -1,0 +1,183 @@
+#include "checkpoint/transport.h"
+
+#include "common/bytes.h"
+#include "machine/page.h"
+
+#include <cstring>
+
+namespace crimes {
+
+namespace {
+
+// Cheap keyed keystream standing in for ssh's stream cipher. Applied twice
+// (encrypt on send, decrypt on receive), so the work -- the reason the
+// paper's Optimization 1 exists -- is really done.
+void xor_keystream(std::span<std::byte> data, std::uint64_t key) {
+  std::uint64_t state = key ^ 0x9E3779B97F4A7C15ULL;
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::uint64_t word;
+    std::memcpy(&word, data.data() + i, 8);
+    word ^= state;
+    std::memcpy(data.data() + i, &word, 8);
+  }
+  for (; i < data.size(); ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    data[i] ^= static_cast<std::byte>(state);
+  }
+}
+
+}  // namespace
+
+Nanos MemcpyTransport::copy(ForeignMapping& primary, ForeignMapping& backup,
+                            std::span<const Pfn> dirty) {
+  for (const Pfn pfn : dirty) {
+    std::memcpy(backup.page(pfn).data.data(), primary.peek(pfn).data.data(),
+                kPageSize);
+  }
+  return costs_->copy_memcpy_per_page * dirty.size();
+}
+
+namespace rle {
+
+std::vector<std::byte> encode(std::span<const std::byte> data) {
+  std::vector<std::byte> out;
+  out.reserve(64);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::size_t zeros = 0;
+    while (i + zeros < data.size() && data[i + zeros] == std::byte{0} &&
+           zeros < 0xFFFF) {
+      ++zeros;
+    }
+    std::size_t lit_start = i + zeros;
+    std::size_t lits = 0;
+    while (lit_start + lits < data.size() &&
+           data[lit_start + lits] != std::byte{0} && lits < 0xFFFF) {
+      ++lits;
+    }
+    const std::size_t base = out.size();
+    out.resize(base + 4 + lits);
+    store_le<std::uint16_t>(out, base, static_cast<std::uint16_t>(zeros));
+    store_le<std::uint16_t>(out, base + 2, static_cast<std::uint16_t>(lits));
+    if (lits > 0) {
+      std::memcpy(out.data() + base + 4, data.data() + lit_start, lits);
+    }
+    i = lit_start + lits;
+  }
+  return out;
+}
+
+bool decode(std::span<const std::byte> encoded, std::span<std::byte> out) {
+  std::size_t in = 0, pos = 0;
+  while (in < encoded.size()) {
+    if (in + 4 > encoded.size()) return false;
+    const auto zeros = load_le<std::uint16_t>(encoded, in);
+    const auto lits = load_le<std::uint16_t>(encoded, in + 2);
+    in += 4;
+    if (pos + zeros + lits > out.size() || in + lits > encoded.size()) {
+      return false;
+    }
+    if (zeros > 0) {
+      std::memset(out.data() + pos, 0, zeros);
+      pos += zeros;
+    }
+    if (lits > 0) {
+      std::memcpy(out.data() + pos, encoded.data() + in, lits);
+      pos += lits;
+      in += lits;
+    }
+  }
+  // Trailing zeroes may be implicit. (Guarded: out.data() may be null for
+  // an empty span, and memset's pointer must never be null, even for 0.)
+  if (pos < out.size()) {
+    std::memset(out.data() + pos, 0, out.size() - pos);
+  }
+  return true;
+}
+
+}  // namespace rle
+
+Nanos SocketTransport::copy(ForeignMapping& primary, ForeignMapping& backup,
+                            std::span<const Pfn> dirty) {
+  constexpr std::size_t kRecordSize = sizeof(std::uint64_t) + kPageSize;
+  // Sender: serialize {pfn, page} records and encrypt them onto the wire.
+  wire_.resize(dirty.size() * kRecordSize);
+  std::size_t off = 0;
+  for (const Pfn pfn : dirty) {
+    store_le<std::uint64_t>(wire_, off, pfn.value());
+    std::memcpy(wire_.data() + off + sizeof(std::uint64_t),
+                primary.peek(pfn).data.data(), kPageSize);
+    off += kRecordSize;
+  }
+  const std::uint64_t key = 0xC0FFEE ^ (dirty.empty() ? 0 : dirty[0].value());
+  xor_keystream(wire_, key);
+  bytes_streamed_ += wire_.size();
+
+  // Receiver (the Remus "Restore" process): decrypt and apply.
+  xor_keystream(wire_, key);
+  off = 0;
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const Pfn pfn{load_le<std::uint64_t>(wire_, off)};
+    std::memcpy(backup.page(pfn).data.data(),
+                wire_.data() + off + sizeof(std::uint64_t), kPageSize);
+    off += kRecordSize;
+  }
+  return costs_->copy_socket_per_page * dirty.size();
+}
+
+Nanos CompressedSocketTransport::copy(ForeignMapping& primary,
+                                      ForeignMapping& backup,
+                                      std::span<const Pfn> dirty) {
+  // Sender: XOR each dirty page against the backup's stale copy, RLE the
+  // delta, stream the records.
+  wire_.clear();
+  delta_.resize(kPageSize);
+  for (const Pfn pfn : dirty) {
+    const Page& fresh = primary.peek(pfn);
+    const Page& stale = backup.peek(pfn);
+    for (std::size_t i = 0; i < kPageSize; ++i) {
+      delta_[i] = fresh.data[i] ^ stale.data[i];
+    }
+    const std::vector<std::byte> encoded = rle::encode(delta_);
+    const std::size_t base = wire_.size();
+    wire_.resize(base + 12 + encoded.size());
+    store_le<std::uint64_t>(wire_, base, pfn.value());
+    store_le<std::uint32_t>(wire_, base + 8,
+                            static_cast<std::uint32_t>(encoded.size()));
+    std::memcpy(wire_.data() + base + 12, encoded.data(), encoded.size());
+  }
+  const std::uint64_t key = 0xDE17A ^ (dirty.empty() ? 0 : dirty[0].value());
+  xor_keystream(wire_, key);
+  raw_bytes_ += dirty.size() * kPageSize;
+  wire_bytes_ += wire_.size();
+
+  // Receiver: decrypt, decode each delta, XOR into the backup page.
+  xor_keystream(wire_, key);
+  std::size_t off = 0;
+  for (std::size_t rec = 0; rec < dirty.size(); ++rec) {
+    const Pfn pfn{load_le<std::uint64_t>(wire_, off)};
+    const auto len = load_le<std::uint32_t>(wire_, off + 8);
+    off += 12;
+    if (!rle::decode(std::span<const std::byte>(wire_).subspan(off, len),
+                     delta_)) {
+      throw std::runtime_error(
+          "CompressedSocketTransport: corrupt wire record");
+    }
+    Page& dst = backup.page(pfn);
+    for (std::size_t i = 0; i < kPageSize; ++i) {
+      dst.data[i] ^= delta_[i];
+    }
+    off += len;
+  }
+
+  // CPU to build/apply deltas plus wire time proportional to what was
+  // actually sent.
+  return costs_->copy_compress_per_page * dirty.size() +
+         Nanos{static_cast<std::int64_t>(
+             static_cast<double>(wire_.size()) *
+             static_cast<double>(costs_->copy_wire_per_byte.count()))};
+}
+
+}  // namespace crimes

@@ -1,0 +1,118 @@
+// Checkpoint transports: how dirty pages move from the primary VM into the
+// backup image.
+//
+// SocketTransport reproduces unmodified Remus: pages are serialized into a
+// stream, run through a stream cipher (Remus pipes checkpoints through ssh
+// even when the destination is local), "received" on the other side,
+// decrypted and applied. All of that work really happens, byte for byte.
+//
+// MemcpyTransport is the paper's Optimization 1: the checkpointer maps both
+// the primary's and the backup's frames into its own address space (the
+// paper patches Remus's Restore process to export the backup's MFNs) and
+// memcpy()s dirty pages across.
+//
+// Either way the backup image ends up byte-identical -- a property the test
+// suite asserts for every transport/optimization combination.
+#pragma once
+
+#include "common/cost_model.h"
+#include "common/types.h"
+#include "hypervisor/foreign_mapping.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crimes {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Copies `dirty` pages from primary to backup. Returns the virtual-time
+  // cost of the copy phase.
+  virtual Nanos copy(ForeignMapping& primary, ForeignMapping& backup,
+                     std::span<const Pfn> dirty) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+class MemcpyTransport final : public Transport {
+ public:
+  explicit MemcpyTransport(const CostModel& costs) : costs_(&costs) {}
+
+  Nanos copy(ForeignMapping& primary, ForeignMapping& backup,
+             std::span<const Pfn> dirty) override;
+  [[nodiscard]] const char* name() const override { return "memcpy"; }
+
+ private:
+  const CostModel* costs_;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(const CostModel& costs) : costs_(&costs) {}
+
+  Nanos copy(ForeignMapping& primary, ForeignMapping& backup,
+             std::span<const Pfn> dirty) override;
+  [[nodiscard]] const char* name() const override { return "socket+ssh"; }
+
+  [[nodiscard]] std::uint64_t bytes_streamed() const {
+    return bytes_streamed_;
+  }
+
+ private:
+  const CostModel* costs_;
+  std::vector<std::byte> wire_;  // reused staging buffer ("the socket")
+  std::uint64_t bytes_streamed_ = 0;
+};
+
+// Remus's checkpoint compression (extension): each dirty page is XOR'd
+// against the backup's stale copy of the same page and the resulting
+// delta -- mostly zeroes when only part of a page changed -- is
+// run-length encoded before hitting the (ciphered) wire. The receiver
+// decodes and XORs the delta back into its copy. Trades CPU per page for
+// wire bytes; wins exactly when epochs re-dirty pages sparsely.
+//
+// Wire record format, per page:
+//   u64 pfn | u32 encoded_len | encoded_len bytes of RLE delta
+// RLE stream: repeated (u16 zero_run, u16 literal_len, literal bytes).
+class CompressedSocketTransport final : public Transport {
+ public:
+  explicit CompressedSocketTransport(const CostModel& costs)
+      : costs_(&costs) {}
+
+  Nanos copy(ForeignMapping& primary, ForeignMapping& backup,
+             std::span<const Pfn> dirty) override;
+  [[nodiscard]] const char* name() const override {
+    return "socket+ssh+xor-rle";
+  }
+
+  [[nodiscard]] std::uint64_t raw_bytes() const { return raw_bytes_; }
+  [[nodiscard]] std::uint64_t wire_bytes() const { return wire_bytes_; }
+  // >1 means the delta encoding actually saved wire traffic.
+  [[nodiscard]] double compression_ratio() const {
+    return wire_bytes_ == 0 ? 1.0
+                            : static_cast<double>(raw_bytes_) /
+                                  static_cast<double>(wire_bytes_);
+  }
+
+ private:
+  const CostModel* costs_;
+  std::vector<std::byte> wire_;
+  std::vector<std::byte> delta_;
+  std::uint64_t raw_bytes_ = 0;
+  std::uint64_t wire_bytes_ = 0;
+};
+
+// Shared by the transport and its tests.
+namespace rle {
+// Encodes `data` as (zero_run, literal_len, literals)* records.
+[[nodiscard]] std::vector<std::byte> encode(std::span<const std::byte> data);
+// Decodes into exactly `out.size()` bytes; returns false on malformed
+// input.
+[[nodiscard]] bool decode(std::span<const std::byte> encoded,
+                          std::span<std::byte> out);
+}  // namespace rle
+
+}  // namespace crimes

@@ -1,0 +1,123 @@
+#include "cloud/cloud_host.h"
+
+#include "common/log.h"
+
+#include <stdexcept>
+
+namespace crimes {
+
+namespace {
+
+std::size_t backed_pages(const Vm& vm) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < vm.page_count(); ++i) {
+    if (vm.is_backed(Pfn{i})) ++n;
+  }
+  return n;
+}
+
+void accumulate(RunSummary& into, const RunSummary& slice) {
+  into.scheme = slice.scheme;
+  into.work_time += slice.work_time;
+  into.total_pause += slice.total_pause;
+  into.epochs += slice.epochs;
+  into.checkpoints += slice.checkpoints;
+  into.attack_detected = into.attack_detected || slice.attack_detected;
+  into.total_costs.suspend += slice.total_costs.suspend;
+  into.total_costs.vmi += slice.total_costs.vmi;
+  into.total_costs.bitscan += slice.total_costs.bitscan;
+  into.total_costs.map += slice.total_costs.map;
+  into.total_costs.copy += slice.total_costs.copy;
+  into.total_costs.resume += slice.total_costs.resume;
+  into.total_costs.dirty_pages += slice.total_costs.dirty_pages;
+  into.total_dirty_pages += slice.total_dirty_pages;
+}
+
+}  // namespace
+
+Tenant::Tenant(Hypervisor& hypervisor, TenantPolicy policy)
+    : policy_(std::move(policy)) {
+  vm_ = &hypervisor.create_domain(policy_.name, policy_.guest.page_count);
+  kernel_ = std::make_unique<GuestKernel>(*vm_, policy_.guest);
+  kernel_->boot();
+  crimes_ = std::make_unique<Crimes>(hypervisor, *kernel_, policy_.crimes);
+}
+
+std::size_t Tenant::primary_pages_backed() const {
+  return backed_pages(kernel_->vm());
+}
+
+std::size_t Tenant::backup_pages_backed() const {
+  if (policy_.crimes.mode == SafetyMode::Disabled ||
+      !crimes_->checkpointer().initialized()) {
+    return 0;
+  }
+  return backed_pages(crimes_->checkpointer().backup());
+}
+
+CloudHost::CloudHost(std::size_t machine_frames)
+    : hypervisor_(machine_frames) {}
+
+Tenant& CloudHost::admit(TenantPolicy policy) {
+  tenants_.push_back(std::make_unique<Tenant>(hypervisor_, std::move(policy)));
+  return *tenants_.back();
+}
+
+Tenant& CloudHost::tenant(const std::string& name) {
+  for (auto& t : tenants_) {
+    if (t->name() == name) return *t;
+  }
+  throw std::out_of_range("CloudHost::tenant: no such tenant " + name);
+}
+
+void CloudHost::initialize_all() {
+  for (auto& t : tenants_) {
+    t->crimes().initialize();
+  }
+}
+
+CloudRunReport CloudHost::run(Nanos work_time) {
+  CloudRunReport report;
+  // Round-robin in epoch-sized slices: the provider timeshares checkpoint
+  // and scan work across tenants, like Remus's per-domain checkpoint
+  // threads do.
+  bool any_progress = true;
+  while (any_progress) {
+    any_progress = false;
+    for (auto& t : tenants_) {
+      if (t->frozen_) continue;
+      const Nanos interval = t->policy_.crimes.checkpoint.epoch_interval;
+      if (t->totals_.work_time + interval > work_time) continue;
+      if (t->workload_ != nullptr && t->workload_->finished()) continue;
+
+      const RunSummary slice = t->crimes().run(interval);  // one epoch
+      accumulate(t->totals_, slice);
+      report.epochs_scheduled += slice.epochs;
+      any_progress = any_progress || slice.epochs > 0;
+
+      if (slice.attack_detected) {
+        t->frozen_ = true;
+        ++report.tenants_attacked;
+        report.attacked_tenants.push_back(t->name());
+        CRIMES_LOG(Warn, "cloud")
+            << "tenant " << t->name() << " frozen after attack";
+      }
+    }
+  }
+  return report;
+}
+
+CloudMemoryReport CloudHost::memory_report() const {
+  CloudMemoryReport report;
+  for (const auto& t : tenants_) {
+    report.rows.push_back(CloudMemoryReport::Row{
+        .tenant = t->name(),
+        .primary_pages = t->primary_pages_backed(),
+        .backup_pages = t->backup_pages_backed(),
+    });
+  }
+  report.machine_frames_in_use = hypervisor_.machine().allocated_frames();
+  return report;
+}
+
+}  // namespace crimes

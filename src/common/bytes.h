@@ -1,0 +1,69 @@
+// Helpers for reading/writing fixed-width values inside raw byte buffers.
+//
+// Guest kernel structures live as raw bytes inside guest pages, exactly as
+// they would in a real VM; VMI and the guest OS both go through these
+// helpers so layouts stay consistent.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace crimes {
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] T load_le(std::span<const std::byte> bytes, std::size_t offset) {
+  if (offset + sizeof(T) > bytes.size()) {
+    throw std::out_of_range("load_le: read past end of buffer");
+  }
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void store_le(std::span<std::byte> bytes, std::size_t offset, const T& value) {
+  if (offset + sizeof(T) > bytes.size()) {
+    throw std::out_of_range("store_le: write past end of buffer");
+  }
+  std::memcpy(bytes.data() + offset, &value, sizeof(T));
+}
+
+// Reads a NUL-terminated string of at most `max_len` bytes.
+[[nodiscard]] inline std::string load_cstr(std::span<const std::byte> bytes,
+                                           std::size_t offset,
+                                           std::size_t max_len) {
+  std::string out;
+  for (std::size_t i = 0; i < max_len && offset + i < bytes.size(); ++i) {
+    const char c = static_cast<char>(bytes[offset + i]);
+    if (c == '\0') break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+// "0x..." rendering for guest addresses in reports and logs.
+[[nodiscard]] inline std::string to_hex(std::uint64_t value) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+inline void store_cstr(std::span<std::byte> bytes, std::size_t offset,
+                       const std::string& s, std::size_t field_len) {
+  if (offset + field_len > bytes.size()) {
+    throw std::out_of_range("store_cstr: write past end of buffer");
+  }
+  std::memset(bytes.data() + offset, 0, field_len);
+  const std::size_t n = s.size() < field_len - 1 ? s.size() : field_len - 1;
+  std::memcpy(bytes.data() + offset, s.data(), n);
+}
+
+}  // namespace crimes

@@ -1,0 +1,10 @@
+#include "common/cost_model.h"
+
+namespace crimes {
+
+const CostModel& CostModel::defaults() {
+  static const CostModel model{};
+  return model;
+}
+
+}  // namespace crimes

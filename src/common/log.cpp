@@ -1,0 +1,27 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace crimes {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (level < level_ || level_ == LogLevel::Off) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::Debug: tag = "DEBUG"; break;
+    case LogLevel::Info: tag = "INFO "; break;
+    case LogLevel::Warn: tag = "WARN "; break;
+    case LogLevel::Error: tag = "ERROR"; break;
+    case LogLevel::Off: return;
+  }
+  std::fprintf(stderr, "[%s] %-12s %s\n", tag, component.c_str(),
+               message.c_str());
+}
+
+}  // namespace crimes

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// Default level is Warn so tests and benches stay quiet; examples raise it
+// to Info to narrate the epoch loop.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace crimes {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  LogLevel level_ = LogLevel::Warn;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Logger::instance().write(level_, component_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace crimes
+
+#define CRIMES_LOG(level, component) \
+  ::crimes::detail::LogLine(::crimes::LogLevel::level, component)

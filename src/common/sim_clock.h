@@ -1,0 +1,53 @@
+// Discrete-event virtual clock.
+//
+// All *data* operations in the simulator are real (pages are really copied,
+// bitmaps really scanned, guest structures really parsed), but *time* is
+// virtual: components charge durations from the CostModel onto a SimClock.
+// This keeps every experiment deterministic and fast while preserving the
+// emergent behaviour the paper measures (see DESIGN.md section 2).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace crimes {
+
+using Nanos = std::chrono::nanoseconds;
+using Micros = std::chrono::microseconds;
+using Millis = std::chrono::milliseconds;
+
+// Convenience literals-free constructors (avoid pulling operator""ns
+// everywhere; Nanos{...} is explicit enough).
+[[nodiscard]] constexpr Nanos nanos(std::int64_t n) { return Nanos{n}; }
+[[nodiscard]] constexpr Nanos micros(double us) {
+  return Nanos{static_cast<std::int64_t>(us * 1e3)};
+}
+[[nodiscard]] constexpr Nanos millis(double ms) {
+  return Nanos{static_cast<std::int64_t>(ms * 1e6)};
+}
+[[nodiscard]] constexpr double to_ms(Nanos d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+[[nodiscard]] constexpr double to_us(Nanos d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+[[nodiscard]] constexpr double to_sec(Nanos d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+
+// Monotonic virtual clock. Never goes backwards.
+class SimClock {
+ public:
+  [[nodiscard]] Nanos now() const noexcept { return now_; }
+
+  void advance(Nanos d) noexcept {
+    if (d.count() > 0) now_ += d;
+  }
+
+  void reset() noexcept { now_ = Nanos::zero(); }
+
+ private:
+  Nanos now_{0};
+};
+
+}  // namespace crimes

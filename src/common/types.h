@@ -1,0 +1,137 @@
+// Strong identifier types shared across the CRIMES simulator.
+//
+// The hypervisor distinguishes three address spaces, mirroring Xen:
+//   * Vaddr -- a guest *virtual* address, translated by the guest page table.
+//   * Pfn   -- a guest pseudo-physical frame number (per-VM, dense from 0).
+//   * Mfn   -- a machine frame number (host-global, owned by MachineMemory).
+//
+// Mixing these up is the classic source of checkpointing bugs (the paper's
+// Optimization 2 is entirely about caching the PFN->MFN conversion), so each
+// gets its own type.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace crimes {
+
+inline constexpr std::size_t kPageShift = 12;
+inline constexpr std::size_t kPageSize = std::size_t{1} << kPageShift;  // 4 KiB
+inline constexpr std::uint64_t kPageOffsetMask = kPageSize - 1;
+
+namespace detail {
+
+// CRTP strong integer wrapper. Only equality/ordering and explicit access to
+// the raw value are provided by default; arithmetic is opted into per type.
+template <typename Tag, typename Rep = std::uint64_t>
+struct StrongId {
+  using rep = Rep;
+
+  Rep raw{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : raw(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return raw; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+}  // namespace detail
+
+// Guest pseudo-physical frame number. Dense in [0, vm.page_count()).
+struct Pfn : detail::StrongId<Pfn> {
+  using StrongId::StrongId;
+  [[nodiscard]] constexpr Pfn next() const { return Pfn{raw + 1}; }
+};
+
+// Host machine frame number. Index into MachineMemory's frame pool.
+struct Mfn : detail::StrongId<Mfn> {
+  using StrongId::StrongId;
+  static constexpr Mfn invalid() {
+    return Mfn{std::numeric_limits<rep>::max()};
+  }
+  [[nodiscard]] constexpr bool is_valid() const { return *this != invalid(); }
+};
+
+// Guest virtual address.
+struct Vaddr : detail::StrongId<Vaddr> {
+  using StrongId::StrongId;
+
+  [[nodiscard]] constexpr std::uint64_t page_number() const {
+    return raw >> kPageShift;
+  }
+  [[nodiscard]] constexpr std::uint64_t page_offset() const {
+    return raw & kPageOffsetMask;
+  }
+  [[nodiscard]] constexpr Vaddr operator+(std::uint64_t off) const {
+    return Vaddr{raw + off};
+  }
+  [[nodiscard]] constexpr Vaddr operator-(std::uint64_t off) const {
+    return Vaddr{raw - off};
+  }
+  constexpr Vaddr& operator+=(std::uint64_t off) {
+    raw += off;
+    return *this;
+  }
+  [[nodiscard]] constexpr bool is_null() const { return raw == 0; }
+};
+
+// Guest physical address (byte-granular companion of Pfn).
+struct Paddr : detail::StrongId<Paddr> {
+  using StrongId::StrongId;
+  [[nodiscard]] constexpr Pfn pfn() const { return Pfn{raw >> kPageShift}; }
+  [[nodiscard]] constexpr std::uint64_t page_offset() const {
+    return raw & kPageOffsetMask;
+  }
+  [[nodiscard]] static constexpr Paddr from(Pfn pfn, std::uint64_t offset) {
+    return Paddr{(pfn.value() << kPageShift) | (offset & kPageOffsetMask)};
+  }
+};
+
+// Hypervisor domain identifier. Domain 0 is the privileged control domain.
+struct DomainId : detail::StrongId<DomainId, std::uint32_t> {
+  using StrongId::StrongId;
+  static constexpr DomainId dom0() { return DomainId{0}; }
+};
+
+// Guest process identifier.
+struct Pid : detail::StrongId<Pid, std::uint32_t> {
+  using StrongId::StrongId;
+};
+
+}  // namespace crimes
+
+template <>
+struct std::hash<crimes::Pfn> {
+  std::size_t operator()(crimes::Pfn p) const noexcept {
+    return std::hash<std::uint64_t>{}(p.value());
+  }
+};
+template <>
+struct std::hash<crimes::Mfn> {
+  std::size_t operator()(crimes::Mfn m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.value());
+  }
+};
+template <>
+struct std::hash<crimes::Vaddr> {
+  std::size_t operator()(crimes::Vaddr v) const noexcept {
+    return std::hash<std::uint64_t>{}(v.value());
+  }
+};
+template <>
+struct std::hash<crimes::Pid> {
+  std::size_t operator()(crimes::Pid p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.value());
+  }
+};
+template <>
+struct std::hash<crimes::DomainId> {
+  std::size_t operator()(crimes::DomainId d) const noexcept {
+    return std::hash<std::uint32_t>{}(d.value());
+  }
+};

@@ -1,0 +1,34 @@
+#include "core/adaptive_interval.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crimes {
+
+Nanos AdaptiveIntervalController::observe(const PhaseCosts& costs) {
+  if (!config_.enabled) return interval_;
+
+  const double pause_ms = to_ms(costs.pause_total());
+  smoothed_pause_ms_ = smoothed_pause_ms_ == 0.0
+                           ? pause_ms
+                           : config_.smoothing * pause_ms +
+                                 (1.0 - config_.smoothing) *
+                                     smoothed_pause_ms_;
+
+  // The interval at which the smoothed pause would hit the target ratio.
+  // (Pause grows sub-linearly with the interval -- dirty sets saturate --
+  // so stepping toward this point converges rather than oscillates.)
+  const double ideal_ms = smoothed_pause_ms_ / config_.target_overhead;
+  const double current_ms = to_ms(interval_);
+  const double step =
+      std::clamp(ideal_ms / current_ms, 1.0 / config_.max_step,
+                 config_.max_step);
+  const Nanos next = clamp(millis(current_ms * step));
+  if (next != interval_) {
+    interval_ = next;
+    ++adjustments_;
+  }
+  return interval_;
+}
+
+}  // namespace crimes

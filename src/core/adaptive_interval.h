@@ -1,0 +1,60 @@
+// Adaptive epoch-interval controller.
+//
+// The paper leaves the epoch interval as a per-VM tunable ("set depending
+// on the applications that run on the VM and the level of security the VM
+// requires", section 3.1): CPU-bound VMs want long epochs to amortize
+// pause cost; latency-bound VMs want short ones to bound buffering delay.
+// This controller automates that guidance: after each epoch it nudges the
+// interval so the observed *pause overhead ratio* (pause / interval)
+// tracks a target, clamped to a [min, max] window that encodes the VM's
+// security requirement (the scan cadence never degrades past max).
+#pragma once
+
+#include "checkpoint/checkpointer.h"
+#include "common/sim_clock.h"
+
+namespace crimes {
+
+struct AdaptiveIntervalConfig {
+  bool enabled = false;
+  Nanos min_interval = millis(20);
+  Nanos max_interval = millis(200);
+  // Target pause/interval ratio, e.g. 0.05 = spend at most ~5% of time
+  // suspended.
+  double target_overhead = 0.05;
+  // Exponential smoothing of the observed pause (0 = no memory).
+  double smoothing = 0.5;
+  // Per-epoch multiplicative step bound, to stay stable under bursts.
+  double max_step = 1.5;
+};
+
+class AdaptiveIntervalController {
+ public:
+  AdaptiveIntervalController(AdaptiveIntervalConfig config, Nanos initial)
+      : config_(config), interval_(clamp(initial)), smoothed_pause_ms_(0) {}
+
+  [[nodiscard]] Nanos interval() const { return interval_; }
+  [[nodiscard]] const AdaptiveIntervalConfig& config() const {
+    return config_;
+  }
+
+  // Feeds one epoch's observed pause; returns the interval to use for the
+  // next epoch.
+  Nanos observe(const PhaseCosts& costs);
+
+  [[nodiscard]] std::size_t adjustments() const { return adjustments_; }
+
+ private:
+  [[nodiscard]] Nanos clamp(Nanos interval) const {
+    if (interval < config_.min_interval) return config_.min_interval;
+    if (interval > config_.max_interval) return config_.max_interval;
+    return interval;
+  }
+
+  AdaptiveIntervalConfig config_;
+  Nanos interval_;
+  double smoothed_pause_ms_;
+  std::size_t adjustments_ = 0;
+};
+
+}  // namespace crimes

@@ -1,0 +1,456 @@
+#include "core/crimes.h"
+
+#include "common/bytes.h"
+#include "common/log.h"
+#include "forensics/plugins.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace crimes {
+
+const char* to_string(SafetyMode mode) {
+  switch (mode) {
+    case SafetyMode::Synchronous: return "Synchronous";
+    case SafetyMode::BestEffort: return "BestEffort";
+    case SafetyMode::Disabled: return "Disabled";
+  }
+  return "?";
+}
+
+PhaseCosts RunSummary::avg_costs() const {
+  if (checkpoints == 0) return {};
+  const auto n = static_cast<std::int64_t>(checkpoints);
+  return PhaseCosts{
+      .suspend = total_costs.suspend / n,
+      .vmi = total_costs.vmi / n,
+      .bitscan = total_costs.bitscan / n,
+      .map = total_costs.map / n,
+      .copy = total_costs.copy / n,
+      .resume = total_costs.resume / n,
+      .dirty_pages = total_costs.dirty_pages / checkpoints,
+  };
+}
+
+Crimes::Crimes(Hypervisor& hypervisor, GuestKernel& kernel,
+               CrimesConfig config, const CostModel& costs)
+    : hypervisor_(&hypervisor),
+      kernel_(&kernel),
+      config_(config),
+      costs_(&costs),
+      network_(costs.net_wire_latency),
+      disk_(config.disk_blocks) {}
+
+void Crimes::add_module(std::unique_ptr<ScanModule> module) {
+  detector_.add_module(std::move(module));
+}
+
+VmiSession& Crimes::vmi() {
+  if (!vmi_) throw std::logic_error("Crimes: initialize() not called");
+  return *vmi_;
+}
+
+Checkpointer& Crimes::checkpointer() {
+  if (!checkpointer_) {
+    throw std::logic_error("Crimes: no checkpointer (Disabled mode?)");
+  }
+  return *checkpointer_;
+}
+
+void Crimes::initialize() {
+  if (initialized_) throw std::logic_error("Crimes: already initialized");
+
+  // Output plumbing per SafetyMode: Synchronous holds everything in the
+  // buffer until the audit passes; other modes ship immediately.
+  if (config_.mode == SafetyMode::Synchronous) {
+    nic_.set_sink([this](Packet&& p) { buffer_.hold(std::move(p)); });
+    disk_.set_buffering(true);
+  } else {
+    nic_.set_sink([this](Packet&& p) {
+      const Nanos at = p.sent_at;
+      network_.deliver(std::move(p), at);
+    });
+    disk_.set_buffering(false);
+  }
+
+  vmi_ = std::make_unique<VmiSession>(*hypervisor_, kernel_->vm().id(),
+                                      kernel_->symbols(), kernel_->flavor(),
+                                      *costs_);
+  vmi_->init();
+  vmi_->preprocess();
+  clock_.advance(vmi_->take_cost());
+
+  if (config_.mode != SafetyMode::Disabled) {
+    checkpointer_ = std::make_unique<Checkpointer>(
+        *hypervisor_, kernel_->vm(), clock_, *costs_, config_.checkpoint);
+    checkpointer_->initialize();
+    replay_ = std::make_unique<ReplayEngine>(*kernel_, *checkpointer_,
+                                             clock_, *costs_);
+    if (config_.record_execution) {
+      recorder_.enable();
+      kernel_->set_write_observer(
+          [this](Vaddr va, std::span<const std::byte> data,
+                 std::uint64_t instr) { recorder_.record(va, data, instr); });
+    }
+  }
+  if (config_.adaptive.enabled) {
+    adaptive_.emplace(config_.adaptive, config_.checkpoint.epoch_interval);
+  }
+  initialized_ = true;
+  CRIMES_LOG(Info, "crimes") << "initialized: mode="
+                             << to_string(config_.mode) << ", scheme="
+                             << config_.checkpoint.label() << ", modules="
+                             << detector_.module_count();
+}
+
+AuditResult Crimes::run_audit(std::span<const Pfn> dirty) {
+  if (detector_.module_count() == 0) {
+    // No tenant modules registered: the minimal no-op introspection the
+    // paper's overhead experiments run.
+    last_findings_.clear();
+    return AuditResult{.passed = true, .cost = costs_->vmi_noop_scan};
+  }
+  const ScanPlan plan = ScanPlan::classify(kernel_->layout(), dirty);
+  ScanContext ctx{
+      .vmi = *vmi_,
+      .dirty = dirty,
+      .costs = *costs_,
+      .pending_packets = config_.mode == SafetyMode::Synchronous
+                             ? &buffer_.pending()
+                             : nullptr,
+      .plan = &plan,
+      .now = clock_.now(),
+  };
+  ScanResult result = detector_.audit(ctx);
+  const bool passed = result.clean();
+  last_findings_ = std::move(result.findings);
+  return AuditResult{.passed = passed, .cost = result.cost};
+}
+
+RunSummary Crimes::run(Nanos max_work_time) {
+  if (!initialized_) throw std::logic_error("Crimes: initialize() first");
+  if (workload_ == nullptr) throw std::logic_error("Crimes: no workload set");
+
+  RunSummary summary;
+  summary.scheme = config_.mode == SafetyMode::Disabled
+                       ? "Disabled"
+                       : config_.checkpoint.label();
+
+  while (!workload_->finished() && summary.work_time < max_work_time) {
+    const Nanos interval = current_interval();
+    const Nanos epoch_start = clock_.now();
+    recorder_.begin_epoch();
+    workload_->run_epoch(epoch_start, interval);
+    clock_.advance(interval);
+    summary.work_time += interval;
+    ++summary.epochs;
+
+    if (config_.mode == SafetyMode::Disabled) continue;
+
+    const EpochResult epoch = checkpointer_->run_checkpoint(
+        [this](std::span<const Pfn> dirty) { return run_audit(dirty); });
+
+    summary.total_costs.suspend += epoch.costs.suspend;
+    summary.total_costs.vmi += epoch.costs.vmi;
+    summary.total_costs.bitscan += epoch.costs.bitscan;
+    summary.total_costs.map += epoch.costs.map;
+    summary.total_costs.copy += epoch.costs.copy;
+    summary.total_costs.resume += epoch.costs.resume;
+    summary.total_costs.dirty_pages += epoch.costs.dirty_pages;
+    summary.total_pause += epoch.costs.pause_total();
+    summary.total_dirty_pages += epoch.costs.dirty_pages;
+    if (adaptive_) (void)adaptive_->observe(epoch.costs);
+
+    if (epoch.audit_passed) {
+      ++summary.checkpoints;
+      // Commit the speculative epoch: outputs may now leave the host.
+      buffer_.release_all(network_, clock_.now());
+      disk_.commit_pending();
+      disk_checkpoint_ = disk_.snapshot_committed();
+
+      // Async deep-scan extension: completed scans may surface evidence
+      // the online modules missed; due scans are launched on the fresh
+      // backup.
+      if (async_scan_ && clock_.now() >= async_scan_->ready_at) {
+        if (!async_scan_->findings.empty()) {
+          last_findings_ = std::move(async_scan_->findings);
+          async_scan_.reset();
+          summary.attack_detected = true;
+          kernel_->vm().pause();
+          respond(epoch, epoch_start);
+          break;
+        }
+        async_scan_.reset();
+      }
+      if (config_.async_deep_scan_every != 0 && !async_scan_ &&
+          summary.epochs % config_.async_deep_scan_every == 0) {
+        launch_async_deep_scan();
+      }
+    } else {
+      // Zero-window guarantee: nothing from the poisoned epoch escapes.
+      buffer_.drop_all();
+      disk_.drop_pending();
+      summary.attack_detected = true;
+      respond(epoch, epoch_start);
+      break;
+    }
+  }
+  return summary;
+}
+
+Nanos Crimes::current_interval() const {
+  return adaptive_ ? adaptive_->interval()
+                   : config_.checkpoint.epoch_interval;
+}
+
+void Crimes::launch_async_deep_scan() {
+  // Runs on the backup image, concurrently with the primary (section 5.3:
+  // Volatility is far too slow for the synchronous path, but the stable
+  // backup checkpoint can absorb it). Only the completion *time* is
+  // deferred; the backup cannot change until the scan's findings are
+  // consumed, so evaluating eagerly is equivalent.
+  if (!volatility_initialized_) {
+    // Init happens once, also off the critical path.
+    volatility_initialized_ = true;
+  }
+  const MemoryDump dump = MemoryDump::capture(
+      checkpointer_->backup(), kernel_->symbols(), kernel_->flavor(),
+      "async-deep-scan", clock_.now());
+  AsyncScan scan;
+  scan.ready_at = clock_.now() + costs_->volatility_process_scan;
+  for (const auto& row : forensics::psxview(dump)) {
+    if (!row.suspicious()) continue;
+    scan.findings.push_back(Finding{
+        .module = "async-psxview",
+        .severity = Severity::Critical,
+        .description = "process '" + row.proc.name + "' (pid " +
+                       std::to_string(row.proc.pid.value()) +
+                       ") visible to psscan but not pslist "
+                       "(deep cross-view)",
+        .location = row.proc.task_va,
+        .pid = row.proc.pid,
+        .object = std::nullopt,
+    });
+  }
+  async_scan_ = std::move(scan);
+}
+
+Crimes::HoneypotLog Crimes::run_honeypot(Nanos duration) {
+  if (!attack_) {
+    throw std::logic_error("Crimes::run_honeypot: no attack detected");
+  }
+  if (workload_ == nullptr) {
+    throw std::logic_error("Crimes::run_honeypot: no workload");
+  }
+  HoneypotLog log;
+
+  // Quarantine: every output is captured for intelligence, none delivered.
+  nic_.set_sink([&log](Packet&& p) {
+    log.quarantined_packets.push_back(std::move(p));
+  });
+  disk_.set_buffering(true);  // writes stay in the overlay
+
+  std::unordered_set<std::string> known;
+  for (const auto& p : kernel_->process_list_ground_truth()) {
+    known.insert(p.name);
+  }
+
+  kernel_->vm().unpause();
+  const Nanos interval = config_.checkpoint.epoch_interval;
+  for (Nanos ran{0}; ran < duration; ran += interval) {
+    workload_->run_epoch(clock_.now(), interval);
+    clock_.advance(interval);
+    ++log.epochs;
+    for (const auto& p : kernel_->process_list_ground_truth()) {
+      if (known.insert(p.name).second) log.new_processes.push_back(p.name);
+    }
+  }
+  kernel_->vm().pause();
+  disk_.drop_pending();
+  return log;
+}
+
+void Crimes::respond(const EpochResult& epoch, Nanos epoch_start) {
+  AttackReport report;
+  report.findings = last_findings_;
+  report.timeline.epoch_start = epoch_start;
+  report.timeline.detected_at = clock_.now();
+
+  // Disk snapshot extension: in Best-Effort mode the failed epoch's
+  // writes already hit the committed image; revert to the last clean
+  // checkpoint's disk state. (Synchronous mode already dropped the
+  // pending overlay, so this is a no-op there.)
+  if (config_.mode == SafetyMode::BestEffort) {
+    disk_.restore_committed(disk_checkpoint_);
+  }
+
+  // Snapshot the evidence before anything else disturbs it. (Reserve all
+  // three slots up front: references into the vector are taken below.)
+  report.dumps.reserve(3);
+  report.dumps.push_back(MemoryDump::capture(
+      checkpointer_->backup(), kernel_->symbols(), kernel_->flavor(),
+      "last-clean-checkpoint", clock_.now()));
+  report.dumps.push_back(MemoryDump::capture(
+      kernel_->vm(), kernel_->symbols(), kernel_->flavor(), "audit-fail",
+      clock_.now()));
+  const MemoryDump& clean_dump = report.dumps[0];
+  const MemoryDump& bad_dump = report.dumps[1];
+
+  // Rollback + replay for canary findings: pinpoint the exact write.
+  const Finding* canary_finding = nullptr;
+  for (const auto& f : report.findings) {
+    if (f.module == "canary-scan" && f.severity == Severity::Critical) {
+      canary_finding = &f;
+      break;
+    }
+  }
+  if (canary_finding != nullptr && config_.rollback_replay &&
+      config_.record_execution) {
+    recorder_.disable();  // do not re-record the replayed writes
+    const std::uint64_t expected =
+        kernel_->heap().canary_key() ^ canary_finding->location.value();
+    report.pinpoint = replay_->pinpoint_canary_corruption(
+        recorder_.ops(), canary_finding->location, expected);
+    report.timeline.replay_done_at = clock_.now();
+    report.dumps.push_back(MemoryDump::capture(
+        kernel_->vm(), kernel_->symbols(), kernel_->flavor(),
+        "attack-instant", clock_.now()));
+  }
+
+  // Volatility-style postmortem.
+  if (config_.forensics) {
+    if (!volatility_initialized_) {
+      clock_.advance(costs_->volatility_init);
+      volatility_initialized_ = true;
+    }
+    forensics::ForensicReport text("attack on domain " + kernel_->vm().name());
+
+    std::string detections;
+    for (const auto& f : report.findings) {
+      detections += std::string(to_string(f.severity)) + " [" + f.module +
+                    "] " + f.description + "\n";
+    }
+    text.add_section("Detections", detections);
+
+    for (const auto& f : report.findings) {
+      if (f.module == "malware-scan" || f.module == "hidden-process") {
+        analyze_malware(text, clean_dump, bad_dump, f);
+      } else if (f.module == "canary-scan") {
+        analyze_overflow(text, bad_dump, f);
+        if (report.pinpoint) {
+          const auto& pp = *report.pinpoint;
+          text.add_section(
+              "Replay pinpoint",
+              pp.found
+                  ? "corrupting write at instruction " +
+                        std::to_string(pp.instr_index) + ", VA " +
+                        to_hex(pp.write_va.value()) + ", " +
+                        std::to_string(pp.write_len) + " bytes (replayed " +
+                        std::to_string(pp.ops_replayed) + " ops)"
+                  : "replay did not reproduce the corruption");
+        }
+      } else if (f.module == "syscall-integrity") {
+        const auto diff = forensics::DumpDiff::compute(clean_dump, bad_dump);
+        clock_.advance(costs_->volatility_plugin_base);
+        text.add_section("Syscall table diff", forensics::render_diff(diff));
+      }
+    }
+
+    // Always include the cross-view: it is the paper's rootkit safety net.
+    clock_.advance(costs_->volatility_process_scan);
+    text.add_section("psxview",
+                     forensics::render_psxview(forensics::psxview(bad_dump)));
+
+    // Shellcode sweep and event timeline round out the report.
+    clock_.advance(costs_->volatility_plugin_base);
+    const auto shellcode = forensics::malfind(bad_dump);
+    if (!shellcode.empty()) {
+      std::string body;
+      for (const auto& hit : shellcode) {
+        body += to_hex(hit.va.value()) + "  " +
+                std::to_string(hit.length) + " bytes  " + hit.reason + "\n";
+      }
+      text.add_section("malfind", body);
+    }
+    {
+      std::string body;
+      for (const auto& event : forensics::timeline(bad_dump)) {
+        body += std::to_string(event.at_ns / 1'000'000) + " ms  " +
+                event.description + "\n";
+      }
+      text.add_section("timeline", body);
+    }
+
+    report.forensic_text = text.to_string();
+    report.timeline.analysis_done_at = clock_.now();
+  }
+
+  // Persist the snapshots for offline investigators ("tens of seconds for
+  // large VMs" -- section 5.5).
+  if (config_.persist_checkpoints) {
+    std::size_t pages = 0;
+    for (const auto& d : report.dumps) pages += d.page_count();
+    clock_.advance(costs_->disk_write_per_page * pages);
+    report.timeline.persisted_at = clock_.now();
+  }
+
+  attack_ = std::move(report);
+  (void)epoch;
+}
+
+void Crimes::analyze_malware(forensics::ForensicReport& report,
+                             const MemoryDump& clean, const MemoryDump& bad,
+                             const Finding& finding) {
+  if (!finding.pid) return;
+  const Pid pid = *finding.pid;
+
+  clock_.advance(costs_->volatility_plugin_base);  // procdump
+  if (auto dump = forensics::procdump(bad, pid)) {
+    report.add_table(
+        "Malware detected",
+        {"Name", "PID", "Start"},
+        {{dump->proc.name, std::to_string(pid.value()),
+          std::to_string(dump->proc.start_time_ns / 1'000'000) + " ms"}});
+    report.add_section("procdump",
+                       "extracted " + std::to_string(dump->image.size()) +
+                           " bytes of process image for sandbox analysis");
+  }
+
+  // netscan + handles on both checkpoints, then diff (section 5.6).
+  clock_.advance(costs_->volatility_plugin_base * 2);
+  const auto diff = forensics::DumpDiff::compute(clean, bad);
+  report.add_section("Open Sockets (new since last clean checkpoint)",
+                     forensics::render_netscan(diff.new_sockets));
+  report.add_section("Open File Handles (new since last clean checkpoint)",
+                     forensics::render_handles(diff.new_handles));
+}
+
+void Crimes::analyze_overflow(forensics::ForensicReport& report,
+                              const MemoryDump& bad, const Finding& finding) {
+  // linux_proc_map + linux_dump_map: extract the address space around the
+  // overflowed object (~5 s in the paper).
+  clock_.advance(costs_->volatility_dump_map);
+  std::string body = "overflowed object at VA " +
+                     to_hex(finding.object.value_or(Vaddr{0}).value()) +
+                     ", canary at VA " +
+                     to_hex(finding.location.value()) + "\n";
+  // Find the owning process via pslist (single-address-space guest: report
+  // every user process mapping the heap).
+  for (const auto& p : forensics::pslist(bad)) {
+    const auto regions = forensics::proc_maps(bad, p.pid);
+    for (const auto& r : regions) {
+      if (finding.location.value() >= r.start.value() &&
+          finding.location.value() < r.end.value()) {
+        body += "mapped in pid " + std::to_string(p.pid.value()) + " (" +
+                p.name + ") region " + r.label + "\n";
+        const auto bytes = forensics::dump_map(bad, r, 4096);
+        body += "dumped " + std::to_string(bytes.size()) +
+                " bytes of the region for offline analysis\n";
+        break;
+      }
+    }
+  }
+  report.add_section("linux_dump_map", body);
+}
+
+}  // namespace crimes

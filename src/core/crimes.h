@@ -1,0 +1,217 @@
+// The CRIMES framework core (Figure 1): speculative execution with output
+// buffering, per-epoch security audits, and the Analyzer's attack response
+// (rollback, replay pinpointing, Volatility-style forensics, report).
+//
+// Typical use:
+//
+//   Hypervisor hv;
+//   Vm& vm = hv.create_domain("tenant", cfg.page_count);
+//   GuestKernel kernel(vm, cfg);
+//   kernel.boot();
+//
+//   Crimes crimes(hv, kernel, CrimesConfig{...});
+//   crimes.add_module(std::make_unique<CanaryScanModule>());
+//   OverflowWorkload app(kernel, {});
+//   crimes.set_workload(&app);
+//   crimes.initialize();
+//   RunSummary summary = crimes.run(millis(2000));
+//   if (summary.attack_detected) std::cout << crimes.attack()->forensic_text;
+#pragma once
+
+#include "checkpoint/checkpointer.h"
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "core/adaptive_interval.h"
+#include "detect/detector.h"
+#include "forensics/memory_dump.h"
+#include "forensics/report.h"
+#include "guestos/guest_kernel.h"
+#include "net/output_buffer.h"
+#include "net/virtual_disk.h"
+#include "net/virtual_nic.h"
+#include "replay/recorder.h"
+#include "replay/replay_engine.h"
+#include "vmi/vmi_session.h"
+#include "workload/workload.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace crimes {
+
+// Section 3.1: Synchronous Safety buffers all outputs until the audit
+// passes (zero window of vulnerability); Best Effort scans at the same
+// cadence but releases outputs immediately; Disabled is the unprotected
+// baseline used for normalization.
+enum class SafetyMode { Synchronous, BestEffort, Disabled };
+
+[[nodiscard]] const char* to_string(SafetyMode mode);
+
+struct CrimesConfig {
+  CheckpointConfig checkpoint = CheckpointConfig::full();
+  SafetyMode mode = SafetyMode::Synchronous;
+  bool record_execution = true;   // keep a write log for replay
+  bool rollback_replay = true;    // pinpoint canary corruptions via replay
+  bool forensics = true;          // run the Volatility-style analysis
+  bool persist_checkpoints = true;  // write snapshots to disk afterwards
+  std::size_t disk_blocks = 4096;
+  // Extension (section 5.3 future work): every N committed epochs, run a
+  // Volatility-grade cross-view (psscan-based psxview) *asynchronously on
+  // the backup checkpoint* while the primary keeps running. Catches
+  // rootkits thorough enough to evade the cheap online scans, at the cost
+  // of a detection lag of roughly the deep-scan duration. 0 = disabled.
+  std::size_t async_deep_scan_every = 0;
+  // Extension: automate the paper's per-workload epoch-interval tuning
+  // (section 3.1). When enabled, the interval floats inside
+  // [min_interval, max_interval] tracking a target pause-overhead ratio.
+  AdaptiveIntervalConfig adaptive;
+};
+
+// Timeline of an attack response, in virtual time (Figure 8).
+struct AttackTimeline {
+  Nanos epoch_start{0};        // start of the epoch containing the attack
+  Nanos detected_at{0};        // audit failure (includes suspend+scan)
+  Nanos replay_done_at{0};     // rollback+replay finished (0 = not run)
+  Nanos analysis_done_at{0};   // forensic report complete
+  Nanos persisted_at{0};       // checkpoints written to disk (0 = not run)
+};
+
+struct AttackReport {
+  std::vector<Finding> findings;
+  std::optional<PinpointResult> pinpoint;
+  std::string forensic_text;
+  AttackTimeline timeline;
+  // Snapshots around the attack: [0] last clean checkpoint, [1] end of the
+  // failed epoch, [2] the attack instant (present only after replay).
+  std::vector<MemoryDump> dumps;
+};
+
+struct RunSummary {
+  std::string scheme;
+  Nanos work_time{0};          // guest execution time (epochs x interval)
+  Nanos total_pause{0};        // time spent suspended for checkpoints
+  std::size_t epochs = 0;
+  std::size_t checkpoints = 0;
+  bool attack_detected = false;
+  PhaseCosts total_costs;      // summed over all checkpoints
+  std::size_t total_dirty_pages = 0;
+
+  [[nodiscard]] double normalized_runtime() const {
+    if (work_time.count() == 0) return 1.0;
+    return to_ms(work_time + total_pause) / to_ms(work_time);
+  }
+  [[nodiscard]] double avg_pause_ms() const {
+    return checkpoints == 0
+               ? 0.0
+               : to_ms(total_pause) / static_cast<double>(checkpoints);
+  }
+  [[nodiscard]] double avg_dirty_pages() const {
+    return checkpoints == 0 ? 0.0
+                            : static_cast<double>(total_dirty_pages) /
+                                  static_cast<double>(checkpoints);
+  }
+  [[nodiscard]] PhaseCosts avg_costs() const;
+};
+
+class Crimes {
+ public:
+  Crimes(Hypervisor& hypervisor, GuestKernel& kernel, CrimesConfig config,
+         const CostModel& costs = CostModel::defaults());
+
+  // --- Assembly (before initialize()) -----------------------------------
+  void add_module(std::unique_ptr<ScanModule> module);
+  void set_workload(Workload* workload) { workload_ = workload; }
+
+  // Wires the NIC/disk according to the SafetyMode, brings up VMI
+  // (init + preprocess), and initializes the Checkpointer.
+  void initialize();
+
+  // --- Execution ----------------------------------------------------------
+  // Runs epochs until the workload finishes, `max_work_time` of guest time
+  // has executed, or an attack is detected (which triggers the full
+  // response pipeline before returning).
+  RunSummary run(Nanos max_work_time);
+
+  [[nodiscard]] const AttackReport* attack() const {
+    return attack_ ? &*attack_ : nullptr;
+  }
+
+  // Extension (section 6): instead of keeping the attacked VM frozen,
+  // convert it into a quarantined honeypot -- resume execution with every
+  // output captured (never delivered) and the process list monitored each
+  // epoch -- to gather intelligence about the attacker's next moves.
+  // Requires a detected attack. Leaves the VM Paused again afterwards.
+  struct HoneypotLog {
+    std::vector<Packet> quarantined_packets;
+    std::vector<std::string> new_processes;
+    std::size_t epochs = 0;
+  };
+  HoneypotLog run_honeypot(Nanos duration);
+
+  // --- Accessors ------------------------------------------------------------
+  [[nodiscard]] SimClock& clock() { return clock_; }
+  [[nodiscard]] VirtualNic& nic() { return nic_; }
+  [[nodiscard]] ExternalNetwork& network() { return network_; }
+  [[nodiscard]] OutputBuffer& buffer() { return buffer_; }
+  [[nodiscard]] VirtualDisk& disk() { return disk_; }
+  [[nodiscard]] VmiSession& vmi();
+  [[nodiscard]] Detector& detector() { return detector_; }
+  [[nodiscard]] Checkpointer& checkpointer();
+  [[nodiscard]] ExecutionRecorder& recorder() { return recorder_; }
+  [[nodiscard]] const CrimesConfig& config() const { return config_; }
+  [[nodiscard]] GuestKernel& kernel() { return *kernel_; }
+  // The epoch interval currently in force (differs from the configured one
+  // only when adaptive tuning is enabled).
+  [[nodiscard]] Nanos current_interval() const;
+  [[nodiscard]] std::size_t interval_adjustments() const {
+    return adaptive_ ? adaptive_->adjustments() : 0;
+  }
+
+ private:
+  [[nodiscard]] AuditResult run_audit(std::span<const Pfn> dirty);
+  void respond(const EpochResult& epoch, Nanos epoch_start);
+  void analyze_malware(forensics::ForensicReport& report,
+                       const MemoryDump& clean, const MemoryDump& bad,
+                       const Finding& finding);
+  void analyze_overflow(forensics::ForensicReport& report,
+                        const MemoryDump& bad, const Finding& finding);
+
+  Hypervisor* hypervisor_;
+  GuestKernel* kernel_;
+  CrimesConfig config_;
+  const CostModel* costs_;
+
+  SimClock clock_;
+  VirtualNic nic_;
+  ExternalNetwork network_;
+  OutputBuffer buffer_;
+  VirtualDisk disk_;
+  Detector detector_;
+  ExecutionRecorder recorder_;
+  std::unique_ptr<VmiSession> vmi_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+  std::unique_ptr<ReplayEngine> replay_;
+  std::optional<AdaptiveIntervalController> adaptive_;
+
+  Workload* workload_ = nullptr;
+  bool initialized_ = false;
+  bool volatility_initialized_ = false;
+  std::vector<Finding> last_findings_;
+  std::optional<AttackReport> attack_;
+
+  // Async deep-scan extension state.
+  struct AsyncScan {
+    Nanos ready_at{0};
+    std::vector<Finding> findings;
+  };
+  std::optional<AsyncScan> async_scan_;
+  void launch_async_deep_scan();
+
+  // Disk snapshot taken at each committed epoch (Best-Effort mode writes
+  // through, so attack response must restore the disk explicitly).
+  VirtualDisk::Image disk_checkpoint_;
+};
+
+}  // namespace crimes

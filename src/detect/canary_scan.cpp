@@ -1,0 +1,54 @@
+#include "detect/canary_scan.h"
+
+#include <unordered_set>
+
+namespace crimes {
+
+ScanResult CanaryScanModule::scan(ScanContext& ctx) {
+  ScanResult result;
+  // Plan-directed fast path (Figure 1 step 1): canaries live in the heap
+  // and their index in the canary table; an epoch that dirtied neither
+  // cannot hold overflow evidence, so skip even reading the table.
+  if (!scan_all_ && ctx.plan != nullptr &&
+      !ctx.plan->heap_evidence_possible()) {
+    ++scans_skipped_by_plan_;
+    result.cost = ctx.vmi.take_cost();
+    return result;
+  }
+  const VmiCanaryTable table = ctx.vmi.read_canary_table();
+
+  std::unordered_set<std::uint64_t> dirty;
+  dirty.reserve(ctx.dirty.size());
+  for (const Pfn pfn : ctx.dirty) dirty.insert(pfn.value());
+
+  std::size_t validated = 0;
+  for (const auto& entry : table.entries) {
+    if (!scan_all_) {
+      const auto pfn = ctx.vmi.pfn_of(entry.canary_addr);
+      if (!pfn || !dirty.contains(pfn->value())) {
+        ++skipped_;
+        continue;
+      }
+    }
+    ++validated;
+    ++checked_;
+    const std::uint64_t actual = ctx.vmi.read_u64_fast(entry.canary_addr);
+    const std::uint64_t expected = table.key ^ entry.canary_addr.value();
+    if (actual != expected) {
+      result.findings.push_back(Finding{
+          .module = name(),
+          .severity = Severity::Critical,
+          .description =
+              "heap canary corrupted: object of " +
+              std::to_string(entry.obj_size) + " bytes overflowed",
+          .location = entry.canary_addr,
+          .pid = std::nullopt,
+          .object = entry.obj_addr,
+      });
+    }
+  }
+  result.cost = ctx.vmi.take_cost() + ctx.costs.canary_check_each * validated;
+  return result;
+}
+
+}  // namespace crimes

@@ -1,0 +1,38 @@
+// Guest-aided buffer-overflow detection (sections 4.2 and 5.5).
+//
+// The guest's malloc wrapper maintains an in-memory table of heap canaries;
+// this module reads the table through VMI, keeps only the canaries living
+// on pages the epoch dirtied (the Checkpointer's dirty list), and validates
+// each against the expected value derived from the per-boot key. The paper
+// measures ~90,000 canary validations per millisecond for this scan.
+#pragma once
+
+#include "detect/detector.h"
+
+#include <cstdint>
+
+namespace crimes {
+
+class CanaryScanModule final : public ScanModule {
+ public:
+  // `scan_all` disables the dirty-page filter (used by tests and by the
+  // initial full audit).
+  explicit CanaryScanModule(bool scan_all = false) : scan_all_(scan_all) {}
+
+  [[nodiscard]] std::string name() const override { return "canary-scan"; }
+  [[nodiscard]] ScanResult scan(ScanContext& ctx) override;
+
+  [[nodiscard]] std::uint64_t canaries_checked() const { return checked_; }
+  [[nodiscard]] std::uint64_t canaries_skipped() const { return skipped_; }
+  [[nodiscard]] std::uint64_t scans_skipped_by_plan() const {
+    return scans_skipped_by_plan_;
+  }
+
+ private:
+  bool scan_all_;
+  std::uint64_t checked_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t scans_skipped_by_plan_ = 0;
+};
+
+}  // namespace crimes

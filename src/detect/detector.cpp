@@ -1,0 +1,36 @@
+#include "detect/detector.h"
+
+namespace crimes {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Info: return "INFO";
+    case Severity::Warning: return "WARNING";
+    case Severity::Critical: return "CRITICAL";
+  }
+  return "?";
+}
+
+void Detector::add_module(std::unique_ptr<ScanModule> module) {
+  modules_.push_back(std::move(module));
+}
+
+std::vector<std::string> Detector::module_names() const {
+  std::vector<std::string> names;
+  names.reserve(modules_.size());
+  for (const auto& m : modules_) names.push_back(m->name());
+  return names;
+}
+
+ScanResult Detector::audit(ScanContext& ctx) {
+  ++audits_run_;
+  ScanResult total;
+  for (const auto& module : modules_) {
+    ScanResult r = module->scan(ctx);
+    total.cost += r.cost;
+    for (auto& f : r.findings) total.findings.push_back(std::move(f));
+  }
+  return total;
+}
+
+}  // namespace crimes

@@ -1,0 +1,88 @@
+// The Detector: CRIMES's modular per-epoch security audit framework
+// (Figure 1, steps 1-2). Scan modules are registered by the tenant or the
+// cloud provider depending on the protection the VM needs; the Checkpointer
+// invokes the Detector while the VM is suspended at each epoch boundary.
+#pragma once
+
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "common/types.h"
+#include "detect/scan_planner.h"
+#include "net/packet.h"
+#include "vmi/vmi_session.h"
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crimes {
+
+enum class Severity { Info, Warning, Critical };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+// One piece of evidence a scan module found.
+struct Finding {
+  std::string module;       // which ScanModule reported it
+  Severity severity = Severity::Warning;
+  std::string description;
+  Vaddr location{0};        // guest VA of the evidence, if applicable
+  std::optional<Pid> pid;   // offending process, if known
+  std::optional<Vaddr> object;  // e.g. overflowed heap object
+};
+
+struct ScanResult {
+  std::vector<Finding> findings;
+  Nanos cost{0};
+
+  [[nodiscard]] bool clean() const {
+    for (const auto& f : findings) {
+      if (f.severity == Severity::Critical) return false;
+    }
+    return true;
+  }
+};
+
+// Everything a module may look at during an audit. The VM is suspended;
+// `dirty` is the epoch's dirty page list from the Checkpointer (section
+// 3.2: scans focus on pages that might contain fresh evidence).
+struct ScanContext {
+  VmiSession& vmi;
+  std::span<const Pfn> dirty;
+  const CostModel& costs;
+  // Outputs held by the buffer this epoch (Synchronous mode only).
+  const std::vector<Packet>* pending_packets = nullptr;
+  // Region-classified view of `dirty` (Figure 1 step 1); nullptr when the
+  // caller has no layout knowledge (modules must then scan conservatively).
+  const ScanPlan* plan = nullptr;
+  Nanos now{0};
+};
+
+class ScanModule {
+ public:
+  virtual ~ScanModule() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual ScanResult scan(ScanContext& ctx) = 0;
+};
+
+class Detector {
+ public:
+  void add_module(std::unique_ptr<ScanModule> module);
+  [[nodiscard]] std::size_t module_count() const { return modules_.size(); }
+  [[nodiscard]] std::vector<std::string> module_names() const;
+
+  // Runs every registered module and aggregates findings and costs. An
+  // empty Detector reports clean at zero cost (the Checkpointer then
+  // charges its baseline no-op scan cost).
+  [[nodiscard]] ScanResult audit(ScanContext& ctx);
+
+  [[nodiscard]] std::uint64_t audits_run() const { return audits_run_; }
+
+ private:
+  std::vector<std::unique_ptr<ScanModule>> modules_;
+  std::uint64_t audits_run_ = 0;
+};
+
+}  // namespace crimes

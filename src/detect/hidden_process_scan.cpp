@@ -1,0 +1,34 @@
+#include "detect/hidden_process_scan.h"
+
+#include <unordered_set>
+
+namespace crimes {
+
+ScanResult HiddenProcessModule::scan(ScanContext& ctx) {
+  ScanResult result;
+
+  std::unordered_set<std::uint64_t> listed;
+  for (const auto& p : ctx.vmi.process_list()) {
+    listed.insert(p.task_va.value());
+  }
+
+  for (const Vaddr task : ctx.vmi.read_pid_hash()) {
+    if (listed.contains(task.value())) continue;
+    const VmiProcess hidden = ctx.vmi.read_task_at(task);
+    result.findings.push_back(Finding{
+        .module = name(),
+        .severity = Severity::Critical,
+        .description = "process '" + hidden.name + "' (pid " +
+                       std::to_string(hidden.pid.value()) +
+                       ") present in pid hash but unlinked from the task "
+                       "list (rootkit hiding?)",
+        .location = task,
+        .pid = hidden.pid,
+        .object = std::nullopt,
+    });
+  }
+  result.cost = ctx.vmi.take_cost();
+  return result;
+}
+
+}  // namespace crimes

@@ -1,0 +1,18 @@
+// Unaided hidden-process detection: the online (cheap) version of the
+// Volatility psxview cross-view. A rootkit that unlinks its task from the
+// process list usually forgets the pid hash; tasks reachable from the hash
+// but absent from the list walk are reported. The deep slab sweep
+// (psscan) stays in the offline forensics module where its cost belongs.
+#pragma once
+
+#include "detect/detector.h"
+
+namespace crimes {
+
+class HiddenProcessModule final : public ScanModule {
+ public:
+  [[nodiscard]] std::string name() const override { return "hidden-process"; }
+  [[nodiscard]] ScanResult scan(ScanContext& ctx) override;
+};
+
+}  // namespace crimes

@@ -1,0 +1,58 @@
+#include "detect/idt_integrity_scan.h"
+
+#include "common/bytes.h"
+#include "guestos/kernel_layout.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crimes {
+
+void IdtIntegrityModule::capture_baseline(VmiSession& vmi) {
+  baseline_.clear();
+  for (const auto& gate : vmi.read_idt()) {
+    baseline_.push_back(gate.handler.value());
+  }
+  idt_pfn_ = vmi.pfn_of(
+      vmi.symbols().lookup(SymbolNames::for_flavor(vmi.flavor()).idt));
+  (void)vmi.take_cost();  // startup cost, not scan cost
+}
+
+ScanResult IdtIntegrityModule::scan(ScanContext& ctx) {
+  if (baseline_.empty()) {
+    throw std::logic_error("IdtIntegrityModule: capture_baseline() missing");
+  }
+  ScanResult result;
+
+  const bool touched =
+      idt_pfn_.has_value() &&
+      std::find(ctx.dirty.begin(), ctx.dirty.end(), *idt_pfn_) !=
+          ctx.dirty.end();
+  if (!touched) {
+    ++skipped_clean_;
+    result.cost = ctx.vmi.take_cost();
+    return result;
+  }
+
+  const auto gates = ctx.vmi.read_idt();
+  const Vaddr table = ctx.vmi.symbols().lookup(
+      SymbolNames::for_flavor(ctx.vmi.flavor()).idt);
+  for (std::size_t v = 0; v < gates.size(); ++v) {
+    if (gates[v].handler.value() != baseline_[v]) {
+      result.findings.push_back(Finding{
+          .module = name(),
+          .severity = Severity::Critical,
+          .description = "IDT vector " + std::to_string(v) +
+                         " hooked (handler moved to " +
+                         to_hex(gates[v].handler.value()) + ")",
+          .location = table + v * IdtGateLayout::kSize,
+          .pid = std::nullopt,
+          .object = std::nullopt,
+      });
+    }
+  }
+  result.cost = ctx.vmi.take_cost();
+  return result;
+}
+
+}  // namespace crimes

@@ -1,0 +1,34 @@
+// Unaided IDT integrity check: compare the guest's interrupt descriptor
+// table against a trusted baseline. Catches interrupt-hook rootkits
+// (keyboard-vector keyloggers, timer hooks) the syscall-table check cannot
+// see. Skips the read when the IDT page was not dirtied this epoch.
+#pragma once
+
+#include "detect/detector.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace crimes {
+
+class IdtIntegrityModule final : public ScanModule {
+ public:
+  [[nodiscard]] std::string name() const override { return "idt-integrity"; }
+
+  void capture_baseline(VmiSession& vmi);
+  [[nodiscard]] bool has_baseline() const { return !baseline_.empty(); }
+
+  [[nodiscard]] ScanResult scan(ScanContext& ctx) override;
+
+  [[nodiscard]] std::uint64_t scans_skipped_clean() const {
+    return skipped_clean_;
+  }
+
+ private:
+  std::vector<std::uint64_t> baseline_;  // handler VA per vector
+  std::optional<Pfn> idt_pfn_;
+  std::uint64_t skipped_clean_ = 0;
+};
+
+}  // namespace crimes

@@ -1,0 +1,56 @@
+#include "detect/network_content_scan.h"
+
+#include "guestos/guest_kernel.h"  // format_ipv4
+
+namespace crimes {
+
+NetworkContentModule::NetworkContentModule(
+    std::vector<std::string> payload_patterns,
+    std::vector<std::uint32_t> blocked_ips)
+    : patterns_(std::move(payload_patterns)) {
+  for (const auto ip : blocked_ips) blocked_ips_.insert(ip);
+}
+
+ScanResult NetworkContentModule::scan(ScanContext& ctx) {
+  ScanResult result;
+  if (ctx.pending_packets == nullptr) {
+    // Best-Effort mode: outputs already left; nothing to inspect.
+    return result;
+  }
+  Nanos cost{0};
+  for (const Packet& p : *ctx.pending_packets) {
+    ++scanned_;
+    cost += Nanos{static_cast<std::int64_t>(p.payload.size())};  // ~1 ns/B
+    if (blocked_ips_.contains(p.dst_ip)) {
+      result.findings.push_back(Finding{
+          .module = name(),
+          .severity = Severity::Critical,
+          .description = "outgoing packet to blocked host " +
+                         format_ipv4(p.dst_ip) + ":" +
+                         std::to_string(p.dst_port),
+          .location = Vaddr{0},
+          .pid = std::nullopt,
+          .object = std::nullopt,
+      });
+      continue;
+    }
+    for (const auto& pat : patterns_) {
+      if (p.payload.find(pat) != std::string::npos) {
+        result.findings.push_back(Finding{
+            .module = name(),
+            .severity = Severity::Critical,
+            .description = "outgoing packet payload matches pattern '" +
+                           pat + "' (dst " + format_ipv4(p.dst_ip) + ")",
+            .location = Vaddr{0},
+            .pid = std::nullopt,
+            .object = std::nullopt,
+        });
+        break;
+      }
+    }
+  }
+  result.cost = cost;
+  return result;
+}
+
+}  // namespace crimes

@@ -1,0 +1,33 @@
+// Output-focused scanning (section 3.2: "a security module could focus on
+// the outputs of the VM, e.g., scanning outgoing network packets for
+// suspicious content"). Only meaningful under Synchronous Safety, where the
+// epoch's packets are still held in the output buffer at audit time --
+// a match stops them from ever leaving the host.
+#pragma once
+
+#include "detect/detector.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace crimes {
+
+class NetworkContentModule final : public ScanModule {
+ public:
+  NetworkContentModule(std::vector<std::string> payload_patterns,
+                       std::vector<std::uint32_t> blocked_ips);
+
+  [[nodiscard]] std::string name() const override { return "net-content"; }
+  [[nodiscard]] ScanResult scan(ScanContext& ctx) override;
+
+  [[nodiscard]] std::uint64_t packets_scanned() const { return scanned_; }
+
+ private:
+  std::vector<std::string> patterns_;
+  std::unordered_set<std::uint32_t> blocked_ips_;
+  std::uint64_t scanned_ = 0;
+};
+
+}  // namespace crimes

@@ -1,0 +1,44 @@
+#include "detect/scan_planner.h"
+
+namespace crimes {
+
+namespace {
+
+bool in_region(Pfn pfn, Pfn base, std::size_t pages) {
+  return pfn.value() >= base.value() && pfn.value() < base.value() + pages;
+}
+
+}  // namespace
+
+ScanPlan ScanPlan::classify(const GuestLayout& layout,
+                            std::span<const Pfn> dirty) {
+  ScanPlan plan;
+  for (const Pfn pfn : dirty) {
+    if (in_region(pfn, layout.kernel_text, layout.kernel_text_pages)) {
+      plan.kernel_text.push_back(pfn);
+    } else if (in_region(pfn, layout.syscall_table, 1) ||
+               in_region(pfn, layout.pid_hash, 1) ||
+               in_region(pfn, layout.idt, 1)) {
+      plan.kernel_tables.push_back(pfn);
+    } else if (in_region(pfn, layout.task_slab, layout.task_slab_pages)) {
+      plan.task_slab.push_back(pfn);
+    } else if (in_region(pfn, layout.module_slab,
+                         layout.module_slab_pages)) {
+      plan.module_slab.push_back(pfn);
+    } else if (in_region(pfn, layout.socket_table,
+                         layout.socket_table_pages) ||
+               in_region(pfn, layout.file_table, layout.file_table_pages)) {
+      plan.socket_file_tables.push_back(pfn);
+    } else if (in_region(pfn, layout.canary_table,
+                         layout.canary_table_pages)) {
+      plan.canary_table.push_back(pfn);
+    } else if (in_region(pfn, layout.heap_base, layout.heap_pages)) {
+      plan.heap.push_back(pfn);
+    } else {
+      plan.other.push_back(pfn);
+    }
+  }
+  return plan;
+}
+
+}  // namespace crimes

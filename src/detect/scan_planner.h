@@ -1,0 +1,48 @@
+// Scan planning: step 1 of the paper's Figure 1 -- "the Detector module
+// finds the 'places' to scan".
+//
+// The Checkpointer hands the Detector a flat dirty-page list; the planner
+// classifies those pages against the guest's region map (kernel text,
+// pointer tables, task slab, canary table, heap, ...) so each scan module
+// can decide in O(1) whether this epoch could even contain the evidence it
+// looks for. A CPU-bound epoch that never touched the canary table or the
+// heap lets the canary module skip reading the table at all.
+#pragma once
+
+#include "common/types.h"
+#include "guestos/kernel_layout.h"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace crimes {
+
+struct ScanPlan {
+  // Dirty pages bucketed by region; each page appears in exactly one.
+  std::vector<Pfn> kernel_text;
+  std::vector<Pfn> kernel_tables;  // syscall table + pid hash
+  std::vector<Pfn> task_slab;
+  std::vector<Pfn> module_slab;
+  std::vector<Pfn> socket_file_tables;
+  std::vector<Pfn> canary_table;
+  std::vector<Pfn> heap;
+  std::vector<Pfn> other;  // page table, guard, unclassified
+
+  [[nodiscard]] std::size_t total() const {
+    return kernel_text.size() + kernel_tables.size() + task_slab.size() +
+           module_slab.size() + socket_file_tables.size() +
+           canary_table.size() + heap.size() + other.size();
+  }
+
+  // Could this epoch have produced heap-overflow evidence? (Canaries live
+  // in the heap; their index lives in the canary table.)
+  [[nodiscard]] bool heap_evidence_possible() const {
+    return !heap.empty() || !canary_table.empty();
+  }
+
+  [[nodiscard]] static ScanPlan classify(const GuestLayout& layout,
+                                         std::span<const Pfn> dirty);
+};
+
+}  // namespace crimes

@@ -1,0 +1,65 @@
+#include "detect/syscall_integrity_scan.h"
+
+#include "common/bytes.h"
+#include "guestos/kernel_layout.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crimes {
+
+void SyscallIntegrityModule::capture_baseline(VmiSession& vmi) {
+  baseline_ = vmi.read_syscall_table();
+  table_pfns_.clear();
+  const Vaddr table = vmi.symbols().lookup(
+      SymbolNames::for_flavor(vmi.flavor()).syscall_table);
+  const std::size_t bytes = kSyscallCount * sizeof(std::uint64_t);
+  for (std::size_t off = 0; off < bytes; off += kPageSize) {
+    if (auto pfn = vmi.pfn_of(table + off)) table_pfns_.push_back(*pfn);
+  }
+  (void)vmi.take_cost();  // baseline capture is startup cost, not scan cost
+}
+
+ScanResult SyscallIntegrityModule::scan(ScanContext& ctx) {
+  if (baseline_.empty()) {
+    throw std::logic_error(
+        "SyscallIntegrityModule: capture_baseline() not called");
+  }
+  ScanResult result;
+
+  // Dirty-page filter: if no page backing the table was written this
+  // epoch, the table cannot have changed.
+  const bool table_touched = std::any_of(
+      table_pfns_.begin(), table_pfns_.end(), [&ctx](Pfn tp) {
+        return std::find(ctx.dirty.begin(), ctx.dirty.end(), tp) !=
+               ctx.dirty.end();
+      });
+  if (!table_touched) {
+    ++skipped_clean_;
+    result.cost = ctx.vmi.take_cost();
+    return result;
+  }
+
+  const auto current = ctx.vmi.read_syscall_table();
+  const Vaddr table = ctx.vmi.symbols().lookup(
+      SymbolNames::for_flavor(ctx.vmi.flavor()).syscall_table);
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    if (current[i] != baseline_[i]) {
+      result.findings.push_back(Finding{
+          .module = name(),
+          .severity = Severity::Critical,
+          .description = "syscall table entry " + std::to_string(i) +
+                         " hijacked (expected " +
+                         to_hex(baseline_[i]) + ", found " +
+                         to_hex(current[i]) + ")",
+          .location = table + i * sizeof(std::uint64_t),
+          .pid = std::nullopt,
+          .object = std::nullopt,
+      });
+    }
+  }
+  result.cost = ctx.vmi.take_cost();
+  return result;
+}
+
+}  // namespace crimes

@@ -1,0 +1,37 @@
+// Unaided syscall-table integrity check (section 3.2): compare the guest's
+// system call table against a known-good baseline captured at startup to
+// detect hijacking. Skips the read entirely when none of the epoch's dirty
+// pages overlap the table.
+#pragma once
+
+#include "detect/detector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace crimes {
+
+class SyscallIntegrityModule final : public ScanModule {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "syscall-integrity";
+  }
+
+  // Captures the known-good table. Must run before the first scan, while
+  // the guest is still trusted (e.g. right after boot attestation).
+  void capture_baseline(VmiSession& vmi);
+  [[nodiscard]] bool has_baseline() const { return !baseline_.empty(); }
+
+  [[nodiscard]] ScanResult scan(ScanContext& ctx) override;
+
+  [[nodiscard]] std::uint64_t scans_skipped_clean() const {
+    return skipped_clean_;
+  }
+
+ private:
+  std::vector<std::uint64_t> baseline_;
+  std::vector<Pfn> table_pfns_;  // pages backing the table
+  std::uint64_t skipped_clean_ = 0;
+};
+
+}  // namespace crimes

@@ -1,0 +1,119 @@
+#include "forensics/artifact_store.h"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace crimes::forensics {
+
+namespace {
+
+constexpr char kMagic[10] = {'C', 'R', 'I', 'M', 'E', 'S',
+                             'D', 'M', 'P', '1'};
+
+std::string sanitize(const std::string& label) {
+  std::string out;
+  for (const char c : label) {
+    out.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                   c == '-' || c == '_')
+                      ? c
+                      : '_');
+  }
+  return out.empty() ? "dump" : out;
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("ArtifactStore: truncated dump file");
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(std::filesystem::path root, std::string case_id)
+    : dir_(root / sanitize(case_id)) {
+  std::filesystem::create_directories(dir_);
+}
+
+void ArtifactStore::append_manifest(const ArtifactInfo& info) {
+  manifest_.push_back(info);
+  std::ofstream manifest(dir_ / "MANIFEST.txt", std::ios::app);
+  manifest << info.kind << " " << info.file.filename().string() << " "
+           << info.bytes << "\n";
+}
+
+std::filesystem::path ArtifactStore::save_report(const std::string& text) {
+  const std::filesystem::path path = dir_ / "report.txt";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("ArtifactStore: cannot write report");
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.close();
+  append_manifest({"report", path, text.size()});
+  return path;
+}
+
+std::filesystem::path ArtifactStore::save_dump(const MemoryDump& dump) {
+  const std::filesystem::path path =
+      dir_ / (sanitize(dump.label()) + ".dump");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("ArtifactStore: cannot write dump");
+
+  out.write(kMagic, sizeof(kMagic));
+  const auto label_len = static_cast<std::uint32_t>(dump.label().size());
+  write_pod(out, label_len);
+  out.write(dump.label().data(), label_len);
+  write_pod(out, dump.captured_at().count());
+  write_pod(out, dump.vcpu());
+  write_pod(out, static_cast<std::uint64_t>(dump.page_count()));
+  for (std::size_t i = 0; i < dump.page_count(); ++i) {
+    out.write(reinterpret_cast<const char*>(dump.page(Pfn{i}).data.data()),
+              kPageSize);
+  }
+  out.close();
+
+  append_manifest({"dump", path, std::filesystem::file_size(path)});
+  return path;
+}
+
+MemoryDumpData ArtifactStore::load_dump(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) throw std::runtime_error("ArtifactStore: cannot open dump file");
+
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("ArtifactStore: not a CRIMES dump file");
+  }
+
+  MemoryDumpData data;
+  std::uint32_t label_len = 0;
+  read_pod(in, label_len);
+  if (label_len > 4096) {
+    throw std::runtime_error("ArtifactStore: implausible label length");
+  }
+  data.label.resize(label_len);
+  in.read(data.label.data(), label_len);
+  std::int64_t at = 0;
+  read_pod(in, at);
+  data.captured_at = Nanos{at};
+  read_pod(in, data.vcpu);
+  std::uint64_t page_count = 0;
+  read_pod(in, page_count);
+  if (page_count > (1u << 24)) {  // 64 GiB guard
+    throw std::runtime_error("ArtifactStore: implausible page count");
+  }
+  data.pages.resize(page_count);
+  for (auto& page : data.pages) {
+    in.read(reinterpret_cast<char*>(page.data.data()), kPageSize);
+    if (!in) throw std::runtime_error("ArtifactStore: truncated dump file");
+  }
+  return data;
+}
+
+}  // namespace crimes::forensics

@@ -1,0 +1,74 @@
+// Persisting attack artifacts to disk for offline investigators.
+//
+// Section 5.5: after an attack CRIMES writes the forensic report plus the
+// full-system checkpoints "to disk ... which can take tens of seconds for
+// large VMs". The ArtifactStore lays a case directory out as:
+//
+//   <root>/<case-id>/
+//     MANIFEST.txt          one line per artifact: kind, file, bytes
+//     report.txt            the rendered forensic report
+//     <label>.dump          raw page images (page-sized records), one per
+//                           MemoryDump, preceded by a small header
+//
+// Dumps round-trip: load_dump() restores a MemoryDump (minus symbols,
+// which travel out of band exactly like a System.map would).
+#pragma once
+
+#include "forensics/memory_dump.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace crimes::forensics {
+
+// A dump read back from disk. Symbols are not serialized (they travel out
+// of band, like a System.map), so this is the raw-image portion only.
+struct MemoryDumpData {
+  std::string label;
+  Nanos captured_at{0};
+  VcpuState vcpu;
+  std::vector<Page> pages;
+};
+
+struct ArtifactInfo {
+  std::string kind;  // "report" | "dump"
+  std::filesystem::path file;
+  std::uint64_t bytes = 0;
+};
+
+class ArtifactStore {
+ public:
+  // Artifacts land under root/case_id (created on demand).
+  ArtifactStore(std::filesystem::path root, std::string case_id);
+
+  [[nodiscard]] const std::filesystem::path& directory() const {
+    return dir_;
+  }
+
+  // Writes the rendered forensic report; returns its path.
+  std::filesystem::path save_report(const std::string& text);
+
+  // Serializes a dump (header + raw pages). Returns its path.
+  std::filesystem::path save_dump(const MemoryDump& dump);
+
+  // Restores a serialized dump. `symbols` and `flavor` are supplied by the
+  // caller, like a Volatility profile. Throws std::runtime_error on a
+  // malformed file.
+  [[nodiscard]] static MemoryDumpData load_dump(
+      const std::filesystem::path& file);
+
+  // Everything saved so far, in order; also flushed to MANIFEST.txt.
+  [[nodiscard]] const std::vector<ArtifactInfo>& manifest() const {
+    return manifest_;
+  }
+
+ private:
+  void append_manifest(const ArtifactInfo& info);
+
+  std::filesystem::path dir_;
+  std::vector<ArtifactInfo> manifest_;
+};
+
+}  // namespace crimes::forensics

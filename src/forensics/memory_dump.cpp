@@ -1,0 +1,91 @@
+#include "forensics/memory_dump.h"
+
+#include "common/bytes.h"
+#include "guestos/guest_page_table.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace crimes {
+
+MemoryDump MemoryDump::capture(const Vm& vm, const SymbolTable& symbols,
+                               OsFlavor flavor, std::string label,
+                               Nanos captured_at) {
+  MemoryDump dump;
+  dump.label_ = std::move(label);
+  dump.captured_at_ = captured_at;
+  dump.flavor_ = flavor;
+  dump.symbols_ = symbols;
+  dump.vcpu_ = vm.vcpu();
+  dump.pages_.resize(vm.page_count());
+  for (std::size_t i = 0; i < vm.page_count(); ++i) {
+    dump.pages_[i] = vm.page(Pfn{i});
+  }
+  return dump;
+}
+
+const Page& MemoryDump::page(Pfn pfn) const {
+  if (pfn.value() >= pages_.size()) {
+    throw std::out_of_range("MemoryDump::page: PFN out of range");
+  }
+  return pages_[pfn.value()];
+}
+
+std::optional<Paddr> MemoryDump::translate(Vaddr va) const {
+  if (va.value() < kVaBase) return std::nullopt;
+  const std::uint64_t vpn = (va.value() - kVaBase) >> kPageShift;
+  if (vpn >= pages_.size()) return std::nullopt;
+
+  const Pfn table_base{vcpu_.cr3 >> kPageShift};
+  const std::uint64_t pte_byte_off = vpn * sizeof(std::uint64_t);
+  const Pfn pte_page{table_base.value() + pte_byte_off / kPageSize};
+  if (pte_page.value() >= pages_.size()) return std::nullopt;
+  const std::uint64_t pte = load_le<std::uint64_t>(
+      page(pte_page).bytes(), pte_byte_off % kPageSize);
+  if ((pte & GuestPageTable::kPresent) == 0) return std::nullopt;
+  const Pfn frame{pte >> kPageShift};
+  if (frame.value() >= pages_.size()) return std::nullopt;
+  return Paddr::from(frame, va.value() & kPageOffsetMask);
+}
+
+bool MemoryDump::read_bytes(Vaddr va, std::span<std::byte> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const Vaddr cur = va + done;
+    const auto pa = translate(cur);
+    if (!pa) return false;
+    const std::size_t chunk =
+        std::min(out.size() - done, kPageSize - pa->page_offset());
+    std::memcpy(out.data() + done,
+                page(pa->pfn()).data.data() + pa->page_offset(), chunk);
+    done += chunk;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> MemoryDump::read_u64(Vaddr va) const {
+  std::uint64_t v;
+  if (!read_bytes(va, std::span<std::byte>(reinterpret_cast<std::byte*>(&v),
+                                           sizeof(v)))) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::uint32_t> MemoryDump::read_u32(Vaddr va) const {
+  std::uint32_t v;
+  if (!read_bytes(va, std::span<std::byte>(reinterpret_cast<std::byte*>(&v),
+                                           sizeof(v)))) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::string> MemoryDump::read_str(Vaddr va,
+                                                std::size_t max_len) const {
+  std::vector<std::byte> buf(max_len);
+  if (!read_bytes(va, buf)) return std::nullopt;
+  return load_cstr(buf, 0, max_len);
+}
+
+}  // namespace crimes

@@ -1,0 +1,65 @@
+// Full-system memory dump: the input to the Volatility-style plugins.
+//
+// A dump is a frozen copy of a VM's pages plus its vCPU state, labelled and
+// timestamped. CRIMES snapshots three of these around an attack: the last
+// clean checkpoint, the end of the failed epoch, and (after replay) the
+// precise attack instant (section 5.5).
+#pragma once
+
+#include "common/sim_clock.h"
+#include "common/types.h"
+#include "guestos/kernel_layout.h"
+#include "hypervisor/vm.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crimes {
+
+class MemoryDump {
+ public:
+  // Captures `vm` in whatever state it is in (dom0 can dump suspended and
+  // paused domains alike).
+  static MemoryDump capture(const Vm& vm, const SymbolTable& symbols,
+                            OsFlavor flavor, std::string label,
+                            Nanos captured_at);
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] Nanos captured_at() const { return captured_at_; }
+  [[nodiscard]] OsFlavor flavor() const { return flavor_; }
+  [[nodiscard]] const SymbolTable& symbols() const { return symbols_; }
+  [[nodiscard]] const VcpuState& vcpu() const { return vcpu_; }
+
+  [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
+  [[nodiscard]] const Page& page(Pfn pfn) const;
+
+  // VA-space reads through the dumped page table (rooted at the dumped
+  // CR3). Return nullopt on translation faults -- forensics tools must
+  // survive corrupted page tables.
+  [[nodiscard]] std::optional<Paddr> translate(Vaddr va) const;
+  [[nodiscard]] bool read_bytes(Vaddr va, std::span<std::byte> out) const;
+  [[nodiscard]] std::optional<std::uint64_t> read_u64(Vaddr va) const;
+  [[nodiscard]] std::optional<std::uint32_t> read_u32(Vaddr va) const;
+  [[nodiscard]] std::optional<std::string> read_str(Vaddr va,
+                                                    std::size_t max_len) const;
+
+  // Size on disk if persisted (used for cost accounting).
+  [[nodiscard]] std::uint64_t byte_size() const {
+    return pages_.size() * kPageSize;
+  }
+
+ private:
+  MemoryDump() = default;
+
+  std::string label_;
+  Nanos captured_at_{0};
+  OsFlavor flavor_ = OsFlavor::Linux;
+  SymbolTable symbols_;
+  VcpuState vcpu_;
+  std::vector<Page> pages_;
+};
+
+}  // namespace crimes

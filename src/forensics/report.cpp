@@ -1,0 +1,128 @@
+#include "forensics/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace crimes::forensics {
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s + " ";
+  return s + std::string(width - s.size() + 1, ' ');
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    out << pad(header[c], widths[c]);
+  }
+  out << "\n";
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      out << pad(row[c], widths[c]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void ForensicReport::add_section(const std::string& heading,
+                                 const std::string& body) {
+  sections_.push_back("== " + heading + " ==\n" + body);
+}
+
+void ForensicReport::add_table(
+    const std::string& heading, const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  add_section(heading, render_table(header, rows));
+}
+
+std::string ForensicReport::to_string() const {
+  std::ostringstream out;
+  out << "==== CRIMES Forensic Report: " << title_ << " ====\n\n";
+  for (const auto& s : sections_) out << s << "\n";
+  return out.str();
+}
+
+bool ForensicReport::contains(const std::string& needle) const {
+  return to_string().find(needle) != std::string::npos;
+}
+
+std::string render_pslist(const std::vector<PsEntry>& entries) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& p : entries) {
+    rows.push_back({p.name, std::to_string(p.pid.value()),
+                    std::to_string(p.uid),
+                    std::to_string(p.start_time_ns / 1'000'000) + " ms"});
+  }
+  return render_table({"Name", "PID", "UID", "Start"}, rows);
+}
+
+std::string render_psxview(const std::vector<PsxRow>& rows) {
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& r : rows) {
+    cells.push_back({r.proc.name, std::to_string(r.proc.pid.value()),
+                     r.in_pslist ? "True" : "False",
+                     r.in_psscan ? "True" : "False",
+                     r.in_pid_hash ? "True" : "False",
+                     r.suspicious() ? "<-- SUSPICIOUS" : ""});
+  }
+  return render_table({"Name", "PID", "pslist", "psscan", "pid_hash", ""},
+                      cells);
+}
+
+std::string render_netscan(const std::vector<NetscanRow>& rows) {
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& r : rows) {
+    cells.push_back({r.proto == 6 ? "TCPv4" : "UDPv4", r.local, r.remote,
+                     tcp_state_name(r.state),
+                     std::to_string(r.pid.value())});
+  }
+  return render_table(
+      {"Protocol", "Local Address", "Foreign Address", "State", "PID"},
+      cells);
+}
+
+std::string render_handles(const std::vector<HandleRow>& rows) {
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& r : rows) {
+    cells.push_back({std::to_string(r.pid.value()), r.path});
+  }
+  return render_table({"PID", "Path"}, cells);
+}
+
+std::string render_diff(const DumpDiff& diff) {
+  std::ostringstream out;
+  out << diff.changed_pages.size() << " pages changed\n";
+  if (!diff.new_processes.empty()) {
+    out << "New processes:\n" << render_pslist(diff.new_processes);
+  }
+  if (!diff.exited_processes.empty()) {
+    out << "Exited processes:\n" << render_pslist(diff.exited_processes);
+  }
+  if (!diff.new_sockets.empty()) {
+    out << "New sockets:\n" << render_netscan(diff.new_sockets);
+  }
+  if (!diff.new_handles.empty()) {
+    out << "New file handles:\n" << render_handles(diff.new_handles);
+  }
+  if (!diff.changed_syscall_slots.empty()) {
+    out << "Changed syscall slots:";
+    for (const auto s : diff.changed_syscall_slots) out << " " << s;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace crimes::forensics

@@ -1,0 +1,38 @@
+// Forensic report builder: assembles the plugin outputs into the
+// administrator-facing text the paper shows in section 5.6 (malware name /
+// pid / start time, open sockets, open file handles, psxview results, ...).
+#pragma once
+
+#include "forensics/plugins.h"
+
+#include <string>
+#include <vector>
+
+namespace crimes::forensics {
+
+class ForensicReport {
+ public:
+  explicit ForensicReport(std::string title) : title_(std::move(title)) {}
+
+  void add_section(const std::string& heading, const std::string& body);
+  void add_table(const std::string& heading,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+  [[nodiscard]] std::size_t section_count() const { return sections_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool contains(const std::string& needle) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> sections_;
+};
+
+// Table renderers for the standard plugins.
+[[nodiscard]] std::string render_pslist(const std::vector<PsEntry>& entries);
+[[nodiscard]] std::string render_psxview(const std::vector<PsxRow>& rows);
+[[nodiscard]] std::string render_netscan(const std::vector<NetscanRow>& rows);
+[[nodiscard]] std::string render_handles(const std::vector<HandleRow>& rows);
+[[nodiscard]] std::string render_diff(const DumpDiff& diff);
+
+}  // namespace crimes::forensics

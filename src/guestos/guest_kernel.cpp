@@ -1,0 +1,620 @@
+#include "guestos/guest_kernel.h"
+
+#include "common/bytes.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace crimes {
+
+std::string format_ipv4(std::uint32_t ip) {
+  return std::to_string((ip >> 24) & 0xFF) + "." +
+         std::to_string((ip >> 16) & 0xFF) + "." +
+         std::to_string((ip >> 8) & 0xFF) + "." + std::to_string(ip & 0xFF);
+}
+
+std::uint32_t make_ipv4(int a, int b, int c, int d) {
+  return (static_cast<std::uint32_t>(a) << 24) |
+         (static_cast<std::uint32_t>(b) << 16) |
+         (static_cast<std::uint32_t>(c) << 8) | static_cast<std::uint32_t>(d);
+}
+
+GuestKernel::GuestKernel(Vm& vm, GuestConfig config)
+    : vm_(&vm),
+      config_(config),
+      layout_(GuestLayout::compute(config)),
+      page_table_(vm, layout_.page_table_base, config.page_count),
+      names_(SymbolNames::for_flavor(config.flavor)),
+      rng_(config.boot_seed) {
+  if (vm.page_count() < config.page_count) {
+    throw std::invalid_argument(
+        "GuestKernel: VM smaller than configured guest image");
+  }
+  tasks_.resize(layout_.task_slots());
+  modules_.resize(layout_.module_slots());
+  sockets_.resize(layout_.socket_slots());
+  files_.resize(layout_.file_slots());
+}
+
+void GuestKernel::boot() {
+  if (booted_) throw std::logic_error("GuestKernel::boot: already booted");
+  page_table_.install_identity_map();
+  vm_->vcpu().cr3 = layout_.page_table_base.value() << kPageShift;
+
+  install_syscall_table();
+  install_idt();
+  build_symbols();
+
+  heap_ = std::make_unique<HeapAllocator>(*this, layout_, rng_.next_u64());
+  heap_->initialize();
+
+  // Task sentinel: slot 0 is the swapper/System idle task, circular on
+  // itself. It anchors the list and is excluded from listings.
+  tasks_[0].used = true;
+  tasks_[0].info = ProcessInfo{
+      .pid = Pid{0},
+      .uid = 0,
+      .name = config_.flavor == OsFlavor::Windows ? "Idle" : "swapper",
+      .state = TaskState::Running,
+      .start_time_ns = 0,
+      .task_va = task_slot_va(0),
+      .hidden = false,
+  };
+  write_task_record(0, tasks_[0].info, task_slot_va(0), task_slot_va(0));
+  slot_of_pid_[Pid{0}] = 0;
+
+  // Module sentinel in slot 0.
+  modules_[0].used = true;
+  modules_[0].info =
+      ModuleInfo{.name = "__module_head", .size = 0,
+                 .module_va = module_slot_va(0)};
+  write_module_record(0, modules_[0].info, module_slot_va(0),
+                      module_slot_va(0));
+
+  booted_ = true;
+  spawn_initial_processes();
+}
+
+void GuestKernel::build_symbols() {
+  symbols_.add(names_.task_list_head, task_slot_va(0));
+  symbols_.add(names_.syscall_table, layout_.va_of(layout_.syscall_table));
+  symbols_.add(names_.module_list_head, module_slot_va(0));
+  symbols_.add(names_.pid_hash, layout_.va_of(layout_.pid_hash));
+  symbols_.add(names_.idt, layout_.va_of(layout_.idt));
+  symbols_.add(names_.socket_table, layout_.va_of(layout_.socket_table));
+  symbols_.add(names_.file_table, layout_.va_of(layout_.file_table));
+  symbols_.add(names_.canary_table, layout_.va_of(layout_.canary_table));
+  symbols_.add(names_.kernel_text, layout_.va_of(layout_.kernel_text));
+  symbols_.add("__guest_page_table",
+               layout_.va_of(layout_.page_table_base));
+  symbols_.add("__guest_heap_base", layout_.va_of(layout_.heap_base));
+}
+
+void GuestKernel::install_syscall_table() {
+  const Vaddr table = layout_.va_of(layout_.syscall_table);
+  for (std::size_t i = 0; i < kSyscallCount; ++i) {
+    write_value<std::uint64_t>(table + i * 8,
+                               pristine_syscall_handler(i).value());
+  }
+}
+
+Vaddr GuestKernel::pristine_syscall_handler(std::size_t index) const {
+  // Handlers are spaced through the dummy kernel text region.
+  return layout_.va_of(layout_.kernel_text) + index * 64;
+}
+
+Vaddr GuestKernel::pristine_interrupt_handler(std::size_t vector) const {
+  // Interrupt stubs live in the second half of the text region.
+  return layout_.va_of(layout_.kernel_text) + 32 * kPageSize + vector * 32;
+}
+
+void GuestKernel::install_idt() {
+  for (std::size_t v = 0; v < kIdtVectors; ++v) {
+    write_idt_gate(v, pristine_interrupt_handler(v));
+  }
+}
+
+void GuestKernel::write_idt_gate(std::size_t vector, Vaddr handler) {
+  if (vector >= kIdtVectors) {
+    throw std::out_of_range("GuestKernel::write_idt_gate: bad vector");
+  }
+  const Vaddr gate =
+      layout_.va_of(layout_.idt) + vector * IdtGateLayout::kSize;
+  const std::uint64_t off = handler.value();
+  write_value<std::uint16_t>(gate + IdtGateLayout::kOffsetLowOff,
+                             static_cast<std::uint16_t>(off));
+  write_value<std::uint16_t>(gate + IdtGateLayout::kSelectorOff,
+                             IdtGateLayout::kKernelCs);
+  write_value<std::uint8_t>(gate + IdtGateLayout::kIstOff, 0);
+  write_value<std::uint8_t>(gate + IdtGateLayout::kTypeAttrOff,
+                            IdtGateLayout::kInterruptGatePresent);
+  write_value<std::uint16_t>(gate + IdtGateLayout::kOffsetMidOff,
+                             static_cast<std::uint16_t>(off >> 16));
+  write_value<std::uint32_t>(gate + IdtGateLayout::kOffsetHighOff,
+                             static_cast<std::uint32_t>(off >> 32));
+}
+
+Vaddr GuestKernel::read_idt_gate(std::size_t vector) const {
+  if (vector >= kIdtVectors) {
+    throw std::out_of_range("GuestKernel::read_idt_gate: bad vector");
+  }
+  const Vaddr gate =
+      layout_.va_of(layout_.idt) + vector * IdtGateLayout::kSize;
+  const auto low =
+      read_value<std::uint16_t>(gate + IdtGateLayout::kOffsetLowOff);
+  const auto mid =
+      read_value<std::uint16_t>(gate + IdtGateLayout::kOffsetMidOff);
+  const auto high =
+      read_value<std::uint32_t>(gate + IdtGateLayout::kOffsetHighOff);
+  return Vaddr{static_cast<std::uint64_t>(low) |
+               (static_cast<std::uint64_t>(mid) << 16) |
+               (static_cast<std::uint64_t>(high) << 32)};
+}
+
+Vaddr GuestKernel::syscall_entry(std::size_t index) const {
+  if (index >= kSyscallCount) {
+    throw std::out_of_range("GuestKernel::syscall_entry: index out of range");
+  }
+  const Vaddr table = layout_.va_of(layout_.syscall_table);
+  return Vaddr{read_value<std::uint64_t>(table + index * 8)};
+}
+
+void GuestKernel::spawn_initial_processes() {
+  if (config_.flavor == OsFlavor::Windows) {
+    spawn_process("System", 0);
+    spawn_process("smss.exe", 0);
+    spawn_process("csrss.exe", 0);
+    spawn_process("winlogon.exe", 0);
+    spawn_process("services.exe", 0);
+    spawn_process("svchost.exe", 0);
+    spawn_process("svchost.exe", 0);
+    spawn_process("explorer.exe", 1000);
+    load_module("ntoskrnl.exe", 8 << 20);
+    load_module("hal.dll", 1 << 20);
+    load_module("tcpip.sys", 2 << 20);
+    load_module("ndis.sys", 1 << 20);
+  } else {
+    spawn_process("systemd", 0);
+    spawn_process("kthreadd", 0);
+    spawn_process("sshd", 0);
+    spawn_process("cron", 0);
+    spawn_process("bash", 1000);
+    spawn_process("nginx", 33);
+    load_module("ext4", 4 << 20);
+    load_module("tcp_cubic", 64 << 10);
+    load_module("xen_netfront", 128 << 10);
+    load_module("crimes_guest", 32 << 10);  // the canary malloc helper
+  }
+}
+
+// --- Virtual memory -------------------------------------------------------
+
+void GuestKernel::write_virt(Vaddr va, std::span<const std::byte> data) {
+  vm_->retire_instructions(1);
+  if (write_observer_) {
+    write_observer_(va, data, vm_->vcpu().instr_retired);
+  }
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const Vaddr cur = va + done;
+    const auto pa = page_table_.translate(cur);
+    if (!pa) throw GuestFault(cur);
+    const std::size_t chunk =
+        std::min(data.size() - done, kPageSize - pa->page_offset());
+    vm_->write_phys(*pa, data.subspan(done, chunk), cur);
+    done += chunk;
+  }
+}
+
+void GuestKernel::read_virt(Vaddr va, std::span<std::byte> out) const {
+  vm_->retire_instructions(1);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const Vaddr cur = va + done;
+    const auto pa = page_table_.translate(cur);
+    if (!pa) throw GuestFault(cur);
+    const std::size_t chunk =
+        std::min(out.size() - done, kPageSize - pa->page_offset());
+    vm_->read_phys(*pa, out.subspan(done, chunk));
+    done += chunk;
+  }
+}
+
+// --- Task management ------------------------------------------------------
+
+Vaddr GuestKernel::task_slot_va(std::size_t slot) const {
+  const std::size_t per_page = kPageSize / TaskLayout::kSize;
+  const std::size_t page = slot / per_page;
+  const std::size_t off = (slot % per_page) * TaskLayout::kSize;
+  return layout_.va_of(Pfn{layout_.task_slab.value() + page}) + off;
+}
+
+Vaddr GuestKernel::module_slot_va(std::size_t slot) const {
+  const std::size_t per_page = kPageSize / ModuleLayout::kSize;
+  const std::size_t page = slot / per_page;
+  const std::size_t off = (slot % per_page) * ModuleLayout::kSize;
+  return layout_.va_of(Pfn{layout_.module_slab.value() + page}) + off;
+}
+
+Vaddr GuestKernel::socket_slot_va(std::size_t slot) const {
+  const std::size_t per_page = kPageSize / SocketLayout::kSize;
+  const std::size_t page = slot / per_page;
+  const std::size_t off = (slot % per_page) * SocketLayout::kSize;
+  return layout_.va_of(Pfn{layout_.socket_table.value() + page}) + off;
+}
+
+Vaddr GuestKernel::file_slot_va(std::size_t slot) const {
+  const std::size_t per_page = kPageSize / FileHandleLayout::kSize;
+  const std::size_t page = slot / per_page;
+  const std::size_t off = (slot % per_page) * FileHandleLayout::kSize;
+  return layout_.va_of(Pfn{layout_.file_table.value() + page}) + off;
+}
+
+void GuestKernel::write_task_record(std::size_t slot, const ProcessInfo& info,
+                                    Vaddr next, Vaddr prev) {
+  const Vaddr base = task_slot_va(slot);
+  write_value<std::uint32_t>(base + TaskLayout::kMagicOff, TaskLayout::kMagic);
+  write_value<std::uint32_t>(base + TaskLayout::kPidOff, info.pid.value());
+  write_value<std::uint32_t>(base + TaskLayout::kUidOff, info.uid);
+  write_value<std::uint32_t>(base + TaskLayout::kStateOff,
+                             static_cast<std::uint32_t>(info.state));
+  char comm[TaskLayout::kCommLen] = {};
+  std::strncpy(comm, info.name.c_str(), TaskLayout::kCommLen - 1);
+  write_virt(base + TaskLayout::kCommOff,
+             std::span<const std::byte>(
+                 reinterpret_cast<const std::byte*>(comm), sizeof(comm)));
+  write_value<std::uint64_t>(base + TaskLayout::kNextOff, next.value());
+  write_value<std::uint64_t>(base + TaskLayout::kPrevOff, prev.value());
+  write_value<std::uint64_t>(base + TaskLayout::kMmOff,
+                             info.uid == 0 && info.pid.value() <= 2
+                                 ? 0
+                                 : layout_.va_of(layout_.heap_base).value());
+  write_value<std::uint64_t>(base + TaskLayout::kStartTimeOff,
+                             info.start_time_ns);
+  write_value<std::uint64_t>(base + TaskLayout::kFilesOff,
+                             layout_.va_of(layout_.file_table).value());
+  write_value<std::uint64_t>(base + TaskLayout::kSocketsOff,
+                             layout_.va_of(layout_.socket_table).value());
+}
+
+void GuestKernel::link_task_tail(std::size_t slot) {
+  const Vaddr head = task_slot_va(0);
+  const Vaddr node = task_slot_va(slot);
+  const Vaddr old_tail{read_value<std::uint64_t>(head + TaskLayout::kPrevOff)};
+  write_value<std::uint64_t>(node + TaskLayout::kNextOff, head.value());
+  write_value<std::uint64_t>(node + TaskLayout::kPrevOff, old_tail.value());
+  write_value<std::uint64_t>(old_tail + TaskLayout::kNextOff, node.value());
+  write_value<std::uint64_t>(head + TaskLayout::kPrevOff, node.value());
+}
+
+void GuestKernel::unlink_task(std::size_t slot) {
+  const Vaddr node = task_slot_va(slot);
+  const Vaddr next{read_value<std::uint64_t>(node + TaskLayout::kNextOff)};
+  const Vaddr prev{read_value<std::uint64_t>(node + TaskLayout::kPrevOff)};
+  write_value<std::uint64_t>(prev + TaskLayout::kNextOff, next.value());
+  write_value<std::uint64_t>(next + TaskLayout::kPrevOff, prev.value());
+}
+
+void GuestKernel::pid_hash_insert(Pid pid, Vaddr task) {
+  const Vaddr table = layout_.va_of(layout_.pid_hash);
+  for (std::size_t probe = 0; probe < kPidHashBuckets; ++probe) {
+    const std::size_t bucket =
+        (pid.value() + probe) % kPidHashBuckets;
+    const auto current = read_value<std::uint64_t>(table + bucket * 8);
+    if (current == 0) {
+      write_value<std::uint64_t>(table + bucket * 8, task.value());
+      return;
+    }
+  }
+  throw std::runtime_error("GuestKernel: pid hash full");
+}
+
+void GuestKernel::pid_hash_remove(Pid pid) {
+  const Vaddr table = layout_.va_of(layout_.pid_hash);
+  const Vaddr task = task_va(pid);
+  for (std::size_t probe = 0; probe < kPidHashBuckets; ++probe) {
+    const std::size_t bucket = (pid.value() + probe) % kPidHashBuckets;
+    const auto current = read_value<std::uint64_t>(table + bucket * 8);
+    if (current == task.value()) {
+      write_value<std::uint64_t>(table + bucket * 8, std::uint64_t{0});
+      return;
+    }
+  }
+}
+
+Pid GuestKernel::spawn_process(const std::string& name, std::uint32_t uid) {
+  if (!booted_) throw std::logic_error("GuestKernel: not booted");
+  auto it = std::find_if(tasks_.begin() + 1, tasks_.end(),
+                         [](const TaskSlot& s) { return !s.used; });
+  if (it == tasks_.end()) throw std::runtime_error("GuestKernel: task slab full");
+  const std::size_t slot = static_cast<std::size_t>(it - tasks_.begin());
+
+  const Pid pid{next_pid_++};
+  it->used = true;
+  it->info = ProcessInfo{
+      .pid = pid,
+      .uid = uid,
+      .name = name,
+      .state = TaskState::Running,
+      .start_time_ns = guest_time_ns_,
+      .task_va = task_slot_va(slot),
+      .hidden = false,
+  };
+  // Write the record first with self links, then splice it in, mirroring
+  // how a kernel publishes a fully formed task.
+  write_task_record(slot, it->info, it->info.task_va, it->info.task_va);
+  link_task_tail(slot);
+  pid_hash_insert(pid, it->info.task_va);
+  slot_of_pid_[pid] = slot;
+  return pid;
+}
+
+void GuestKernel::exit_process(Pid pid) {
+  auto it = slot_of_pid_.find(pid);
+  if (it == slot_of_pid_.end() || it->second == 0) {
+    throw std::out_of_range("GuestKernel::exit_process: no such pid");
+  }
+  const std::size_t slot = it->second;
+  if (!tasks_[slot].info.hidden) unlink_task(slot);
+  pid_hash_remove(pid);
+  // Scrub the magic so the slab slot no longer looks like a task (a real
+  // kernel poisons freed slab objects).
+  write_value<std::uint32_t>(task_slot_va(slot) + TaskLayout::kMagicOff, 0u);
+  tasks_[slot].used = false;
+  slot_of_pid_.erase(it);
+}
+
+std::vector<ProcessInfo> GuestKernel::process_list_ground_truth() const {
+  std::vector<ProcessInfo> out;
+  for (std::size_t i = 1; i < tasks_.size(); ++i) {
+    if (tasks_[i].used) out.push_back(tasks_[i].info);
+  }
+  return out;
+}
+
+std::optional<ProcessInfo> GuestKernel::find_process(Pid pid) const {
+  auto it = slot_of_pid_.find(pid);
+  if (it == slot_of_pid_.end()) return std::nullopt;
+  return tasks_[it->second].info;
+}
+
+std::optional<Pid> GuestKernel::find_process_by_name(
+    const std::string& name) const {
+  for (std::size_t i = 1; i < tasks_.size(); ++i) {
+    if (tasks_[i].used && tasks_[i].info.name == name) {
+      return tasks_[i].info.pid;
+    }
+  }
+  return std::nullopt;
+}
+
+Vaddr GuestKernel::task_va(Pid pid) const {
+  auto it = slot_of_pid_.find(pid);
+  if (it == slot_of_pid_.end()) {
+    throw std::out_of_range("GuestKernel::task_va: no such pid");
+  }
+  return task_slot_va(it->second);
+}
+
+// --- Modules ---------------------------------------------------------------
+
+void GuestKernel::write_module_record(std::size_t slot, const ModuleInfo& info,
+                                      Vaddr next, Vaddr prev) {
+  const Vaddr base = module_slot_va(slot);
+  write_value<std::uint32_t>(base + ModuleLayout::kMagicOff,
+                             ModuleLayout::kMagic);
+  char name[ModuleLayout::kNameLen] = {};
+  std::strncpy(name, info.name.c_str(), ModuleLayout::kNameLen - 1);
+  write_virt(base + ModuleLayout::kNameOff,
+             std::span<const std::byte>(
+                 reinterpret_cast<const std::byte*>(name), sizeof(name)));
+  write_value<std::uint64_t>(base + ModuleLayout::kNextOff, next.value());
+  write_value<std::uint64_t>(base + ModuleLayout::kPrevOff, prev.value());
+  write_value<std::uint64_t>(base + ModuleLayout::kSizeOff, info.size);
+  write_value<std::uint64_t>(base + ModuleLayout::kInitOff,
+                             layout_.va_of(layout_.kernel_text).value());
+}
+
+void GuestKernel::load_module(const std::string& name, std::uint64_t size) {
+  auto it = std::find_if(modules_.begin() + 1, modules_.end(),
+                         [](const ModuleSlot& s) { return !s.used; });
+  if (it == modules_.end()) {
+    throw std::runtime_error("GuestKernel: module slab full");
+  }
+  const std::size_t slot = static_cast<std::size_t>(it - modules_.begin());
+  it->used = true;
+  it->info = ModuleInfo{.name = name, .size = size,
+                        .module_va = module_slot_va(slot)};
+
+  const Vaddr head = module_slot_va(0);
+  const Vaddr node = module_slot_va(slot);
+  const Vaddr old_tail{
+      read_value<std::uint64_t>(head + ModuleLayout::kPrevOff)};
+  write_module_record(slot, it->info, head, old_tail);
+  write_value<std::uint64_t>(old_tail + ModuleLayout::kNextOff, node.value());
+  write_value<std::uint64_t>(head + ModuleLayout::kPrevOff, node.value());
+}
+
+void GuestKernel::unload_module(const std::string& name) {
+  for (std::size_t i = 1; i < modules_.size(); ++i) {
+    if (!modules_[i].used || modules_[i].info.name != name) continue;
+    const Vaddr node = module_slot_va(i);
+    const Vaddr next{read_value<std::uint64_t>(node + ModuleLayout::kNextOff)};
+    const Vaddr prev{read_value<std::uint64_t>(node + ModuleLayout::kPrevOff)};
+    write_value<std::uint64_t>(prev + ModuleLayout::kNextOff, next.value());
+    write_value<std::uint64_t>(next + ModuleLayout::kPrevOff, prev.value());
+    write_value<std::uint32_t>(node + ModuleLayout::kMagicOff, 0u);
+    modules_[i].used = false;
+    return;
+  }
+  throw std::out_of_range("GuestKernel::unload_module: no such module");
+}
+
+std::vector<ModuleInfo> GuestKernel::module_list_ground_truth() const {
+  std::vector<ModuleInfo> out;
+  for (std::size_t i = 1; i < modules_.size(); ++i) {
+    if (modules_[i].used) out.push_back(modules_[i].info);
+  }
+  return out;
+}
+
+// --- Sockets / files --------------------------------------------------------
+
+Vaddr GuestKernel::open_socket(const SocketInfo& info) {
+  for (std::size_t i = 0; i < sockets_.size(); ++i) {
+    if (sockets_[i].has_value()) continue;
+    const Vaddr base = socket_slot_va(i);
+    write_value<std::uint32_t>(base + SocketLayout::kMagicOff,
+                               SocketLayout::kMagic);
+    write_value<std::uint32_t>(base + SocketLayout::kPidOff,
+                               info.pid.value());
+    write_value<std::uint32_t>(base + SocketLayout::kProtoOff, info.proto);
+    write_value<std::uint32_t>(base + SocketLayout::kStateOff, info.state);
+    write_value<std::uint32_t>(base + SocketLayout::kLocalIpOff,
+                               info.local_ip);
+    write_value<std::uint16_t>(base + SocketLayout::kLocalPortOff,
+                               info.local_port);
+    write_value<std::uint32_t>(base + SocketLayout::kRemoteIpOff,
+                               info.remote_ip);
+    write_value<std::uint16_t>(base + SocketLayout::kRemotePortOff,
+                               info.remote_port);
+    sockets_[i] = info;
+    sockets_[i]->entry_va = base;
+    return base;
+  }
+  throw std::runtime_error("GuestKernel: socket table full");
+}
+
+void GuestKernel::close_socket(Vaddr entry_va) {
+  for (auto& slot : sockets_) {
+    if (slot.has_value() && slot->entry_va == entry_va) {
+      write_value<std::uint32_t>(entry_va + SocketLayout::kMagicOff, 0u);
+      slot.reset();
+      return;
+    }
+  }
+  throw std::out_of_range("GuestKernel::close_socket: no such entry");
+}
+
+Vaddr GuestKernel::open_file(Pid pid, const std::string& path) {
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].has_value()) continue;
+    const Vaddr base = file_slot_va(i);
+    write_value<std::uint32_t>(base + FileHandleLayout::kMagicOff,
+                               FileHandleLayout::kMagic);
+    write_value<std::uint32_t>(base + FileHandleLayout::kPidOff, pid.value());
+    char buf[FileHandleLayout::kPathLen] = {};
+    std::strncpy(buf, path.c_str(), FileHandleLayout::kPathLen - 1);
+    write_virt(base + FileHandleLayout::kPathOff,
+               std::span<const std::byte>(
+                   reinterpret_cast<const std::byte*>(buf), sizeof(buf)));
+    files_[i] = FileInfo{.pid = pid, .path = path, .entry_va = base};
+    return base;
+  }
+  throw std::runtime_error("GuestKernel: file table full");
+}
+
+void GuestKernel::close_file(Vaddr entry_va) {
+  for (auto& slot : files_) {
+    if (slot.has_value() && slot->entry_va == entry_va) {
+      write_value<std::uint32_t>(entry_va + FileHandleLayout::kMagicOff, 0u);
+      slot.reset();
+      return;
+    }
+  }
+  throw std::out_of_range("GuestKernel::close_file: no such entry");
+}
+
+std::vector<SocketInfo> GuestKernel::socket_ground_truth() const {
+  std::vector<SocketInfo> out;
+  for (const auto& slot : sockets_) {
+    if (slot.has_value()) out.push_back(*slot);
+  }
+  return out;
+}
+
+std::vector<FileInfo> GuestKernel::file_ground_truth() const {
+  std::vector<FileInfo> out;
+  for (const auto& slot : files_) {
+    if (slot.has_value()) out.push_back(*slot);
+  }
+  return out;
+}
+
+// --- Attacks ----------------------------------------------------------------
+
+void GuestKernel::attack_hide_process(Pid pid, bool scrub_pid_hash) {
+  auto it = slot_of_pid_.find(pid);
+  if (it == slot_of_pid_.end() || it->second == 0) {
+    throw std::out_of_range("GuestKernel::attack_hide_process: no such pid");
+  }
+  unlink_task(it->second);
+  if (scrub_pid_hash) pid_hash_remove(pid);
+  tasks_[it->second].info.hidden = true;
+}
+
+void GuestKernel::attack_hijack_syscall(std::size_t index,
+                                        Vaddr rogue_handler) {
+  if (index >= kSyscallCount) {
+    throw std::out_of_range("GuestKernel::attack_hijack_syscall: bad index");
+  }
+  const Vaddr table = layout_.va_of(layout_.syscall_table);
+  write_value<std::uint64_t>(table + index * 8, rogue_handler.value());
+}
+
+void GuestKernel::attack_hook_interrupt(std::size_t vector,
+                                        Vaddr rogue_handler) {
+  write_idt_gate(vector, rogue_handler);
+}
+
+GuestKernel::SyscallOutcome GuestKernel::invoke_syscall(std::size_t nr,
+                                                        std::uint64_t arg) {
+  const Vaddr handler = syscall_entry(nr);
+  SyscallOutcome outcome;
+  outcome.handler = handler;
+  outcome.hijacked = handler != pristine_syscall_handler(nr);
+  if (outcome.hijacked) {
+    // The hook siphons the argument into the attacker's buffer before
+    // (we assume) tail-calling the real handler.
+    write_value<std::uint64_t>(handler, arg);
+    outcome.retval = 0;
+  } else {
+    outcome.retval = nr;  // benign handlers echo their number in this model
+  }
+  tick(500);
+  return outcome;
+}
+
+void GuestKernel::attack_patch_kernel_text(std::size_t offset,
+                                           std::span<const std::byte> patch) {
+  const std::size_t text_bytes = layout_.kernel_text_pages * kPageSize;
+  if (offset + patch.size() > text_bytes) {
+    throw std::out_of_range(
+        "GuestKernel::attack_patch_kernel_text: patch outside text");
+  }
+  write_virt(layout_.va_of(layout_.kernel_text) + offset, patch);
+}
+
+void GuestKernel::attack_plant_shellcode(Vaddr va) {
+  // 24-byte NOP sled into a syscall stub: mov rax, imm32; syscall.
+  std::vector<std::byte> code(24, std::byte{0x90});
+  for (const unsigned char b :
+       {0x48u, 0xC7u, 0xC0u, 0x3Bu, 0x00u, 0x00u, 0x00u, 0x0Fu, 0x05u}) {
+    code.push_back(static_cast<std::byte>(b));
+  }
+  write_virt(va, code);
+}
+
+std::uint64_t GuestKernel::attack_heap_overflow(Vaddr obj,
+                                                std::size_t object_size,
+                                                std::size_t overrun) {
+  // Fill the object legitimately first (memcpy-with-wrong-length pattern)...
+  std::vector<std::byte> fill(object_size, std::byte{0x41});
+  write_virt(obj, fill);
+  // ...then the overflowing tail; this is the instruction replay must find.
+  std::vector<std::byte> tail(overrun, std::byte{0x42});
+  write_virt(obj + object_size, tail);
+  return vm_->vcpu().instr_retired;
+}
+
+}  // namespace crimes

@@ -1,0 +1,243 @@
+// The miniature guest operating system.
+//
+// Boots a kernel image into guest memory: linear page table, syscall table,
+// pid hash, task/module slabs, socket and file tables, the canary-placing
+// heap allocator, and a set of initial processes and modules. All
+// authoritative state lives as raw bytes in guest pages (the C++-side
+// bookkeeping here is only slot management and ground truth for tests);
+// the VMI library reads those bytes back out, and attacks mutate them.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "guestos/guest_page_table.h"
+#include "guestos/heap_allocator.h"
+#include "guestos/kernel_layout.h"
+#include "hypervisor/vm.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace crimes {
+
+// Guest-side page fault surfaced as an exception to the workload driver.
+class GuestFault : public std::runtime_error {
+ public:
+  explicit GuestFault(Vaddr va)
+      : std::runtime_error("guest page fault"), va_(va) {}
+  [[nodiscard]] Vaddr vaddr() const { return va_; }
+
+ private:
+  Vaddr va_;
+};
+
+enum class TaskState : std::uint32_t { Running = 0, Sleeping = 1, Zombie = 2 };
+
+struct ProcessInfo {
+  Pid pid;
+  std::uint32_t uid = 0;
+  std::string name;
+  TaskState state = TaskState::Running;
+  std::uint64_t start_time_ns = 0;
+  Vaddr task_va;
+  bool hidden = false;  // ground-truth flag; not stored in guest memory
+};
+
+struct ModuleInfo {
+  std::string name;
+  std::uint64_t size = 0;
+  Vaddr module_va;
+};
+
+struct SocketInfo {
+  Pid pid;
+  std::uint32_t proto = 6;  // TCP
+  std::uint32_t state = 1;  // ESTABLISHED
+  std::uint32_t local_ip = 0;
+  std::uint16_t local_port = 0;
+  std::uint32_t remote_ip = 0;
+  std::uint16_t remote_port = 0;
+  Vaddr entry_va;
+};
+
+struct FileInfo {
+  Pid pid;
+  std::string path;
+  Vaddr entry_va;
+};
+
+[[nodiscard]] std::string format_ipv4(std::uint32_t ip);
+[[nodiscard]] std::uint32_t make_ipv4(int a, int b, int c, int d);
+
+class GuestKernel {
+ public:
+  GuestKernel(Vm& vm, GuestConfig config);
+
+  // Builds the page table and all kernel structures, spawns the initial
+  // process set, loads base modules. Must be called exactly once.
+  void boot();
+
+  [[nodiscard]] Vm& vm() { return *vm_; }
+  [[nodiscard]] const Vm& vm() const { return *vm_; }
+  [[nodiscard]] const GuestConfig& config() const { return config_; }
+  [[nodiscard]] const GuestLayout& layout() const { return layout_; }
+  [[nodiscard]] const SymbolTable& symbols() const { return symbols_; }
+  [[nodiscard]] OsFlavor flavor() const { return config_.flavor; }
+  [[nodiscard]] GuestPageTable& page_table() { return page_table_; }
+  [[nodiscard]] HeapAllocator& heap() { return *heap_; }
+
+  // --- Virtual-memory access (each call retires one guest instruction) ---
+  // Observer for the execution recorder: called for every virtual write
+  // with (va, data, instruction index). See replay/recorder.h.
+  using WriteObserver =
+      std::function<void(Vaddr, std::span<const std::byte>, std::uint64_t)>;
+  void set_write_observer(WriteObserver observer) {
+    write_observer_ = std::move(observer);
+  }
+
+  void write_virt(Vaddr va, std::span<const std::byte> data);
+  void read_virt(Vaddr va, std::span<std::byte> out) const;
+
+  template <typename T>
+  void write_value(Vaddr va, const T& value) {
+    write_virt(va, std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(&value), sizeof(T)));
+  }
+  template <typename T>
+  [[nodiscard]] T read_value(Vaddr va) const {
+    T value;
+    read_virt(va, std::span<std::byte>(reinterpret_cast<std::byte*>(&value),
+                                       sizeof(T)));
+    return value;
+  }
+
+  // --- Process management ------------------------------------------------
+  Pid spawn_process(const std::string& name, std::uint32_t uid);
+  void exit_process(Pid pid);
+  [[nodiscard]] std::vector<ProcessInfo> process_list_ground_truth() const;
+  [[nodiscard]] std::optional<ProcessInfo> find_process(Pid pid) const;
+  [[nodiscard]] std::optional<Pid> find_process_by_name(
+      const std::string& name) const;
+  [[nodiscard]] Vaddr task_va(Pid pid) const;
+
+  // --- Kernel modules ------------------------------------------------------
+  void load_module(const std::string& name, std::uint64_t size);
+  void unload_module(const std::string& name);
+  [[nodiscard]] std::vector<ModuleInfo> module_list_ground_truth() const;
+
+  // --- Sockets / files (forensics data sources) ---------------------------
+  Vaddr open_socket(const SocketInfo& info);
+  void close_socket(Vaddr entry_va);
+  Vaddr open_file(Pid pid, const std::string& path);
+  void close_file(Vaddr entry_va);
+  [[nodiscard]] std::vector<SocketInfo> socket_ground_truth() const;
+  [[nodiscard]] std::vector<FileInfo> file_ground_truth() const;
+
+  // --- Syscall table -------------------------------------------------------
+  [[nodiscard]] Vaddr pristine_syscall_handler(std::size_t index) const;
+  [[nodiscard]] Vaddr syscall_entry(std::size_t index) const;
+
+  // Dispatches a system call through the in-memory table, the way the
+  // guest's syscall entry stub would: reads the (possibly hijacked)
+  // handler pointer and "executes" it. A hijacked handler models a
+  // data-stealing hook: it writes `arg` into the attacker's buffer (the
+  // rogue handler address) before returning -- behaviourally observable
+  // evidence, not just a changed pointer.
+  struct SyscallOutcome {
+    Vaddr handler;
+    bool hijacked = false;
+    std::uint64_t retval = 0;
+  };
+  SyscallOutcome invoke_syscall(std::size_t nr, std::uint64_t arg = 0);
+
+  // --- Interrupt descriptor table ----------------------------------------
+  // Gates use the real x86-64 16-byte encoding (see IdtGateLayout); the
+  // handler VA is split across offset_low/mid/high exactly as hardware
+  // expects, so VMI must genuinely reassemble it.
+  [[nodiscard]] Vaddr pristine_interrupt_handler(std::size_t vector) const;
+  void write_idt_gate(std::size_t vector, Vaddr handler);
+  [[nodiscard]] Vaddr read_idt_gate(std::size_t vector) const;
+
+  // --- Attacks (evidence producers; see threat model in the paper) --------
+  // Unlinks a task from the list (and optionally the pid hash) while its
+  // slab record stays resident: a rootkit-style hidden process.
+  void attack_hide_process(Pid pid, bool scrub_pid_hash = false);
+  // Overwrites a syscall-table slot: classic syscall hijacking.
+  void attack_hijack_syscall(std::size_t index, Vaddr rogue_handler);
+  // Repoints an IDT gate at attacker code (interrupt-hook rootkit, e.g. a
+  // keystroke logger on the keyboard vector).
+  void attack_hook_interrupt(std::size_t vector, Vaddr rogue_handler);
+  // Writes `overrun` bytes past the end of a heap object: buffer overflow.
+  // Returns the guest instruction index of the overflowing write.
+  std::uint64_t attack_heap_overflow(Vaddr obj, std::size_t object_size,
+                                     std::size_t overrun);
+  // Patches bytes inside the kernel text region (inline-hook rootkit).
+  void attack_patch_kernel_text(std::size_t offset,
+                                std::span<const std::byte> patch);
+  // Plants shellcode-looking bytes (NOP sled + syscall stub) at a heap VA:
+  // the evidence the malfind forensics plugin hunts for.
+  void attack_plant_shellcode(Vaddr va);
+
+  // Advance guest time (workloads call this as they burn virtual CPU).
+  void tick(std::uint64_t ns) { guest_time_ns_ += ns; }
+  [[nodiscard]] std::uint64_t guest_time_ns() const { return guest_time_ns_; }
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  struct TaskSlot {
+    bool used = false;
+    ProcessInfo info;
+  };
+  struct ModuleSlot {
+    bool used = false;
+    ModuleInfo info;
+  };
+
+  [[nodiscard]] Vaddr task_slot_va(std::size_t slot) const;
+  [[nodiscard]] Vaddr module_slot_va(std::size_t slot) const;
+  [[nodiscard]] Vaddr socket_slot_va(std::size_t slot) const;
+  [[nodiscard]] Vaddr file_slot_va(std::size_t slot) const;
+
+  void write_task_record(std::size_t slot, const ProcessInfo& info,
+                         Vaddr next, Vaddr prev);
+  void link_task_tail(std::size_t slot);
+  void unlink_task(std::size_t slot);
+  void pid_hash_insert(Pid pid, Vaddr task);
+  void pid_hash_remove(Pid pid);
+  void write_module_record(std::size_t slot, const ModuleInfo& info,
+                           Vaddr next, Vaddr prev);
+  void build_symbols();
+  void install_syscall_table();
+  void install_idt();
+  void spawn_initial_processes();
+
+  Vm* vm_;
+  GuestConfig config_;
+  GuestLayout layout_;
+  GuestPageTable page_table_;
+  SymbolTable symbols_;
+  SymbolNames names_;
+  Rng rng_;
+  std::unique_ptr<HeapAllocator> heap_;
+  bool booted_ = false;
+
+  std::vector<TaskSlot> tasks_;
+  std::vector<ModuleSlot> modules_;
+  std::unordered_map<Pid, std::size_t> slot_of_pid_;
+  std::uint32_t next_pid_ = 1;
+  std::uint64_t guest_time_ns_ = 0;
+
+  std::vector<std::optional<SocketInfo>> sockets_;
+  std::vector<std::optional<FileInfo>> files_;
+  WriteObserver write_observer_;
+};
+
+}  // namespace crimes

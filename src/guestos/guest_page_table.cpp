@@ -1,0 +1,56 @@
+#include "guestos/guest_page_table.h"
+
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace crimes {
+
+void GuestPageTable::install_identity_map() {
+  for (std::uint64_t vpn = 0; vpn < page_count_; ++vpn) {
+    const std::uint64_t flags = (vpn == 0) ? 0 : (kPresent | kWritable);
+    set_entry(vpn, Pfn{vpn}, flags);
+  }
+}
+
+void GuestPageTable::set_entry(std::uint64_t vpn, Pfn pfn,
+                               std::uint64_t flags) {
+  if (vpn >= page_count_) {
+    throw std::out_of_range("GuestPageTable::set_entry: VPN out of range");
+  }
+  const std::uint64_t value = (pfn.value() << kPageShift) | flags;
+  vm_->write_phys_value(entry_paddr(vpn), value);
+}
+
+std::uint64_t GuestPageTable::entry(std::uint64_t vpn) const {
+  if (vpn >= page_count_) {
+    throw std::out_of_range("GuestPageTable::entry: VPN out of range");
+  }
+  return vm_->read_phys_value<std::uint64_t>(entry_paddr(vpn));
+}
+
+std::optional<Paddr> GuestPageTable::translate(Vaddr va) const {
+  return translate_through_frames(*vm_, table_base_, page_count_, va);
+}
+
+std::optional<Paddr> translate_through_frames(const Vm& vm, Pfn table_base,
+                                              std::size_t page_count,
+                                              Vaddr va) {
+  if (va.value() < kVaBase) return std::nullopt;
+  const std::uint64_t vpn = (va.value() - kVaBase) >> kPageShift;
+  if (vpn >= page_count) return std::nullopt;
+
+  // Read the PTE straight from the frame (works on suspended domains).
+  const std::uint64_t pte_byte_off = vpn * sizeof(std::uint64_t);
+  const Pfn pte_page{table_base.value() + pte_byte_off / kPageSize};
+  const std::size_t pte_off = pte_byte_off % kPageSize;
+  const std::uint64_t pte =
+      load_le<std::uint64_t>(vm.page(pte_page).bytes(), pte_off);
+
+  if ((pte & GuestPageTable::kPresent) == 0) return std::nullopt;
+  const Pfn frame{pte >> kPageShift};
+  if (frame.value() >= vm.page_count()) return std::nullopt;
+  return Paddr::from(frame, va.value() & kPageOffsetMask);
+}
+
+}  // namespace crimes

@@ -1,0 +1,58 @@
+// Linear guest page table stored inside guest memory.
+//
+// Entry i maps VA (kVaBase + i*4096) and is a u64 at byte offset i*8 from
+// the page-table base: (pfn << 12) | flags. Translation genuinely reads the
+// entry from guest memory -- the VMI library walks the same bytes, so a
+// corrupted page table breaks introspection the way it would in a real VM.
+#pragma once
+
+#include "common/types.h"
+#include "guestos/kernel_layout.h"
+#include "hypervisor/vm.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace crimes {
+
+class GuestPageTable {
+ public:
+  static constexpr std::uint64_t kPresent = 0x1;
+  static constexpr std::uint64_t kWritable = 0x2;
+
+  GuestPageTable(Vm& vm, Pfn table_base, std::size_t page_count)
+      : vm_(&vm), table_base_(table_base), page_count_(page_count) {}
+
+  // Installs the identity direct map: VA page i -> PFN i, except the null
+  // guard page which stays unmapped. Called once at guest boot.
+  void install_identity_map();
+
+  // Maps/unmaps a single VA page (used by tests to exercise faults).
+  void set_entry(std::uint64_t vpn, Pfn pfn, std::uint64_t flags);
+  [[nodiscard]] std::uint64_t entry(std::uint64_t vpn) const;
+
+  // Translates a guest VA to a guest-physical address, or nullopt on fault
+  // (unmapped page / VA outside the window).
+  [[nodiscard]] std::optional<Paddr> translate(Vaddr va) const;
+
+  [[nodiscard]] Pfn table_base() const { return table_base_; }
+  [[nodiscard]] std::size_t page_count() const { return page_count_; }
+
+ private:
+  [[nodiscard]] Paddr entry_paddr(std::uint64_t vpn) const {
+    return Paddr{(table_base_.value() << kPageShift) +
+                 vpn * sizeof(std::uint64_t)};
+  }
+
+  Vm* vm_;
+  Pfn table_base_;
+  std::size_t page_count_;
+};
+
+// Stateless translation helper for readers that only have frame access (the
+// VMI library maps the guest through ForeignMapping and cannot use
+// Vm::read_phys lifecycle checks; it reads the same table bytes directly).
+[[nodiscard]] std::optional<Paddr> translate_through_frames(
+    const Vm& vm, Pfn table_base, std::size_t page_count, Vaddr va);
+
+}  // namespace crimes

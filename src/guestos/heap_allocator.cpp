@@ -1,0 +1,139 @@
+#include "guestos/heap_allocator.h"
+
+#include "guestos/guest_kernel.h"
+
+#include <new>
+
+namespace crimes {
+
+namespace {
+constexpr std::size_t kAlign = 16;
+
+constexpr std::size_t align_up(std::size_t n) {
+  return (n + kAlign - 1) & ~(kAlign - 1);
+}
+}  // namespace
+
+HeapAllocator::HeapAllocator(GuestKernel& kernel, const GuestLayout& layout,
+                             std::uint64_t canary_key)
+    : kernel_(kernel),
+      layout_(layout),
+      key_(canary_key),
+      heap_cursor_(layout.va_of(layout.heap_base)),
+      heap_end_(layout.va_of(layout.heap_base) +
+                layout.heap_pages * kPageSize) {}
+
+void HeapAllocator::initialize() {
+  const Vaddr table = layout_.va_of(layout_.canary_table);
+  kernel_.write_value<std::uint64_t>(table + CanaryTableLayout::kCountOff, 0);
+  kernel_.write_value<std::uint64_t>(table + CanaryTableLayout::kCapacityOff,
+                                     layout_.canary_slots());
+  kernel_.write_value<std::uint64_t>(table + CanaryTableLayout::kKeyOff, key_);
+}
+
+Vaddr HeapAllocator::table_entry_va(std::size_t index) const {
+  return layout_.va_of(layout_.canary_table) +
+         CanaryTableLayout::kHeaderSize +
+         index * CanaryTableLayout::kEntrySize;
+}
+
+void HeapAllocator::write_table_entry(std::size_t index, const Entry& entry) {
+  const Vaddr base = table_entry_va(index);
+  kernel_.write_value<std::uint64_t>(base + CanaryTableLayout::kEntryAddrOff,
+                                     entry.canary_addr.value());
+  kernel_.write_value<std::uint64_t>(base + CanaryTableLayout::kEntryObjOff,
+                                     entry.obj_addr.value());
+  kernel_.write_value<std::uint64_t>(base + CanaryTableLayout::kEntrySizeOff,
+                                     entry.size);
+}
+
+void HeapAllocator::write_count(std::uint64_t count) {
+  kernel_.write_value<std::uint64_t>(
+      layout_.va_of(layout_.canary_table) + CanaryTableLayout::kCountOff,
+      count);
+}
+
+Vaddr HeapAllocator::malloc(std::size_t size) {
+  if (size == 0) size = 1;
+  const std::size_t needed = align_up(size + kCanaryBytes);
+
+  if (entries_.size() >= layout_.canary_slots()) {
+    ++stats_.failed_allocs;
+    throw std::bad_alloc{};
+  }
+
+  // Best-effort first-fit over freed blocks, else bump the cursor.
+  Vaddr obj{0};
+  for (std::size_t i = 0; i < free_blocks_.size(); ++i) {
+    if (free_blocks_[i].second >= needed) {
+      obj = free_blocks_[i].first;
+      free_blocks_[i] = free_blocks_.back();
+      free_blocks_.pop_back();
+      break;
+    }
+  }
+  if (obj.is_null()) {
+    if (heap_cursor_.value() + needed > heap_end_.value()) {
+      ++stats_.failed_allocs;
+      throw std::bad_alloc{};
+    }
+    obj = heap_cursor_;
+    heap_cursor_ += needed;
+  }
+
+  const Vaddr canary_addr = obj + size;
+  kernel_.write_value<std::uint64_t>(canary_addr,
+                                     expected_canary(canary_addr));
+
+  const Entry entry{.canary_addr = canary_addr, .obj_addr = obj,
+                    .size = size};
+  write_table_entry(entries_.size(), entry);
+  index_of_obj_[obj.value()] = entries_.size();
+  entries_.push_back(entry);
+  write_count(entries_.size());
+
+  ++stats_.total_allocs;
+  ++stats_.live_objects;
+  stats_.live_bytes += size;
+  return obj;
+}
+
+bool HeapAllocator::free(Vaddr obj) {
+  auto it = index_of_obj_.find(obj.value());
+  if (it == index_of_obj_.end()) {
+    throw std::out_of_range("HeapAllocator::free: not an allocated object");
+  }
+  const std::size_t index = it->second;
+  const Entry entry = entries_[index];
+
+  const auto actual = kernel_.read_value<std::uint64_t>(entry.canary_addr);
+  const bool intact = actual == expected_canary(entry.canary_addr);
+
+  // Remove by swapping the last entry into the hole (both in guest memory
+  // and in the mirror), then shrink the count.
+  const std::size_t last = entries_.size() - 1;
+  if (index != last) {
+    entries_[index] = entries_[last];
+    index_of_obj_[entries_[index].obj_addr.value()] = index;
+    write_table_entry(index, entries_[index]);
+  }
+  entries_.pop_back();
+  index_of_obj_.erase(it);
+  write_count(entries_.size());
+
+  free_blocks_.emplace_back(entry.obj_addr,
+                            align_up(entry.size + kCanaryBytes));
+  ++stats_.total_frees;
+  --stats_.live_objects;
+  stats_.live_bytes -= entry.size;
+  return intact;
+}
+
+std::unordered_map<std::uint64_t, Vaddr> HeapAllocator::live_objects() const {
+  std::unordered_map<std::uint64_t, Vaddr> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.emplace(e.obj_addr.value(), e.canary_addr);
+  return out;
+}
+
+}  // namespace crimes

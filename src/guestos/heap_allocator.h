@@ -1,0 +1,81 @@
+// Guest-side canary-placing heap allocator (the paper's "simple malloc
+// wrapper inside the VM", section 4.2).
+//
+// Every allocation is followed by an 8-byte canary whose value is derived
+// from a per-boot secret key: canary = key ^ canary_address. The key and a
+// lookup table of live canaries live in guest memory at a known symbol so
+// the hypervisor-side CanaryScanModule can (a) find canary addresses that
+// landed on dirtied pages and (b) recompute the expected values without any
+// hypercall into the guest.
+#pragma once
+
+#include "common/types.h"
+#include "guestos/kernel_layout.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace crimes {
+
+class GuestKernel;
+
+struct HeapStats {
+  std::size_t live_objects = 0;
+  std::size_t total_allocs = 0;
+  std::size_t total_frees = 0;
+  std::size_t failed_allocs = 0;
+  std::uint64_t live_bytes = 0;
+};
+
+class HeapAllocator {
+ public:
+  HeapAllocator(GuestKernel& kernel, const GuestLayout& layout,
+                std::uint64_t canary_key);
+
+  // Writes the canary-table header into guest memory. Call once at boot.
+  void initialize();
+
+  // Allocates `size` bytes; places and registers the trailing canary.
+  // Returns the object VA. Throws std::bad_alloc when the heap or the
+  // canary table is exhausted.
+  [[nodiscard]] Vaddr malloc(std::size_t size);
+
+  // Validates the canary (returning false on corruption, like a hardened
+  // allocator's abort path would) and releases the object.
+  bool free(Vaddr obj);
+
+  [[nodiscard]] std::uint64_t canary_key() const { return key_; }
+  [[nodiscard]] std::uint64_t expected_canary(Vaddr canary_addr) const {
+    return key_ ^ canary_addr.value();
+  }
+
+  [[nodiscard]] const HeapStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t table_count() const { return entries_.size(); }
+
+  // Ground truth for tests: live (object VA -> canary VA).
+  [[nodiscard]] std::unordered_map<std::uint64_t, Vaddr> live_objects() const;
+
+ private:
+  struct Entry {
+    Vaddr canary_addr;
+    Vaddr obj_addr;
+    std::uint64_t size;
+  };
+
+  void write_table_entry(std::size_t index, const Entry& entry);
+  void write_count(std::uint64_t count);
+  [[nodiscard]] Vaddr table_entry_va(std::size_t index) const;
+
+  GuestKernel& kernel_;
+  GuestLayout layout_;
+  std::uint64_t key_;
+  Vaddr heap_cursor_;
+  Vaddr heap_end_;
+  std::vector<Entry> entries_;  // mirrors the in-guest table, index-aligned
+  std::unordered_map<std::uint64_t, std::size_t> index_of_obj_;
+  std::vector<std::pair<Vaddr, std::size_t>> free_blocks_;  // addr, usable size
+  HeapStats stats_;
+};
+
+}  // namespace crimes

@@ -1,0 +1,90 @@
+#include "guestos/kernel_layout.h"
+
+#include <stdexcept>
+
+namespace crimes {
+
+const char* to_string(OsFlavor flavor) {
+  switch (flavor) {
+    case OsFlavor::Linux: return "Linux";
+    case OsFlavor::Windows: return "Windows";
+  }
+  return "?";
+}
+
+GuestLayout GuestLayout::compute(const GuestConfig& config) {
+  GuestLayout layout;
+  layout.page_count = config.page_count;
+
+  std::size_t next = 0;
+  const auto take = [&next](std::size_t pages) {
+    const Pfn base{next};
+    next += pages;
+    return base;
+  };
+
+  layout.null_guard = take(1);
+  layout.page_table_pages =
+      (config.page_count * sizeof(std::uint64_t) + kPageSize - 1) / kPageSize;
+  layout.page_table_base = take(layout.page_table_pages);
+  layout.syscall_table = take(1);
+  layout.pid_hash = take(1);
+  layout.idt = take(1);
+  layout.task_slab = take(config.task_slab_pages);
+  layout.task_slab_pages = config.task_slab_pages;
+  layout.module_slab = take(config.module_slab_pages);
+  layout.module_slab_pages = config.module_slab_pages;
+  layout.socket_table = take(config.socket_table_pages);
+  layout.socket_table_pages = config.socket_table_pages;
+  layout.file_table = take(config.file_table_pages);
+  layout.file_table_pages = config.file_table_pages;
+  layout.canary_table = take(config.canary_table_pages);
+  layout.canary_table_pages = config.canary_table_pages;
+  layout.kernel_text_pages = 64;  // 256 KiB of "kernel text"
+  layout.kernel_text = take(layout.kernel_text_pages);
+
+  if (next >= config.page_count) {
+    throw std::invalid_argument(
+        "GuestLayout: guest too small for configured kernel regions");
+  }
+  layout.heap_base = Pfn{next};
+  layout.heap_pages = config.page_count - next;
+  return layout;
+}
+
+Vaddr SymbolTable::lookup(const std::string& name) const {
+  auto it = symbols_.find(name);
+  if (it == symbols_.end()) {
+    throw std::out_of_range("SymbolTable: unknown symbol " + name);
+  }
+  return it->second;
+}
+
+SymbolNames SymbolNames::for_flavor(OsFlavor flavor) {
+  if (flavor == OsFlavor::Windows) {
+    return SymbolNames{
+        .task_list_head = "PsActiveProcessHead",
+        .syscall_table = "KeServiceDescriptorTable",
+        .module_list_head = "PsLoadedModuleList",
+        .pid_hash = "PspCidTable",
+        .idt = "KiIdt",
+        .socket_table = "TcpPortPool",
+        .file_table = "ObpHandleTable",
+        .canary_table = "__crimes_canary_table",
+        .kernel_text = "ntoskrnl_text",
+    };
+  }
+  return SymbolNames{
+      .task_list_head = "init_task",
+      .syscall_table = "sys_call_table",
+      .module_list_head = "modules",
+      .pid_hash = "pid_hash",
+      .idt = "idt_table",
+      .socket_table = "tcp_hashinfo",
+      .file_table = "files_table",
+      .canary_table = "__crimes_canary_table",
+      .kernel_text = "_stext",
+  };
+}
+
+}  // namespace crimes

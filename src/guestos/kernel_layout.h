@@ -1,0 +1,223 @@
+// Guest kernel memory layout: struct offsets, region map and symbol table.
+//
+// The guest kernel's objects (task list, syscall table, module list, pid
+// hash, socket/file tables, heap canary table) live as raw little-endian
+// bytes inside guest pages. Both the guest OS (writer) and the VMI library
+// (reader) compile against the offsets defined here -- the moral equivalent
+// of a Linux System.map plus the struct layouts a VMI profile provides.
+//
+// The guest uses a single flat address space mapped by a linear page table
+// (see guest_page_table.h): VA = kVaBase + guest-physical offset, but every
+// translation really walks the in-memory table. This "unikernel-style"
+// simplification (documented in DESIGN.md) does not weaken the VMI story:
+// evidence still has to be found by parsing raw guest bytes at symbol
+// addresses.
+#pragma once
+
+#include "common/types.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace crimes {
+
+// Base of the guest virtual window. Chosen to look like a kernel direct map.
+inline constexpr std::uint64_t kVaBase = 0xFFFF880000000000ULL;
+
+// Guest OS flavor. Affects symbol naming and forensics plugin labels only;
+// the layouts are shared (the paper's Windows case study relies on the same
+// cross-view process analysis).
+enum class OsFlavor { Linux, Windows };
+
+[[nodiscard]] const char* to_string(OsFlavor flavor);
+
+// --- struct task_struct (paper: kernel task list / process descriptors) ---
+struct TaskLayout {
+  static constexpr std::uint32_t kMagic = 0x5441534B;  // "TASK"
+  static constexpr std::size_t kMagicOff = 0x00;       // u32
+  static constexpr std::size_t kPidOff = 0x04;         // u32
+  static constexpr std::size_t kUidOff = 0x08;         // u32
+  static constexpr std::size_t kStateOff = 0x0C;       // u32
+  static constexpr std::size_t kCommOff = 0x10;        // char[16]
+  static constexpr std::size_t kNextOff = 0x20;        // u64 VA
+  static constexpr std::size_t kPrevOff = 0x28;        // u64 VA
+  static constexpr std::size_t kMmOff = 0x30;          // u64 VA (0 = kthread)
+  static constexpr std::size_t kStartTimeOff = 0x38;   // u64 ns
+  static constexpr std::size_t kFilesOff = 0x40;       // u64 VA
+  static constexpr std::size_t kSocketsOff = 0x48;     // u64 VA
+  static constexpr std::size_t kSize = 0x60;
+  static constexpr std::size_t kCommLen = 16;
+};
+
+// --- struct module -------------------------------------------------------
+struct ModuleLayout {
+  static constexpr std::uint32_t kMagic = 0x4D4F4455;  // "MODU"
+  static constexpr std::size_t kMagicOff = 0x00;       // u32
+  static constexpr std::size_t kNameOff = 0x08;        // char[24]
+  static constexpr std::size_t kNextOff = 0x20;        // u64 VA
+  static constexpr std::size_t kPrevOff = 0x28;        // u64 VA
+  static constexpr std::size_t kSizeOff = 0x30;        // u64 bytes
+  static constexpr std::size_t kInitOff = 0x38;        // u64 VA
+  static constexpr std::size_t kSize = 0x40;
+  static constexpr std::size_t kNameLen = 24;
+};
+
+// --- socket table entry (global, netscan's data source) ------------------
+struct SocketLayout {
+  static constexpr std::uint32_t kMagic = 0x534F434B;  // "SOCK"
+  static constexpr std::size_t kMagicOff = 0x00;       // u32
+  static constexpr std::size_t kPidOff = 0x04;         // u32
+  static constexpr std::size_t kProtoOff = 0x08;       // u32 (6 TCP, 17 UDP)
+  static constexpr std::size_t kStateOff = 0x0C;       // u32 (TCP state enum)
+  static constexpr std::size_t kLocalIpOff = 0x10;     // u32
+  static constexpr std::size_t kLocalPortOff = 0x14;   // u16
+  static constexpr std::size_t kRemoteIpOff = 0x18;    // u32
+  static constexpr std::size_t kRemotePortOff = 0x1C;  // u16
+  static constexpr std::size_t kSize = 0x20;
+};
+
+// --- file handle table entry (handles plugin's data source) --------------
+struct FileHandleLayout {
+  static constexpr std::uint32_t kMagic = 0x46494C45;  // "FILE"
+  static constexpr std::size_t kMagicOff = 0x00;       // u32
+  static constexpr std::size_t kPidOff = 0x04;         // u32
+  static constexpr std::size_t kPathOff = 0x08;        // char[88]
+  static constexpr std::size_t kSize = 0x60;
+  static constexpr std::size_t kPathLen = 88;
+};
+
+// --- guest-aided canary table (section 4.2, malloc wrapper) --------------
+// Header: u64 count, u64 capacity, u64 key. Entries follow immediately.
+struct CanaryTableLayout {
+  static constexpr std::size_t kCountOff = 0x00;     // u64
+  static constexpr std::size_t kCapacityOff = 0x08;  // u64
+  static constexpr std::size_t kKeyOff = 0x10;       // u64 per-boot secret
+  static constexpr std::size_t kHeaderSize = 0x18;
+  // Entry: u64 canary VA, u64 object VA, u64 object size.
+  static constexpr std::size_t kEntryAddrOff = 0x00;
+  static constexpr std::size_t kEntryObjOff = 0x08;
+  static constexpr std::size_t kEntrySizeOff = 0x10;
+  static constexpr std::size_t kEntrySize = 0x18;
+};
+
+inline constexpr std::size_t kCanaryBytes = 8;
+inline constexpr std::size_t kSyscallCount = 256;
+inline constexpr std::size_t kPidHashBuckets = 512;  // u64 VA slots (one page)
+inline constexpr std::size_t kIdtVectors = 256;
+
+// --- interrupt descriptor table gate (real x86-64 encoding) --------------
+// 16 bytes per gate: offset_low u16 | selector u16 | ist u8 | type_attr u8
+//                    | offset_mid u16 | offset_high u32 | reserved u32
+struct IdtGateLayout {
+  static constexpr std::size_t kOffsetLowOff = 0x0;   // u16
+  static constexpr std::size_t kSelectorOff = 0x2;    // u16
+  static constexpr std::size_t kIstOff = 0x4;         // u8
+  static constexpr std::size_t kTypeAttrOff = 0x5;    // u8
+  static constexpr std::size_t kOffsetMidOff = 0x6;   // u16
+  static constexpr std::size_t kOffsetHighOff = 0x8;  // u32
+  static constexpr std::size_t kSize = 16;
+
+  static constexpr std::uint16_t kKernelCs = 0x10;
+  static constexpr std::uint8_t kInterruptGatePresent = 0x8E;
+};
+
+// Sizing knobs for the guest image.
+struct GuestConfig {
+  OsFlavor flavor = OsFlavor::Linux;
+  std::size_t page_count = 8192;        // 32 MiB guest by default
+  std::size_t task_slab_pages = 16;     // ~680 task slots
+  std::size_t module_slab_pages = 4;
+  std::size_t socket_table_pages = 4;
+  std::size_t file_table_pages = 4;
+  std::size_t canary_table_pages = 32;  // ~5400 canary slots
+  std::uint64_t boot_seed = 0x5EED;     // canary key + layout randomness
+};
+
+// Region map, derived from GuestConfig. All values are guest-physical page
+// numbers; regions are contiguous.
+struct GuestLayout {
+  std::size_t page_count = 0;
+  Pfn null_guard{0};        // pfn 0, never mapped
+  Pfn page_table_base{0};   // linear PT
+  std::size_t page_table_pages = 0;
+  Pfn syscall_table{0};     // one page: 256 * u64
+  Pfn pid_hash{0};          // one page: 512 * u64
+  Pfn idt{0};               // one page: 256 gates * 16 bytes
+  Pfn task_slab{0};
+  std::size_t task_slab_pages = 0;
+  Pfn module_slab{0};
+  std::size_t module_slab_pages = 0;
+  Pfn socket_table{0};
+  std::size_t socket_table_pages = 0;
+  Pfn file_table{0};
+  std::size_t file_table_pages = 0;
+  Pfn canary_table{0};
+  std::size_t canary_table_pages = 0;
+  Pfn kernel_text{0};       // dummy text region (syscall handlers point here)
+  std::size_t kernel_text_pages = 0;
+  Pfn heap_base{0};         // user heap: everything that remains
+  std::size_t heap_pages = 0;
+
+  [[nodiscard]] static GuestLayout compute(const GuestConfig& config);
+
+  // VA of the first byte of a region (identity direct map).
+  [[nodiscard]] Vaddr va_of(Pfn pfn) const {
+    return Vaddr{kVaBase + (pfn.value() << kPageShift)};
+  }
+
+  [[nodiscard]] std::size_t task_slots() const {
+    return task_slab_pages * (kPageSize / TaskLayout::kSize);
+  }
+  [[nodiscard]] std::size_t module_slots() const {
+    return module_slab_pages * (kPageSize / ModuleLayout::kSize);
+  }
+  [[nodiscard]] std::size_t socket_slots() const {
+    return socket_table_pages * (kPageSize / SocketLayout::kSize);
+  }
+  [[nodiscard]] std::size_t file_slots() const {
+    return file_table_pages * (kPageSize / FileHandleLayout::kSize);
+  }
+  [[nodiscard]] std::size_t canary_slots() const {
+    return (canary_table_pages * kPageSize - CanaryTableLayout::kHeaderSize) /
+           CanaryTableLayout::kEntrySize;
+  }
+};
+
+// System.map equivalent: symbol name -> guest VA. Built at guest boot and
+// handed to the VMI library out of band (exactly how LibVMI consumes a
+// System.map / Rekall profile).
+class SymbolTable {
+ public:
+  void add(const std::string& name, Vaddr va) { symbols_[name] = va; }
+
+  [[nodiscard]] Vaddr lookup(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return symbols_.contains(name);
+  }
+  [[nodiscard]] std::size_t size() const { return symbols_.size(); }
+  [[nodiscard]] const std::map<std::string, Vaddr>& all() const {
+    return symbols_;
+  }
+
+ private:
+  std::map<std::string, Vaddr> symbols_;
+};
+
+// Flavor-specific symbol names (e.g. Linux "init_task" vs Windows
+// "PsActiveProcessHead").
+struct SymbolNames {
+  std::string task_list_head;
+  std::string syscall_table;
+  std::string module_list_head;
+  std::string pid_hash;
+  std::string idt;
+  std::string socket_table;
+  std::string file_table;
+  std::string canary_table;
+  std::string kernel_text;
+
+  [[nodiscard]] static SymbolNames for_flavor(OsFlavor flavor);
+};
+
+}  // namespace crimes

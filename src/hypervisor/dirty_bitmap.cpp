@@ -1,0 +1,62 @@
+#include "hypervisor/dirty_bitmap.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace crimes {
+
+DirtyBitmap::DirtyBitmap(std::size_t page_count)
+    : page_count_(page_count),
+      words_((page_count + kBitsPerWord - 1) / kBitsPerWord, 0) {}
+
+void DirtyBitmap::mark(Pfn pfn) {
+  if (pfn.value() >= page_count_) {
+    throw std::out_of_range("DirtyBitmap::mark: PFN out of range");
+  }
+  std::uint64_t& word = words_[pfn.value() / kBitsPerWord];
+  const std::uint64_t bit = std::uint64_t{1} << (pfn.value() % kBitsPerWord);
+  if ((word & bit) == 0) {
+    word |= bit;
+    ++dirty_count_;
+  }
+}
+
+bool DirtyBitmap::test(Pfn pfn) const {
+  if (pfn.value() >= page_count_) {
+    throw std::out_of_range("DirtyBitmap::test: PFN out of range");
+  }
+  const std::uint64_t word = words_[pfn.value() / kBitsPerWord];
+  return (word >> (pfn.value() % kBitsPerWord)) & 1;
+}
+
+void DirtyBitmap::clear_all() {
+  for (auto& w : words_) w = 0;
+  dirty_count_ = 0;
+}
+
+std::vector<Pfn> DirtyBitmap::scan_naive() const {
+  std::vector<Pfn> dirty;
+  dirty.reserve(dirty_count_);
+  for (std::size_t i = 0; i < page_count_; ++i) {
+    const std::uint64_t word = words_[i / kBitsPerWord];
+    if ((word >> (i % kBitsPerWord)) & 1) dirty.push_back(Pfn{i});
+  }
+  return dirty;
+}
+
+std::vector<Pfn> DirtyBitmap::scan_chunked() const {
+  std::vector<Pfn> dirty;
+  dirty.reserve(dirty_count_);
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t word = words_[wi];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      const std::size_t pfn = wi * kBitsPerWord + static_cast<std::size_t>(bit);
+      if (pfn < page_count_) dirty.push_back(Pfn{pfn});
+      word &= word - 1;  // clear lowest set bit
+    }
+  }
+  return dirty;
+}
+
+}  // namespace crimes

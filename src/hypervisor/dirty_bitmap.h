@@ -1,0 +1,49 @@
+// Log-dirty bitmap, one bit per guest pseudo-physical page.
+//
+// This is the data structure behind the paper's Optimization 3: Remus scans
+// the bitmap bit by bit, CRIMES scans it a machine word at a time and only
+// decomposes nonzero words. Both algorithms are implemented for real (and
+// raced against each other in bench/fig6b_bitmap_scan); the checkpointer
+// additionally charges virtual time for whichever it used.
+#pragma once
+
+#include "common/types.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crimes {
+
+class DirtyBitmap {
+ public:
+  static constexpr std::size_t kBitsPerWord = 64;
+
+  explicit DirtyBitmap(std::size_t page_count);
+
+  void mark(Pfn pfn);
+  [[nodiscard]] bool test(Pfn pfn) const;
+  void clear_all();
+
+  [[nodiscard]] std::size_t page_count() const { return page_count_; }
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+  [[nodiscard]] std::size_t dirty_count() const { return dirty_count_; }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+  [[nodiscard]] std::vector<std::uint64_t>& mutable_words() { return words_; }
+
+  // Remus-style scan: test every bit individually.
+  [[nodiscard]] std::vector<Pfn> scan_naive() const;
+
+  // CRIMES-style scan: skip zero words, decompose nonzero ones with ctz.
+  [[nodiscard]] std::vector<Pfn> scan_chunked() const;
+
+ private:
+  std::size_t page_count_;
+  std::size_t dirty_count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace crimes

@@ -1,0 +1,23 @@
+#include "hypervisor/events.h"
+
+namespace crimes {
+
+bool MemoryEventMonitor::deliver(const MemEvent& event) {
+  if (!watches(event.pfn)) return false;
+  if (ring_.size() >= kRingCapacity) {
+    ++dropped_;
+    return false;
+  }
+  ring_.push_back(event);
+  ++delivered_;
+  return true;
+}
+
+std::optional<MemEvent> MemoryEventMonitor::poll() {
+  if (ring_.empty()) return std::nullopt;
+  MemEvent ev = ring_.front();
+  ring_.pop_front();
+  return ev;
+}
+
+}  // namespace crimes

@@ -1,0 +1,73 @@
+// Memory-event monitoring: the simulator's equivalent of Xen's mem_access
+// event channels consumed through LibVMI's VMI_EVENT_MEMORY interface.
+//
+// A monitor watches a set of guest pages; once *enabled*, every read/write/
+// execute touching a watched page appends an event to a bounded ring buffer
+// and the offending vCPU is held until the consumer responds. The paper
+// stresses that this is expensive, so CRIMES only enables it during replay
+// (section 4.2); the Checkpointer asserts it stays disabled in the normal
+// epoch loop.
+#pragma once
+
+#include "common/types.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_set>
+
+namespace crimes {
+
+enum class MemAccess : std::uint8_t { Read, Write, Execute };
+
+struct MemEvent {
+  Pfn pfn;                    // page the access hit
+  std::uint64_t offset;       // byte offset within the page
+  std::uint64_t length;       // access width in bytes
+  MemAccess type;
+  std::uint64_t instr_index;  // vCPU instruction counter at the access
+  Vaddr vaddr;                // guest-virtual address, if known (else 0)
+};
+
+class MemoryEventMonitor {
+ public:
+  // Ring capacity mirrors Xen's one-page event ring.
+  static constexpr std::size_t kRingCapacity = 64;
+
+  void watch_page(Pfn pfn) { watched_.insert(pfn); }
+  void unwatch_page(Pfn pfn) { watched_.erase(pfn); }
+  void clear_watches() { watched_.clear(); }
+
+  void enable() { enabled_ = true; }
+  void disable() {
+    enabled_ = false;
+    ring_.clear();
+    dropped_ = 0;
+  }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] bool watches(Pfn pfn) const {
+    return enabled_ && watched_.contains(pfn);
+  }
+
+  // Called by the VM's access path. Returns true if the event was queued
+  // (meaning the access trapped).
+  bool deliver(const MemEvent& event);
+
+  // Consumer side (LibVMI-style): pop the next pending event.
+  [[nodiscard]] std::optional<MemEvent> poll();
+
+  [[nodiscard]] std::size_t pending() const { return ring_.size(); }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t delivered() const { return delivered_; }
+
+ private:
+  bool enabled_ = false;
+  std::unordered_set<Pfn> watched_;
+  std::deque<MemEvent> ring_;
+  std::size_t dropped_ = 0;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace crimes

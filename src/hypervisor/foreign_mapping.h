@@ -1,0 +1,42 @@
+// RAII view of another domain's frames from a dom0 process, the simulator's
+// xenforeignmemory_map(). Grants raw page access that bypasses the guest's
+// lifecycle checks (dom0 tools read/write suspended domains all the time).
+//
+// Cost accounting note: *creating* mappings is what the paper's
+// Optimization 2 eliminates per epoch; the Checkpointer charges
+// CostModel::map_per_page or premap_* depending on configuration. This
+// class is only the mechanism.
+#pragma once
+
+#include "hypervisor/vm.h"
+
+namespace crimes {
+
+class ForeignMapping {
+ public:
+  explicit ForeignMapping(Vm& domain) : domain_(&domain) {}
+
+  [[nodiscard]] DomainId domain_id() const { return domain_->id(); }
+  [[nodiscard]] std::size_t page_count() const {
+    return domain_->page_count();
+  }
+
+  // Direct frame access (read/write), regardless of the domain's state.
+  // Mutable access materializes lazily-allocated frames; peek() never does.
+  [[nodiscard]] Page& page(Pfn pfn) { return domain_->page(pfn); }
+  [[nodiscard]] const Page& page(Pfn pfn) const { return domain_->page(pfn); }
+  [[nodiscard]] const Page& peek(Pfn pfn) const {
+    return static_cast<const Vm*>(domain_)->page(pfn);
+  }
+  [[nodiscard]] bool is_backed(Pfn pfn) const {
+    return domain_->is_backed(pfn);
+  }
+
+  [[nodiscard]] Vm& domain() { return *domain_; }
+  [[nodiscard]] const Vm& domain() const { return *domain_; }
+
+ private:
+  Vm* domain_;
+};
+
+}  // namespace crimes

@@ -1,0 +1,48 @@
+#include "hypervisor/hypervisor.h"
+
+#include <stdexcept>
+
+namespace crimes {
+
+Hypervisor::Hypervisor(std::size_t machine_frames)
+    : machine_(machine_frames) {}
+
+Vm& Hypervisor::create_domain(const std::string& name,
+                              std::size_t page_count) {
+  const DomainId id{next_domid_++};
+  auto vm = std::make_unique<Vm>(id, name, page_count, machine_);
+  Vm& ref = *vm;
+  domains_.emplace(id.value(), std::move(vm));
+  return ref;
+}
+
+void Hypervisor::destroy_domain(DomainId id) {
+  auto it = domains_.find(id.value());
+  if (it == domains_.end()) {
+    throw std::out_of_range("Hypervisor::destroy_domain: no such domain");
+  }
+  it->second->destroy();
+  domains_.erase(it);
+}
+
+Vm& Hypervisor::domain(DomainId id) {
+  auto it = domains_.find(id.value());
+  if (it == domains_.end()) {
+    throw std::out_of_range("Hypervisor::domain: no such domain");
+  }
+  return *it->second;
+}
+
+const Vm& Hypervisor::domain(DomainId id) const {
+  auto it = domains_.find(id.value());
+  if (it == domains_.end()) {
+    throw std::out_of_range("Hypervisor::domain: no such domain");
+  }
+  return *it->second;
+}
+
+bool Hypervisor::has_domain(DomainId id) const {
+  return domains_.contains(id.value());
+}
+
+}  // namespace crimes

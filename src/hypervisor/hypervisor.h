@@ -1,0 +1,52 @@
+// The hypervisor: machine memory plus a registry of domains, exposing the
+// domctl-style operations CRIMES needs (create/destroy domains, foreign
+// mappings, log-dirty control).
+#pragma once
+
+#include "hypervisor/foreign_mapping.h"
+#include "hypervisor/vm.h"
+#include "machine/machine_memory.h"
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace crimes {
+
+class Hypervisor {
+ public:
+  // `machine_frames` caps host RAM; defaults to 1 GiB worth of frames,
+  // enough for a primary VM plus its backup image (the paper notes CRIMES
+  // "doubles the VM's memory cost").
+  explicit Hypervisor(std::size_t machine_frames = 262144);
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  // Creates a domain with `page_count` pseudo-physical pages.
+  Vm& create_domain(const std::string& name, std::size_t page_count);
+
+  void destroy_domain(DomainId id);
+
+  [[nodiscard]] Vm& domain(DomainId id);
+  [[nodiscard]] const Vm& domain(DomainId id) const;
+  [[nodiscard]] bool has_domain(DomainId id) const;
+  [[nodiscard]] std::size_t domain_count() const { return domains_.size(); }
+
+  // xenforeignmemory_map() equivalent: map a domain's frames into a dom0
+  // tool's address space.
+  [[nodiscard]] ForeignMapping map_foreign(DomainId id) {
+    return ForeignMapping{domain(id)};
+  }
+
+  [[nodiscard]] MachineMemory& machine() { return machine_; }
+  [[nodiscard]] const MachineMemory& machine() const { return machine_; }
+
+ private:
+  MachineMemory machine_;
+  std::map<std::uint32_t, std::unique_ptr<Vm>> domains_;
+  std::uint32_t next_domid_ = 1;  // 0 is dom0
+};
+
+}  // namespace crimes

@@ -1,0 +1,134 @@
+// A virtual machine as the hypervisor sees it: a pseudo-physical address
+// space backed by machine frames, a vCPU register file, a lifecycle state
+// machine, a log-dirty bitmap and a memory-event monitor.
+//
+// Lifecycle mirrors the states the paper's epoch loop moves through:
+//
+//   Running --suspend()--> Suspended --resume()--> Running     (each epoch)
+//   any     --pause()----> Paused                               (audit fail)
+//   Paused  --unpause()--> Running                              (replay)
+//
+// Suspended is the transient quiesced state during checkpoint+audit; Paused
+// is the indefinite security hold after a detection.
+#pragma once
+
+#include "common/types.h"
+#include "hypervisor/dirty_bitmap.h"
+#include "hypervisor/events.h"
+#include "machine/machine_memory.h"
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crimes {
+
+enum class VmState { Running, Suspended, Paused, Destroyed };
+
+[[nodiscard]] const char* to_string(VmState state);
+
+// General-purpose register file; enough structure for checkpoint fidelity
+// tests and for forensics to report "where the vCPU was".
+struct VcpuState {
+  std::array<std::uint64_t, 16> gpr{};
+  std::uint64_t rip = 0;
+  std::uint64_t cr3 = 0;          // guest page-table root (guest-physical)
+  std::uint64_t instr_retired = 0;
+
+  friend bool operator==(const VcpuState&, const VcpuState&) = default;
+};
+
+class Vm {
+ public:
+  Vm(DomainId id, std::string name, std::size_t page_count,
+     MachineMemory& machine);
+  ~Vm();
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  [[nodiscard]] DomainId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t page_count() const { return pfn_to_mfn_.size(); }
+  [[nodiscard]] VmState state() const { return state_; }
+
+  // --- Lifecycle -------------------------------------------------------
+  void suspend();
+  void resume();
+  void pause();
+  void unpause();
+  void destroy();
+
+  // --- Address space ---------------------------------------------------
+  // Frames are allocated lazily: a PFN is backed by the shared zero page
+  // until its first write. mfn_of() returns Mfn::invalid() for
+  // never-written pages.
+  [[nodiscard]] Mfn mfn_of(Pfn pfn) const;
+  [[nodiscard]] bool is_backed(Pfn pfn) const;
+  [[nodiscard]] const std::vector<Mfn>& p2m() const { return pfn_to_mfn_; }
+
+  // Mutable access materializes the frame; const access never does.
+  [[nodiscard]] Page& page(Pfn pfn);
+  [[nodiscard]] const Page& page(Pfn pfn) const;
+
+  // Guest-physical accessors used by the guest OS and devices. Writes mark
+  // the dirty bitmap (when log-dirty is on) and may trap to the memory-
+  // event monitor. `vaddr_hint` lets the guest report the virtual address
+  // for forensics; Paddr-only writers pass the default.
+  void write_phys(Paddr addr, std::span<const std::byte> data,
+                  Vaddr vaddr_hint = Vaddr{0});
+  void read_phys(Paddr addr, std::span<std::byte> out) const;
+
+  template <typename T>
+  void write_phys_value(Paddr addr, const T& value, Vaddr hint = Vaddr{0}) {
+    write_phys(addr,
+               std::span<const std::byte>(
+                   reinterpret_cast<const std::byte*>(&value), sizeof(T)),
+               hint);
+  }
+  template <typename T>
+  [[nodiscard]] T read_phys_value(Paddr addr) const {
+    T value;
+    read_phys(addr, std::span<std::byte>(reinterpret_cast<std::byte*>(&value),
+                                         sizeof(T)));
+    return value;
+  }
+
+  // --- Log-dirty tracking (XEN_DOMCTL_SHADOW_OP equivalents) -----------
+  void enable_log_dirty();
+  void disable_log_dirty();
+  [[nodiscard]] bool log_dirty_enabled() const { return log_dirty_; }
+  [[nodiscard]] DirtyBitmap& dirty_bitmap() { return dirty_; }
+  [[nodiscard]] const DirtyBitmap& dirty_bitmap() const { return dirty_; }
+
+  // --- vCPU ------------------------------------------------------------
+  [[nodiscard]] VcpuState& vcpu() { return vcpu_; }
+  [[nodiscard]] const VcpuState& vcpu() const { return vcpu_; }
+  void retire_instructions(std::uint64_t n) { vcpu_.instr_retired += n; }
+
+  // --- Memory events ----------------------------------------------------
+  [[nodiscard]] MemoryEventMonitor& monitor() { return monitor_; }
+  [[nodiscard]] const MemoryEventMonitor& monitor() const { return monitor_; }
+
+  // Total bytes of guest-physical writes since creation (telemetry).
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void require_state(VmState expected, const char* op) const;
+  void check_writable(const char* op) const;
+
+  DomainId id_;
+  std::string name_;
+  MachineMemory& machine_;
+  std::vector<Mfn> pfn_to_mfn_;
+  VmState state_ = VmState::Running;
+  bool log_dirty_ = false;
+  DirtyBitmap dirty_;
+  VcpuState vcpu_;
+  MemoryEventMonitor monitor_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace crimes

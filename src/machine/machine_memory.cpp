@@ -1,0 +1,66 @@
+#include "machine/machine_memory.h"
+
+#include <new>
+#include <stdexcept>
+
+namespace crimes {
+
+MachineMemory::MachineMemory(std::size_t capacity_frames)
+    : capacity_(capacity_frames) {}
+
+Mfn MachineMemory::allocate_frame() {
+  if (live_frames_ >= capacity_) throw std::bad_alloc{};
+  ++live_frames_;
+  if (!free_list_.empty()) {
+    const Mfn mfn = free_list_.back();
+    free_list_.pop_back();
+    frame(mfn).zero();
+    return mfn;
+  }
+  const Mfn mfn{next_unused_++};
+  const std::size_t chunk = mfn.value() / kChunkFrames;
+  while (chunks_.size() <= chunk) {
+    chunks_.push_back(std::make_unique<std::array<Page, kChunkFrames>>());
+  }
+  return mfn;
+}
+
+std::vector<Mfn> MachineMemory::allocate_frames(std::size_t n) {
+  std::vector<Mfn> mfns;
+  mfns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) mfns.push_back(allocate_frame());
+  return mfns;
+}
+
+void MachineMemory::free_frame(Mfn mfn) {
+  check_valid(mfn);
+  --live_frames_;
+  free_list_.push_back(mfn);
+}
+
+Page& MachineMemory::frame(Mfn mfn) {
+  check_valid(mfn);
+  return (*chunks_[mfn.value() / kChunkFrames])[mfn.value() % kChunkFrames];
+}
+
+const Page& MachineMemory::frame(Mfn mfn) const {
+  check_valid(mfn);
+  return (*chunks_[mfn.value() / kChunkFrames])[mfn.value() % kChunkFrames];
+}
+
+void MachineMemory::check_valid(Mfn mfn) const {
+  if (!mfn.is_valid() || mfn.value() >= next_unused_) {
+    throw std::out_of_range("MachineMemory: invalid MFN");
+  }
+}
+
+}  // namespace crimes
+
+namespace crimes {
+
+const Page& zero_page() {
+  static const Page page{};
+  return page;
+}
+
+}  // namespace crimes

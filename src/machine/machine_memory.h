@@ -1,0 +1,59 @@
+// Host machine memory: a pool of 4 KiB frames indexed by Mfn.
+//
+// VMs own disjoint sets of frames; the checkpointer's backup image is simply
+// a second set of frames in the same pool, which is what makes the paper's
+// Optimization 1 (map both sides, then memcpy) expressible.
+//
+// Frames are allocated lazily page-by-page but an Mfn, once handed out, is
+// stable for the lifetime of the pool (frames live in fixed-size chunks so
+// growth never relocates existing pages).
+#pragma once
+
+#include "common/types.h"
+#include "machine/page.h"
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace crimes {
+
+class MachineMemory {
+ public:
+  // `capacity_frames` is a hard cap standing in for physical RAM size.
+  explicit MachineMemory(std::size_t capacity_frames);
+
+  MachineMemory(const MachineMemory&) = delete;
+  MachineMemory& operator=(const MachineMemory&) = delete;
+
+  // Allocates one zeroed frame. Throws std::bad_alloc when the pool is
+  // exhausted (the host is genuinely out of memory).
+  [[nodiscard]] Mfn allocate_frame();
+
+  // Allocates `n` frames and returns their Mfns (not necessarily
+  // contiguous, mirroring real machine allocation).
+  [[nodiscard]] std::vector<Mfn> allocate_frames(std::size_t n);
+
+  void free_frame(Mfn mfn);
+
+  [[nodiscard]] Page& frame(Mfn mfn);
+  [[nodiscard]] const Page& frame(Mfn mfn) const;
+
+  [[nodiscard]] std::size_t capacity_frames() const { return capacity_; }
+  [[nodiscard]] std::size_t allocated_frames() const {
+    return live_frames_;
+  }
+
+ private:
+  static constexpr std::size_t kChunkFrames = 4096;  // 16 MiB per chunk
+
+  void check_valid(Mfn mfn) const;
+
+  std::size_t capacity_;
+  std::size_t live_frames_ = 0;
+  std::vector<std::unique_ptr<std::array<Page, kChunkFrames>>> chunks_;
+  std::vector<Mfn> free_list_;
+  std::size_t next_unused_ = 0;  // high-water mark of handed-out Mfns
+};
+
+}  // namespace crimes

@@ -1,0 +1,33 @@
+// A single 4 KiB machine frame's contents.
+#pragma once
+
+#include "common/types.h"
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <span>
+
+namespace crimes {
+
+struct Page {
+  alignas(64) std::array<std::byte, kPageSize> data{};
+
+  [[nodiscard]] std::span<std::byte> bytes() { return {data.data(), data.size()}; }
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {data.data(), data.size()};
+  }
+
+  void zero() { data.fill(std::byte{0}); }
+
+  friend bool operator==(const Page& a, const Page& b) {
+    return std::memcmp(a.data.data(), b.data.data(), kPageSize) == 0;
+  }
+};
+
+// Shared all-zeroes frame backing never-written guest pages (lazy
+// allocation: a VM's frames materialize on first write, like a ballooned
+// or demand-paged guest).
+[[nodiscard]] const Page& zero_page();
+
+}  // namespace crimes

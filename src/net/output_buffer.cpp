@@ -1,0 +1,28 @@
+#include "net/output_buffer.h"
+
+namespace crimes {
+
+void ExternalNetwork::deliver(Packet packet, Nanos released_at) {
+  DeliveredPacket d{
+      .packet = std::move(packet),
+      .released_at = released_at,
+      .delivered_at = released_at + wire_latency_,
+  };
+  log_.push_back(d);
+  if (listener_) listener_(log_.back());
+}
+
+void OutputBuffer::release_all(ExternalNetwork& net, Nanos released_at) {
+  for (auto& p : pending_) {
+    net.deliver(std::move(p), released_at);
+    ++total_released_;
+  }
+  pending_.clear();
+}
+
+void OutputBuffer::drop_all() {
+  total_dropped_ += pending_.size();
+  pending_.clear();
+}
+
+}  // namespace crimes

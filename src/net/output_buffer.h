@@ -1,0 +1,65 @@
+// Hypervisor-side output buffer: the heart of the paper's Synchronous
+// Safety. Packets produced during an epoch are held here and only released
+// once the epoch's security audit passes; on an audit failure they are
+// dropped, so an attack has zero external impact.
+#pragma once
+
+#include "common/sim_clock.h"
+#include "net/packet.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace crimes {
+
+// The "outside world": a log of packets that actually escaped the host.
+// Invariant tests key off this -- anything here was externally visible.
+class ExternalNetwork {
+ public:
+  using Listener = std::function<void(const DeliveredPacket&)>;
+
+  explicit ExternalNetwork(Nanos wire_latency) : wire_latency_(wire_latency) {}
+
+  void set_listener(Listener listener) { listener_ = std::move(listener); }
+
+  void deliver(Packet packet, Nanos released_at);
+
+  [[nodiscard]] const std::vector<DeliveredPacket>& log() const {
+    return log_;
+  }
+  [[nodiscard]] std::size_t delivered_count() const { return log_.size(); }
+  [[nodiscard]] Nanos wire_latency() const { return wire_latency_; }
+
+ private:
+  Nanos wire_latency_;
+  Listener listener_;
+  std::vector<DeliveredPacket> log_;
+};
+
+class OutputBuffer {
+ public:
+  void hold(Packet&& packet) { pending_.push_back(std::move(packet)); }
+
+  // Commits the epoch: every held packet escapes at `released_at`.
+  void release_all(ExternalNetwork& net, Nanos released_at);
+
+  // Audit failed: the epoch's outputs never existed.
+  void drop_all();
+
+  [[nodiscard]] const std::vector<Packet>& pending() const {
+    return pending_;
+  }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t total_released() const {
+    return total_released_;
+  }
+  [[nodiscard]] std::uint64_t total_dropped() const { return total_dropped_; }
+
+ private:
+  std::vector<Packet> pending_;
+  std::uint64_t total_released_ = 0;
+  std::uint64_t total_dropped_ = 0;
+};
+
+}  // namespace crimes

@@ -1,0 +1,17 @@
+#include "net/packet.h"
+
+namespace crimes {
+
+const char* to_string(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::Syn: return "SYN";
+    case PacketKind::SynAck: return "SYN-ACK";
+    case PacketKind::Ack: return "ACK";
+    case PacketKind::Request: return "REQ";
+    case PacketKind::Response: return "RESP";
+    case PacketKind::Data: return "DATA";
+  }
+  return "?";
+}
+
+}  // namespace crimes

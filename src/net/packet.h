@@ -1,0 +1,45 @@
+// Network packets exchanged between guest VMs and external clients.
+//
+// Timestamps are explicit: the guest stamps a packet when it transmits, the
+// output buffer stamps it again when it is released to the outside world.
+// The gap between the two is exactly the paper's output-buffering delay.
+#pragma once
+
+#include "common/sim_clock.h"
+#include "common/types.h"
+
+#include <cstdint>
+#include <string>
+
+namespace crimes {
+
+enum class PacketKind : std::uint8_t {
+  Syn,       // client -> server connection open
+  SynAck,    // server -> client handshake reply (buffered!)
+  Ack,       // client -> server handshake completion
+  Request,   // client -> server HTTP request
+  Response,  // server -> client HTTP response (buffered!)
+  Data,      // generic payload (e.g. malware exfiltration)
+};
+
+[[nodiscard]] const char* to_string(PacketKind kind);
+
+struct Packet {
+  std::uint64_t id = 0;
+  std::uint64_t flow = 0;        // connection identifier
+  PacketKind kind = PacketKind::Data;
+  std::size_t size_bytes = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t dst_port = 0;
+  std::string payload;           // scanned by NetworkContentModule
+  Nanos sent_at{0};              // guest transmit time
+  std::uint64_t request_id = 0;  // echo of the request this answers, if any
+};
+
+struct DeliveredPacket {
+  Packet packet;
+  Nanos released_at{0};   // when the hypervisor let it leave
+  Nanos delivered_at{0};  // released_at + wire latency
+};
+
+}  // namespace crimes

@@ -1,0 +1,57 @@
+#include "net/virtual_disk.h"
+
+#include <stdexcept>
+
+namespace crimes {
+
+void VirtualDisk::check_block(std::uint64_t block) const {
+  if (block >= block_count_) {
+    throw std::out_of_range("VirtualDisk: block out of range");
+  }
+}
+
+void VirtualDisk::write_block(std::uint64_t block,
+                              std::vector<std::byte> data) {
+  check_block(block);
+  data.resize(kBlockSize);
+  if (buffering_) {
+    pending_[block] = std::move(data);
+  } else {
+    committed_[block] = std::move(data);
+    ++total_committed_;
+  }
+}
+
+std::vector<std::byte> VirtualDisk::read_block(std::uint64_t block) const {
+  check_block(block);
+  if (auto it = pending_.find(block); it != pending_.end()) return it->second;
+  return read_committed(block);
+}
+
+std::vector<std::byte> VirtualDisk::read_committed(std::uint64_t block) const {
+  check_block(block);
+  if (auto it = committed_.find(block); it != committed_.end()) {
+    return it->second;
+  }
+  return std::vector<std::byte>(kBlockSize, std::byte{0});
+}
+
+void VirtualDisk::commit_pending() {
+  for (auto& [block, data] : pending_) {
+    committed_[block] = std::move(data);
+    ++total_committed_;
+  }
+  pending_.clear();
+}
+
+void VirtualDisk::drop_pending() {
+  total_dropped_ += pending_.size();
+  pending_.clear();
+}
+
+void VirtualDisk::restore_committed(Image image) {
+  committed_ = std::move(image);
+  pending_.clear();
+}
+
+}  // namespace crimes

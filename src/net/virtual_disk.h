@@ -1,0 +1,62 @@
+// Virtual block device with hypervisor-side write buffering.
+//
+// Guest writes land in a pending overlay; the CRIMES core commits the
+// overlay when an epoch's audit passes and discards it on failure. The
+// guest reads through the overlay (it must see its own writes), while an
+// external observer -- backup jobs, shared storage -- sees only committed
+// state. This mirrors how the paper extends Remus's disk buffering.
+#pragma once
+
+#include "common/types.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace crimes {
+
+class VirtualDisk {
+ public:
+  static constexpr std::size_t kBlockSize = 4096;
+
+  explicit VirtualDisk(std::size_t block_count) : block_count_(block_count) {}
+
+  void write_block(std::uint64_t block, std::vector<std::byte> data);
+  [[nodiscard]] std::vector<std::byte> read_block(std::uint64_t block) const;
+
+  // External view: committed state only (what has really hit the platter).
+  [[nodiscard]] std::vector<std::byte> read_committed(
+      std::uint64_t block) const;
+
+  void set_buffering(bool enabled) { buffering_ = enabled; }
+  [[nodiscard]] bool buffering() const { return buffering_; }
+
+  void commit_pending();
+  void drop_pending();
+
+  // Disk snapshot extension (paper section 3.1: checkpointing "can easily
+  // be extended to include disk snapshots as well"). Snapshots cover the
+  // committed state only; the pending overlay is transient by definition.
+  using Image = std::map<std::uint64_t, std::vector<std::byte>>;
+  [[nodiscard]] Image snapshot_committed() const { return committed_; }
+  void restore_committed(Image image);
+
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t total_committed() const {
+    return total_committed_;
+  }
+  [[nodiscard]] std::uint64_t total_dropped() const { return total_dropped_; }
+  [[nodiscard]] std::size_t block_count() const { return block_count_; }
+
+ private:
+  void check_block(std::uint64_t block) const;
+
+  std::size_t block_count_;
+  bool buffering_ = true;
+  std::map<std::uint64_t, std::vector<std::byte>> committed_;
+  std::map<std::uint64_t, std::vector<std::byte>> pending_;
+  std::uint64_t total_committed_ = 0;
+  std::uint64_t total_dropped_ = 0;
+};
+
+}  // namespace crimes

@@ -1,0 +1,16 @@
+#include "net/virtual_nic.h"
+
+#include <stdexcept>
+
+namespace crimes {
+
+void VirtualNic::send(Packet packet, Nanos at) {
+  if (!sink_) throw std::logic_error("VirtualNic: no sink installed");
+  packet.id = next_id_++;
+  packet.sent_at = at;
+  ++packets_sent_;
+  bytes_sent_ += packet.size_bytes;
+  sink_(std::move(packet));
+}
+
+}  // namespace crimes

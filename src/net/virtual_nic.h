@@ -1,0 +1,33 @@
+// Guest-side virtual NIC. The guest hands egress packets to the NIC; where
+// they go next (output buffer vs. straight to the wire) is decided by
+// whoever installed the sink -- the CRIMES core wires this according to the
+// configured SafetyMode.
+#pragma once
+
+#include "net/packet.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace crimes {
+
+class VirtualNic {
+ public:
+  using Sink = std::function<void(Packet&&)>;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  // Transmits a packet; `at` is the guest-side transmit time.
+  void send(Packet packet, Nanos at);
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Sink sink_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace crimes

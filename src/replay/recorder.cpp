@@ -1,0 +1,16 @@
+#include "replay/recorder.h"
+
+namespace crimes {
+
+void ExecutionRecorder::record(Vaddr va, std::span<const std::byte> data,
+                               std::uint64_t instr_index) {
+  if (!enabled_) return;
+  ops_.push_back(WriteOp{
+      .instr_index = instr_index,
+      .va = va,
+      .data = std::vector<std::byte>(data.begin(), data.end()),
+  });
+  bytes_logged_ += data.size();
+}
+
+}  // namespace crimes

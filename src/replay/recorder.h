@@ -1,0 +1,48 @@
+// Execution recorder: logs every guest virtual-memory write during the
+// current epoch so the ReplayEngine can re-execute the epoch after a
+// rollback.
+//
+// The paper notes CRIMES "does not guarantee deterministic replay"
+// (section 6); like the prototype, we replay the *memory write log*, which
+// is exactly enough to re-trigger and pinpoint evidence-producing writes
+// such as a canary corruption.
+#pragma once
+
+#include "common/types.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crimes {
+
+struct WriteOp {
+  std::uint64_t instr_index = 0;
+  Vaddr va;
+  std::vector<std::byte> data;
+};
+
+class ExecutionRecorder {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // Called at each epoch boundary: the previous epoch was committed, so its
+  // log can never be needed again.
+  void begin_epoch() { ops_.clear(); }
+
+  void record(Vaddr va, std::span<const std::byte> data,
+              std::uint64_t instr_index);
+
+  [[nodiscard]] const std::vector<WriteOp>& ops() const { return ops_; }
+  [[nodiscard]] std::size_t op_count() const { return ops_.size(); }
+  [[nodiscard]] std::uint64_t bytes_logged() const { return bytes_logged_; }
+
+ private:
+  bool enabled_ = false;
+  std::vector<WriteOp> ops_;
+  std::uint64_t bytes_logged_ = 0;
+};
+
+}  // namespace crimes

@@ -1,0 +1,63 @@
+// Rollback-and-replay forensics (sections 3.3 and 4.2).
+//
+// After the Detector reports a corrupted canary, the ReplayEngine:
+//   1. rolls the VM back to the last clean checkpoint,
+//   2. arms the memory-event monitor on the page(s) holding the canary
+//      (the expensive Xen mem_access machinery that is *only* enabled
+//      during replay),
+//   3. re-executes the epoch's recorded writes, and
+//   4. stops at the first write that leaves the canary with a wrong value
+//      -- the precise attacking instruction.
+// The VM is left Paused at that instant so forensics can snapshot it.
+#pragma once
+
+#include "checkpoint/checkpointer.h"
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "guestos/guest_kernel.h"
+#include "replay/recorder.h"
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace crimes {
+
+struct PinpointResult {
+  bool found = false;
+  std::uint64_t instr_index = 0;  // the attacking instruction
+  std::size_t op_index = 0;       // index into the replayed write log
+  Vaddr write_va;                 // start VA of the offending write
+  std::size_t write_len = 0;
+  Vaddr canary_va;
+  std::uint64_t corrupt_value = 0;
+  std::uint64_t expected_value = 0;
+  std::size_t ops_replayed = 0;
+  std::size_t events_delivered = 0;
+  Nanos replay_cost{0};
+};
+
+class ReplayEngine {
+ public:
+  ReplayEngine(GuestKernel& kernel, Checkpointer& checkpointer,
+               SimClock& clock, const CostModel& costs)
+      : kernel_(&kernel),
+        checkpointer_(&checkpointer),
+        clock_(&clock),
+        costs_(&costs) {}
+
+  // Rolls back and replays `ops`, watching `canary_va` whose intact value
+  // must be `expected`. Leaves the VM Paused (at the attack instant when
+  // found, at epoch end otherwise). Charges replay costs to the clock.
+  PinpointResult pinpoint_canary_corruption(std::span<const WriteOp> ops,
+                                            Vaddr canary_va,
+                                            std::uint64_t expected);
+
+ private:
+  GuestKernel* kernel_;
+  Checkpointer* checkpointer_;
+  SimClock* clock_;
+  const CostModel* costs_;
+};
+
+}  // namespace crimes

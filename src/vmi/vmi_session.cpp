@@ -1,0 +1,288 @@
+#include "vmi/vmi_session.h"
+
+#include "common/bytes.h"
+#include "guestos/guest_page_table.h"
+
+#include <algorithm>
+
+namespace crimes {
+
+namespace {
+// Guard against corrupted linked lists: a real VMI tool bounds its walks.
+constexpr std::size_t kMaxListWalk = 1 << 16;
+}  // namespace
+
+VmiSession::VmiSession(Hypervisor& hypervisor, DomainId domain,
+                       SymbolTable symbols, OsFlavor flavor,
+                       const CostModel& costs)
+    : hypervisor_(&hypervisor),
+      domain_(domain),
+      symbols_(std::move(symbols)),
+      flavor_(flavor),
+      costs_(&costs) {}
+
+void VmiSession::init() {
+  if (initialized_) return;
+  const Vm& vm = hypervisor_->domain(domain_);
+  // Kernel detection: find the page-table root from the vCPU, sanity-check
+  // the symbol table against the guest size.
+  table_base_ = Pfn{vm.vcpu().cr3 >> kPageShift};
+  guest_pages_ = vm.page_count();
+  if (table_base_.value() >= guest_pages_) {
+    throw VmiError("VmiSession::init: implausible CR3");
+  }
+  initialized_ = true;
+  accrued_ += costs_->vmi_init;
+}
+
+void VmiSession::preprocess() {
+  require_init();
+  if (preprocessed_) return;
+  preprocessed_ = true;
+  accrued_ += costs_->vmi_preprocess;
+}
+
+void VmiSession::require_init() const {
+  if (!initialized_) throw VmiError("VmiSession: init() not called");
+}
+
+Paddr VmiSession::translate(Vaddr va) {
+  require_init();
+  const std::uint64_t vpn = (va.value() - kVaBase) >> kPageShift;
+  if (preprocessed_) {
+    if (auto it = tlb_.find(vpn); it != tlb_.end()) {
+      ++cached_;
+      return Paddr::from(it->second, va.value() & kPageOffsetMask);
+    }
+  }
+  const Vm& vm = hypervisor_->domain(domain_);
+  const auto pa = translate_through_frames(vm, table_base_, guest_pages_, va);
+  if (!pa) {
+    throw VmiError("VmiSession: translation fault at VA 0x" + [va] {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%llx",
+                    static_cast<unsigned long long>(va.value()));
+      return std::string(buf);
+    }());
+  }
+  ++cold_;
+  accrued_ += costs_->vmi_translate;
+  if (preprocessed_) tlb_.emplace(vpn, pa->pfn());
+  return *pa;
+}
+
+std::uint64_t VmiSession::read_u64(Vaddr va) {
+  std::uint64_t v;
+  read_bytes(va, std::span<std::byte>(reinterpret_cast<std::byte*>(&v),
+                                      sizeof(v)));
+  return v;
+}
+
+std::uint64_t VmiSession::read_u64_fast(Vaddr va) {
+  require_init();
+  const Vm& vm = hypervisor_->domain(domain_);
+  const Paddr pa = translate(va);
+  accrued_ += costs_->vmi_read_fast;
+  if (pa.page_offset() + 8 <= kPageSize) {
+    return load_le<std::uint64_t>(vm.page(pa.pfn()).bytes(),
+                                  pa.page_offset());
+  }
+  // Straddles a page: fall back to the general path.
+  std::uint64_t v;
+  read_bytes(va, std::span<std::byte>(reinterpret_cast<std::byte*>(&v),
+                                      sizeof(v)));
+  return v;
+}
+
+std::uint32_t VmiSession::read_u32(Vaddr va) {
+  std::uint32_t v;
+  read_bytes(va, std::span<std::byte>(reinterpret_cast<std::byte*>(&v),
+                                      sizeof(v)));
+  return v;
+}
+
+std::string VmiSession::read_str(Vaddr va, std::size_t max_len) {
+  std::vector<std::byte> buf(max_len);
+  read_bytes(va, buf);
+  return load_cstr(buf, 0, max_len);
+}
+
+void VmiSession::read_bytes(Vaddr va, std::span<std::byte> out) {
+  require_init();
+  const Vm& vm = hypervisor_->domain(domain_);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const Vaddr cur = va + done;
+    const Paddr pa = translate(cur);
+    const std::size_t chunk =
+        std::min(out.size() - done, kPageSize - pa.page_offset());
+    const Page& pg = vm.page(pa.pfn());
+    std::memcpy(out.data() + done, pg.data.data() + pa.page_offset(), chunk);
+    done += chunk;
+    accrued_ += costs_->vmi_read_base;
+  }
+}
+
+std::optional<Pfn> VmiSession::pfn_of(Vaddr va) {
+  try {
+    return translate(va).pfn();
+  } catch (const VmiError&) {
+    return std::nullopt;
+  }
+}
+
+VmiProcess VmiSession::read_task_at(Vaddr task_va) {
+  VmiProcess p;
+  p.task_va = task_va;
+  p.pid = Pid{read_u32(task_va + TaskLayout::kPidOff)};
+  p.uid = read_u32(task_va + TaskLayout::kUidOff);
+  p.state = read_u32(task_va + TaskLayout::kStateOff);
+  p.name = read_str(task_va + TaskLayout::kCommOff, TaskLayout::kCommLen);
+  p.start_time_ns = read_u64(task_va + TaskLayout::kStartTimeOff);
+  p.mm = Vaddr{read_u64(task_va + TaskLayout::kMmOff)};
+  p.files = Vaddr{read_u64(task_va + TaskLayout::kFilesOff)};
+  p.sockets = Vaddr{read_u64(task_va + TaskLayout::kSocketsOff)};
+  return p;
+}
+
+std::vector<VmiProcess> VmiSession::process_list() {
+  require_init();
+  const Vaddr head = symbols_.lookup(
+      SymbolNames::for_flavor(flavor_).task_list_head);
+  std::vector<VmiProcess> out;
+  Vaddr cur{read_u64(head + TaskLayout::kNextOff)};
+  std::size_t steps = 0;
+  while (cur != head) {
+    if (++steps > kMaxListWalk) {
+      throw VmiError("VmiSession::process_list: task list does not terminate "
+                     "(corrupted?)");
+    }
+    out.push_back(read_task_at(cur));
+    cur = Vaddr{read_u64(cur + TaskLayout::kNextOff)};
+  }
+  return out;
+}
+
+std::vector<VmiModule> VmiSession::module_list() {
+  require_init();
+  const Vaddr head = symbols_.lookup(
+      SymbolNames::for_flavor(flavor_).module_list_head);
+  std::vector<VmiModule> out;
+  Vaddr cur{read_u64(head + ModuleLayout::kNextOff)};
+  std::size_t steps = 0;
+  while (cur != head) {
+    if (++steps > kMaxListWalk) {
+      throw VmiError("VmiSession::module_list: module list does not "
+                     "terminate (corrupted?)");
+    }
+    // A real module walk also validates the record and reads the layout
+    // fields (magic, init address, back-pointer) -- keep the read pattern
+    // faithful so the Table 3 cost is representative.
+    if (read_u32(cur + ModuleLayout::kMagicOff) != ModuleLayout::kMagic) {
+      throw VmiError("VmiSession::module_list: corrupt module record");
+    }
+    VmiModule m;
+    m.module_va = cur;
+    m.name = read_str(cur + ModuleLayout::kNameOff, ModuleLayout::kNameLen);
+    m.size = read_u64(cur + ModuleLayout::kSizeOff);
+    (void)read_u64(cur + ModuleLayout::kInitOff);
+    (void)read_u64(cur + ModuleLayout::kPrevOff);
+    out.push_back(std::move(m));
+    cur = Vaddr{read_u64(cur + ModuleLayout::kNextOff)};
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> VmiSession::read_syscall_table() {
+  require_init();
+  const Vaddr table = symbols_.lookup(
+      SymbolNames::for_flavor(flavor_).syscall_table);
+  std::vector<std::uint64_t> out(kSyscallCount);
+  read_bytes(table, std::span<std::byte>(
+                        reinterpret_cast<std::byte*>(out.data()),
+                        out.size() * sizeof(std::uint64_t)));
+  return out;
+}
+
+std::vector<VmiSession::VmiIdtGate> VmiSession::read_idt() {
+  require_init();
+  const Vaddr table = symbols_.lookup(
+      SymbolNames::for_flavor(flavor_).idt);
+  std::vector<std::byte> raw(kIdtVectors * IdtGateLayout::kSize);
+  read_bytes(table, raw);
+  std::vector<VmiIdtGate> gates;
+  gates.reserve(kIdtVectors);
+  for (std::size_t v = 0; v < kIdtVectors; ++v) {
+    const std::size_t base = v * IdtGateLayout::kSize;
+    const auto low =
+        load_le<std::uint16_t>(raw, base + IdtGateLayout::kOffsetLowOff);
+    const auto mid =
+        load_le<std::uint16_t>(raw, base + IdtGateLayout::kOffsetMidOff);
+    const auto high =
+        load_le<std::uint32_t>(raw, base + IdtGateLayout::kOffsetHighOff);
+    gates.push_back(VmiIdtGate{
+        .handler = Vaddr{static_cast<std::uint64_t>(low) |
+                         (static_cast<std::uint64_t>(mid) << 16) |
+                         (static_cast<std::uint64_t>(high) << 32)},
+        .selector =
+            load_le<std::uint16_t>(raw, base + IdtGateLayout::kSelectorOff),
+        .type_attr =
+            load_le<std::uint8_t>(raw, base + IdtGateLayout::kTypeAttrOff),
+    });
+  }
+  return gates;
+}
+
+std::vector<Vaddr> VmiSession::read_pid_hash() {
+  require_init();
+  const Vaddr table =
+      symbols_.lookup(SymbolNames::for_flavor(flavor_).pid_hash);
+  std::vector<std::uint64_t> raw(kPidHashBuckets);
+  read_bytes(table, std::span<std::byte>(
+                        reinterpret_cast<std::byte*>(raw.data()),
+                        raw.size() * sizeof(std::uint64_t)));
+  std::vector<Vaddr> out;
+  for (const std::uint64_t v : raw) {
+    if (v != 0) out.push_back(Vaddr{v});
+  }
+  return out;
+}
+
+VmiCanaryTable VmiSession::read_canary_table() {
+  require_init();
+  const Vaddr table =
+      symbols_.lookup(SymbolNames::for_flavor(flavor_).canary_table);
+  VmiCanaryTable result;
+  const std::uint64_t count =
+      read_u64(table + CanaryTableLayout::kCountOff);
+  result.capacity = read_u64(table + CanaryTableLayout::kCapacityOff);
+  result.key = read_u64(table + CanaryTableLayout::kKeyOff);
+  if (count > result.capacity) {
+    throw VmiError("VmiSession::read_canary_table: count exceeds capacity "
+                   "(table corrupted?)");
+  }
+  // Bulk-read the entry array.
+  std::vector<std::byte> raw(count * CanaryTableLayout::kEntrySize);
+  read_bytes(table + CanaryTableLayout::kHeaderSize, raw);
+  result.entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t base = i * CanaryTableLayout::kEntrySize;
+    result.entries.push_back(VmiCanaryEntry{
+        .canary_addr = Vaddr{load_le<std::uint64_t>(
+            raw, base + CanaryTableLayout::kEntryAddrOff)},
+        .obj_addr = Vaddr{load_le<std::uint64_t>(
+            raw, base + CanaryTableLayout::kEntryObjOff)},
+        .obj_size = load_le<std::uint64_t>(
+            raw, base + CanaryTableLayout::kEntrySizeOff),
+    });
+  }
+  return result;
+}
+
+Nanos VmiSession::take_cost() {
+  const Nanos cost = accrued_;
+  accrued_ = Nanos::zero();
+  return cost;
+}
+
+}  // namespace crimes

@@ -1,0 +1,45 @@
+#include "workload/overflow.h"
+
+#include <stdexcept>
+
+namespace crimes {
+
+OverflowWorkload::OverflowWorkload(GuestKernel& kernel, OverflowScript script,
+                                   std::uint64_t seed)
+    : kernel_(&kernel), script_(script), rng_(seed) {
+  if (script_.object_size < 8) {
+    throw std::invalid_argument("OverflowWorkload: objects must hold a u64");
+  }
+  objects_.reserve(script_.object_count);
+  for (std::size_t i = 0; i < script_.object_count; ++i) {
+    objects_.push_back(kernel_->heap().malloc(script_.object_size));
+  }
+  victim_ = objects_[script_.object_count / 2];
+  const auto live = kernel_->heap().live_objects();
+  victim_canary_ = live.at(victim_.value());
+}
+
+void OverflowWorkload::run_epoch(Nanos start, Nanos duration) {
+  // Benign in-bounds writes across the object pool.
+  const auto touches = static_cast<std::uint64_t>(
+      script_.benign_touches_per_ms * to_ms(duration));
+  for (std::uint64_t i = 0; i < touches; ++i) {
+    const Vaddr obj = objects_[rng_.next_below(objects_.size())];
+    const std::uint64_t off =
+        rng_.next_below((script_.object_size - 8) / 8 + 1) * 8;
+    kernel_->write_value<std::uint64_t>(obj + off, rng_.next_u64());
+  }
+  accesses_ += touches;
+
+  const Nanos before = elapsed_;
+  elapsed_ += duration;
+  if (!attack_instr_ && script_.attack_at >= before &&
+      script_.attack_at < elapsed_) {
+    attack_instr_ = kernel_->attack_heap_overflow(
+        victim_, script_.object_size, script_.overrun_bytes);
+    attack_abs_time_ = start + (script_.attack_at - before);
+  }
+  kernel_->tick(static_cast<std::uint64_t>(duration.count()));
+}
+
+}  // namespace crimes

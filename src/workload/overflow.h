@@ -1,0 +1,61 @@
+// The buffer-overflow workload of case study 1 (section 5.5): a C-style
+// program using the canary-placing allocator that, at a scripted time,
+// writes past the end of one of its heap objects -- the memcpy-with-wrong-
+// length bug class. Ground truth about the attack (time, victim object,
+// offending instruction index) is exposed so tests and the Figure 8 bench
+// can validate CRIMES's detection, replay pinpointing and forensics.
+#pragma once
+
+#include "common/rng.h"
+#include "guestos/guest_kernel.h"
+#include "workload/workload.h"
+
+#include <optional>
+#include <vector>
+
+namespace crimes {
+
+struct OverflowScript {
+  // Guest *work time* at which the overflow fires (independent of startup
+  // costs and checkpoint pauses on the virtual clock).
+  Nanos attack_at = millis(125);
+  std::size_t object_count = 64;
+  std::size_t object_size = 256;
+  std::size_t overrun_bytes = 16;
+  double benign_touches_per_ms = 20.0;
+};
+
+class OverflowWorkload final : public Workload {
+ public:
+  OverflowWorkload(GuestKernel& kernel, OverflowScript script,
+                   std::uint64_t seed = 1234);
+
+  [[nodiscard]] std::string name() const override { return "overflow-app"; }
+  void run_epoch(Nanos start, Nanos duration) override;
+  [[nodiscard]] std::uint64_t total_accesses() const override {
+    return accesses_;
+  }
+
+  [[nodiscard]] bool attacked() const { return attack_instr_.has_value(); }
+  // Absolute virtual time of the attack (valid once attacked()).
+  [[nodiscard]] Nanos attack_time() const { return attack_abs_time_; }
+  [[nodiscard]] std::optional<std::uint64_t> attack_instr() const {
+    return attack_instr_;
+  }
+  [[nodiscard]] Vaddr victim_object() const { return victim_; }
+  [[nodiscard]] Vaddr victim_canary() const { return victim_canary_; }
+
+ private:
+  GuestKernel* kernel_;
+  OverflowScript script_;
+  Rng rng_;
+  std::vector<Vaddr> objects_;
+  Vaddr victim_{0};
+  Vaddr victim_canary_{0};
+  std::optional<std::uint64_t> attack_instr_;
+  Nanos attack_abs_time_{0};
+  Nanos elapsed_{0};
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace crimes

@@ -1,0 +1,110 @@
+#include "workload/parsec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crimes {
+
+double ParsecProfile::expected_dirty_pages(double epoch_ms) const {
+  const double w = static_cast<double>(working_set_pages);
+  return w * (1.0 - std::exp(-touches_per_ms * epoch_ms / w));
+}
+
+GuestConfig ParsecProfile::recommended_guest() const {
+  GuestConfig config;
+  // A 1 GiB guest, matching the paper's testbed VMs (the bit-by-bit dirty
+  // scan cost depends on total guest size, not the working set). Profiles
+  // whose working set outgrows that get working set + slack instead; the
+  // page table (8 B per page) is covered by the cushion either way.
+  // Frames are lazily allocated, so an idle 1 GiB guest costs only its
+  // touched pages of host memory.
+  config.page_count = std::max<std::size_t>(working_set_pages + 1024,
+                                            262144);
+  return config;
+}
+
+const std::vector<ParsecProfile>& ParsecProfile::suite() {
+  // Working sets / touch rates calibrated so dirty-pages-per-200ms-epoch
+  // match the relative magnitudes behind Figures 3-5: raytrace dirties the
+  // least, fluidanimate by far the most (the paper reports its dirty rate
+  // made unoptimized Remus ~4.7x slower than native). Access rates are set
+  // so the AS bars land in the 1.3-1.7x band of Figure 3.
+  static const std::vector<ParsecProfile> suite_{
+      {"blackscholes", 3600, 12.5, 200.0, 6000.0},
+      {"swaptions", 4200, 14.6, 175.0, 6000.0},
+      {"vips", 28000, 97.0, 300.0, 6000.0},
+      {"radiosity", 6400, 22.2, 240.0, 6000.0},
+      {"raytrace", 1600, 5.5, 150.0, 6000.0},
+      {"volrend", 5200, 18.0, 180.0, 6000.0},
+      {"bodytrack", 18000, 62.4, 280.0, 6000.0},
+      {"fluidanimate", 100000, 602.0, 320.0, 6000.0},
+      {"freqmine", 8000, 27.7, 330.0, 6000.0},
+      {"water-spatial", 3000, 10.4, 160.0, 6000.0},
+      {"water-n2", 2400, 8.3, 170.0, 6000.0},
+  };
+  return suite_;
+}
+
+ParsecProfile ParsecProfile::by_name(const std::string& name) {
+  for (const auto& p : suite()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("ParsecProfile::by_name: unknown benchmark " + name);
+}
+
+ParsecWorkload::ParsecWorkload(GuestKernel& kernel, ParsecProfile profile,
+                               std::uint64_t seed)
+    : kernel_(&kernel), profile_(std::move(profile)), rng_(seed) {
+  // One large arena holds the working set (with its own trailing canary),
+  // plus a pool of small objects churned during the run so canary scans
+  // always have live entries to validate.
+  const std::size_t arena_bytes =
+      profile_.working_set_pages * kPageSize - 2 * kCanaryBytes;
+  buffer_ = kernel_->heap().malloc(arena_bytes);
+  for (int i = 0; i < 48; ++i) {
+    objects_.push_back(
+        kernel_->heap().malloc(64 + rng_.next_below(448)));
+  }
+}
+
+void ParsecWorkload::run_epoch(Nanos start, Nanos duration) {
+  (void)start;
+  const double ms = to_ms(duration);
+
+  // Page touches: uniform over the working set, so distinct-pages-per-
+  // epoch follows the saturating curve of Figure 5c.
+  const double exact = profile_.touches_per_ms * ms + touch_carry_;
+  const auto touches = static_cast<std::uint64_t>(exact);
+  touch_carry_ = exact - static_cast<double>(touches);
+
+  const std::size_t usable =
+      profile_.working_set_pages * kPageSize - 2 * kCanaryBytes - 8;
+  for (std::uint64_t i = 0; i < touches; ++i) {
+    const std::uint64_t page = rng_.next_below(profile_.working_set_pages);
+    std::uint64_t off = page * kPageSize + (rng_.next_below(kPageSize / 8) * 8);
+    if (off > usable) off = usable;
+    kernel_->write_value<std::uint64_t>(buffer_ + off, rng_.next_u64());
+  }
+
+  // Heap churn: free one object, allocate another (keeps the canary table
+  // warm and exercises the allocator's reuse path).
+  if (!objects_.empty() && rng_.next_bool(0.5)) {
+    const std::size_t victim = rng_.next_below(objects_.size());
+    kernel_->heap().free(objects_[victim]);
+    objects_[victim] = kernel_->heap().malloc(64 + rng_.next_below(448));
+    // Touch the fresh object in-bounds.
+    kernel_->write_value<std::uint64_t>(objects_[victim], rng_.next_u64());
+  }
+
+  accesses_ += static_cast<std::uint64_t>(profile_.accesses_per_us *
+                                          to_us(duration));
+  elapsed_ += duration;
+  kernel_->tick(static_cast<std::uint64_t>(duration.count()));
+}
+
+bool ParsecWorkload::finished() const {
+  return to_ms(elapsed_) >= profile_.duration_ms;
+}
+
+}  // namespace crimes

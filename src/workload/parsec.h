@@ -1,0 +1,66 @@
+// Synthetic stand-ins for the PARSEC 3.0 benchmarks (Table 2 of the paper).
+//
+// Each benchmark is characterized by the properties that drive the paper's
+// checkpointing results: working-set size, page-touch rate (which yields
+// the dirty-pages-per-epoch curves of Figure 5c through a saturating
+// random-touch process), instrumentable-access rate (which yields the
+// AddressSanitizer slowdown of Figure 3), and run length. The rates are
+// calibrated so the per-benchmark dirty-page volumes match the relative
+// behaviour the paper reports (e.g. fluidanimate dirties far more pages
+// per epoch than raytrace).
+#pragma once
+
+#include "common/rng.h"
+#include "guestos/guest_kernel.h"
+#include "workload/workload.h"
+
+#include <string>
+#include <vector>
+
+namespace crimes {
+
+struct ParsecProfile {
+  std::string name;
+  std::size_t working_set_pages = 4096;
+  double touches_per_ms = 14.0;     // page-touch (write) rate
+  double accesses_per_us = 200.0;   // instrumentable accesses (ASan)
+  double duration_ms = 6000.0;      // virtual run length
+
+  // Expected distinct pages dirtied in an epoch of length `epoch_ms`
+  // under the uniform-random-touch model: W * (1 - exp(-r*T/W)).
+  [[nodiscard]] double expected_dirty_pages(double epoch_ms) const;
+
+  // A guest sized to hold this benchmark's working set.
+  [[nodiscard]] GuestConfig recommended_guest() const;
+
+  [[nodiscard]] static const std::vector<ParsecProfile>& suite();
+  [[nodiscard]] static ParsecProfile by_name(const std::string& name);
+};
+
+class ParsecWorkload final : public Workload {
+ public:
+  ParsecWorkload(GuestKernel& kernel, ParsecProfile profile,
+                 std::uint64_t seed = 42);
+
+  [[nodiscard]] std::string name() const override { return profile_.name; }
+  void run_epoch(Nanos start, Nanos duration) override;
+  [[nodiscard]] bool finished() const override;
+  [[nodiscard]] std::uint64_t total_accesses() const override {
+    return accesses_;
+  }
+
+  [[nodiscard]] const ParsecProfile& profile() const { return profile_; }
+  [[nodiscard]] Nanos elapsed() const { return elapsed_; }
+
+ private:
+  GuestKernel* kernel_;
+  ParsecProfile profile_;
+  Rng rng_;
+  Vaddr buffer_;                  // the working-set arena (one big malloc)
+  std::vector<Vaddr> objects_;    // small heap objects, churned over time
+  Nanos elapsed_{0};
+  std::uint64_t accesses_ = 0;
+  double touch_carry_ = 0.0;      // fractional touches carried across epochs
+};
+
+}  // namespace crimes

@@ -1,0 +1,92 @@
+#include "workload/web_server.h"
+
+namespace crimes {
+
+WebServerWorkload::WebServerWorkload(GuestKernel& kernel, VirtualNic& nic,
+                                     WebServerProfile profile,
+                                     std::uint64_t seed)
+    : kernel_(&kernel), nic_(&nic), profile_(profile), rng_(seed) {
+  pid_ = kernel_->find_process_by_name("nginx").value_or(
+      kernel_->spawn_process("nginx", 33));
+  const std::size_t arena_bytes =
+      profile_.churn_ws_pages * kPageSize - 2 * kCanaryBytes;
+  cache_ = kernel_->heap().malloc(arena_bytes);
+  // The listening socket, visible to netscan.
+  kernel_->open_socket(SocketInfo{
+      .pid = pid_,
+      .proto = 6,
+      .state = 10,  // LISTEN
+      .local_ip = make_ipv4(0, 0, 0, 0),
+      .local_port = 80,
+      .remote_ip = 0,
+      .remote_port = 0,
+      .entry_va = Vaddr{0},
+  });
+}
+
+void WebServerWorkload::churn(Nanos duration) {
+  const double ms = to_ms(duration);
+  const double exact = profile_.churn_touches_per_ms * ms + touch_carry_;
+  const auto touches = static_cast<std::uint64_t>(exact);
+  touch_carry_ = exact - static_cast<double>(touches);
+  const std::size_t usable =
+      profile_.churn_ws_pages * kPageSize - 2 * kCanaryBytes - 8;
+  for (std::uint64_t i = 0; i < touches; ++i) {
+    const std::uint64_t page = rng_.next_below(profile_.churn_ws_pages);
+    std::uint64_t off =
+        page * kPageSize + rng_.next_below(kPageSize / 8) * 8;
+    if (off > usable) off = usable;
+    kernel_->write_value<std::uint64_t>(cache_ + off, rng_.next_u64());
+  }
+}
+
+void WebServerWorkload::run_epoch(Nanos start, Nanos duration) {
+  churn(duration);
+
+  const Nanos end = start + duration;
+  // Serve every message that arrives inside this window. Under Best-Effort
+  // safety a reply can reach the client and trigger a new request that
+  // lands back inside the same window; the loop keeps draining until the
+  // earliest pending arrival is beyond the epoch.
+  while (!inbound_.empty() && inbound_.top().arrive_at < end) {
+    const InboundMsg msg = inbound_.top();
+    inbound_.pop();
+
+    if (msg.kind == PacketKind::Syn) {
+      // Handshake reply: immediate (no application service time).
+      ++handshakes_served_;
+      nic_->send(
+          Packet{.flow = msg.conn,
+                 .kind = PacketKind::SynAck,
+                 .size_bytes = 60,
+                 .payload = "SYN-ACK",
+                 .request_id = msg.request_id},
+          msg.arrive_at);
+      continue;
+    }
+
+    // HTTP request: touch the served file's pages, then respond.
+    ++requests_served_;
+    const std::size_t usable =
+        profile_.churn_ws_pages * kPageSize - 2 * kCanaryBytes - 8;
+    for (std::size_t i = 0; i < profile_.pages_per_request; ++i) {
+      const std::uint64_t page = rng_.next_below(profile_.churn_ws_pages);
+      std::uint64_t off = page * kPageSize + rng_.next_below(512) * 8;
+      if (off > usable) off = usable;
+      kernel_->write_value<std::uint64_t>(cache_ + off, rng_.next_u64());
+    }
+    nic_->send(
+        Packet{.flow = msg.conn,
+               .kind = PacketKind::Response,
+               .size_bytes = 1024,
+               .payload = "HTTP/1.1 200 OK\r\nContent-Length: 612\r\n\r\n",
+               .request_id = msg.request_id},
+        msg.arrive_at + profile_.service_time);
+  }
+
+  accesses_ += static_cast<std::uint64_t>(profile_.accesses_per_us *
+                                          to_us(duration));
+  kernel_->tick(static_cast<std::uint64_t>(duration.count()));
+}
+
+}  // namespace crimes

@@ -1,0 +1,7 @@
+#include "workload/workload.h"
+
+namespace crimes {
+
+Workload::~Workload() = default;
+
+}  // namespace crimes

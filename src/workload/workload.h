@@ -1,0 +1,32 @@
+// Workload interface: a program running inside the guest VM, driven in
+// epoch-sized slices by the CRIMES core (speculative execution runs the VM
+// for one epoch, then suspends it for the audit).
+#pragma once
+
+#include "common/sim_clock.h"
+
+#include <cstdint>
+#include <string>
+
+namespace crimes {
+
+class Workload {
+ public:
+  virtual ~Workload();
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Execute `duration` of guest virtual time starting at `start`. The
+  // workload performs its memory writes / network sends for that window.
+  virtual void run_epoch(Nanos start, Nanos duration) = 0;
+
+  // True once the program has completed its work (batch workloads);
+  // servers run forever and keep the default.
+  [[nodiscard]] virtual bool finished() const { return false; }
+
+  // Cumulative count of instrumentable memory accesses -- the accesses an
+  // inline tool like AddressSanitizer would check. Used by the AS baseline.
+  [[nodiscard]] virtual std::uint64_t total_accesses() const { return 0; }
+};
+
+}  // namespace crimes

@@ -1,0 +1,93 @@
+#include "workload/wrk_client.h"
+
+#include <algorithm>
+
+namespace crimes {
+
+double WrkStats::percentile_ms(double p) const {
+  if (samples.empty()) return 0.0;
+  std::vector<Nanos> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 *
+      static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return to_ms(sorted[lo]) * (1.0 - frac) + to_ms(sorted[hi]) * frac;
+}
+
+WrkClient::WrkClient(WebServerWorkload& server, ExternalNetwork& network,
+                     std::size_t connections,
+                     std::size_t requests_per_connection)
+    : server_(&server),
+      network_(&network),
+      requests_per_connection_(requests_per_connection),
+      conns_(connections) {
+  network_->set_listener(
+      [this](const DeliveredPacket& d) { on_delivered(d); });
+}
+
+void WrkClient::start(Nanos at) {
+  for (std::uint64_t c = 0; c < conns_.size(); ++c) {
+    open_connection(c, at + micros(5 * static_cast<double>(c)));
+  }
+}
+
+void WrkClient::open_connection(std::uint64_t conn, Nanos at) {
+  conns_[conn].established = false;
+  conns_[conn].requests_done = 0;
+  server_->enqueue(InboundMsg{
+      .arrive_at = at + network_->wire_latency(),
+      .conn = conn,
+      .request_id = 0,
+      .kind = PacketKind::Syn,
+  });
+}
+
+void WrkClient::send_request(std::uint64_t conn, Nanos at) {
+  const std::uint64_t id = next_request_id_++;
+  request_sent_at_.emplace(id, at);
+  if (stats_.first_request == Nanos::zero()) stats_.first_request = at;
+  server_->enqueue(InboundMsg{
+      .arrive_at = at + network_->wire_latency(),
+      .conn = conn,
+      .request_id = id,
+      .kind = PacketKind::Request,
+  });
+}
+
+void WrkClient::on_delivered(const DeliveredPacket& d) {
+  const Packet& p = d.packet;
+  if (p.flow >= conns_.size()) return;  // not ours (e.g. malware exfil)
+  Conn& conn = conns_[p.flow];
+
+  if (p.kind == PacketKind::SynAck) {
+    conn.established = true;
+    ++stats_.completed_handshakes;
+    // Final ACK piggybacks on the first request.
+    send_request(p.flow, d.delivered_at);
+    return;
+  }
+  if (p.kind != PacketKind::Response) return;
+
+  if (auto it = request_sent_at_.find(p.request_id);
+      it != request_sent_at_.end()) {
+    const Nanos latency = d.delivered_at - it->second;
+    stats_.total_latency += latency;
+    stats_.samples.push_back(latency);
+    stats_.max_latency = std::max(stats_.max_latency, latency);
+    ++stats_.completed_requests;
+    stats_.last_response = d.delivered_at;
+    request_sent_at_.erase(it);
+  }
+
+  if (++conn.requests_done < requests_per_connection_) {
+    send_request(p.flow, d.delivered_at);  // zero think time
+  } else {
+    // Close and immediately reopen: fresh three-way handshake.
+    open_connection(p.flow, d.delivered_at);
+  }
+}
+
+}  // namespace crimes

@@ -1,0 +1,77 @@
+// Closed-loop HTTP load generator in the style of wrk (section 5.1).
+//
+// Each of N connections runs its own loop: TCP handshake, then
+// `requests_per_connection` request/response exchanges, then close and
+// reopen. Because it is closed-loop ("new connections are not created
+// until old ones complete", section 5.4), output buffering throttles the
+// offered load itself -- which is exactly why the paper's Figure 7
+// throughput collapses under Synchronous Safety at large intervals.
+#pragma once
+
+#include "common/sim_clock.h"
+#include "net/output_buffer.h"
+#include "workload/web_server.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace crimes {
+
+struct WrkStats {
+  std::uint64_t completed_requests = 0;
+  std::uint64_t completed_handshakes = 0;
+  Nanos total_latency{0};
+  Nanos max_latency{0};
+  Nanos first_request{0};
+  Nanos last_response{0};
+  std::vector<Nanos> samples;  // one latency per completed request
+
+  [[nodiscard]] double mean_latency_ms() const {
+    return completed_requests == 0
+               ? 0.0
+               : to_ms(total_latency) /
+                     static_cast<double>(completed_requests);
+  }
+  // Latency percentile in [0, 100], like wrk's --latency histogram.
+  [[nodiscard]] double percentile_ms(double p) const;
+  // Requests per second over the active window.
+  [[nodiscard]] double throughput_rps(Nanos run_duration) const {
+    const double secs = to_sec(run_duration);
+    return secs <= 0.0 ? 0.0
+                       : static_cast<double>(completed_requests) / secs;
+  }
+};
+
+class WrkClient {
+ public:
+  WrkClient(WebServerWorkload& server, ExternalNetwork& network,
+            std::size_t connections, std::size_t requests_per_connection = 8);
+
+  // Opens all connections (staggered by a few microseconds each) and hooks
+  // the external network's delivery callback.
+  void start(Nanos at);
+
+  [[nodiscard]] const WrkStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t connections() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    bool established = false;
+    std::size_t requests_done = 0;
+  };
+
+  void open_connection(std::uint64_t conn, Nanos at);
+  void send_request(std::uint64_t conn, Nanos at);
+  void on_delivered(const DeliveredPacket& d);
+
+  WebServerWorkload* server_;
+  ExternalNetwork* network_;
+  std::size_t requests_per_connection_;
+  std::vector<Conn> conns_;
+  std::unordered_map<std::uint64_t, Nanos> request_sent_at_;
+  std::uint64_t next_request_id_ = 1;
+  WrkStats stats_;
+};
+
+}  // namespace crimes

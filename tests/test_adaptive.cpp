@@ -1,0 +1,133 @@
+// Tests: the adaptive epoch-interval controller and its Crimes
+// integration, plus the guest syscall dispatch path.
+#include "core/adaptive_interval.h"
+#include "core/crimes.h"
+#include "test_helpers.h"
+#include "workload/parsec.h"
+#include "workload/wrk_client.h"
+
+#include <gtest/gtest.h>
+
+namespace crimes {
+namespace {
+
+using testing::TestGuest;
+
+PhaseCosts pause_of(double ms) {
+  PhaseCosts costs;
+  costs.copy = millis(ms);
+  return costs;
+}
+
+TEST(AdaptiveInterval, DisabledControllerIsInert) {
+  AdaptiveIntervalConfig config;  // enabled = false
+  AdaptiveIntervalController controller(config, millis(100));
+  EXPECT_EQ(controller.observe(pause_of(50.0)), millis(100));
+  EXPECT_EQ(controller.adjustments(), 0u);
+}
+
+TEST(AdaptiveInterval, GrowsWhenOverheadAboveTarget) {
+  AdaptiveIntervalConfig config;
+  config.enabled = true;
+  config.target_overhead = 0.05;
+  AdaptiveIntervalController controller(config, millis(50));
+  // 10 ms pause on a 50 ms epoch = 20% overhead >> 5% target.
+  const Nanos next = controller.observe(pause_of(10.0));
+  EXPECT_GT(next, millis(50));
+  EXPECT_LE(next, millis(75));  // bounded by max_step = 1.5
+}
+
+TEST(AdaptiveInterval, ShrinksWhenOverheadBelowTarget) {
+  AdaptiveIntervalConfig config;
+  config.enabled = true;
+  config.target_overhead = 0.05;
+  AdaptiveIntervalController controller(config, millis(200));
+  // 1 ms pause on 200 ms = 0.5% overhead: far below target; shrink.
+  const Nanos next = controller.observe(pause_of(1.0));
+  EXPECT_LT(next, millis(200));
+  EXPECT_GE(next, config.min_interval);
+}
+
+TEST(AdaptiveInterval, RespectsClampWindow) {
+  AdaptiveIntervalConfig config;
+  config.enabled = true;
+  config.min_interval = millis(40);
+  config.max_interval = millis(120);
+  AdaptiveIntervalController controller(config, millis(100));
+  for (int i = 0; i < 20; ++i) (void)controller.observe(pause_of(100.0));
+  EXPECT_EQ(controller.interval(), millis(120));
+  for (int i = 0; i < 20; ++i) (void)controller.observe(pause_of(0.01));
+  EXPECT_EQ(controller.interval(), millis(40));
+}
+
+TEST(AdaptiveInterval, ConvergesToTargetRatioForConstantPause) {
+  AdaptiveIntervalConfig config;
+  config.enabled = true;
+  config.target_overhead = 0.10;
+  config.min_interval = millis(10);
+  config.max_interval = millis(500);
+  AdaptiveIntervalController controller(config, millis(20));
+  for (int i = 0; i < 50; ++i) (void)controller.observe(pause_of(5.0));
+  // 5 ms pause at 10% target => 50 ms interval.
+  EXPECT_NEAR(to_ms(controller.interval()), 50.0, 5.0);
+}
+
+TEST(AdaptiveInterval, CrimesIntegrationTunesTheEpoch) {
+  TestGuest guest;
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(millis(20));
+  config.record_execution = false;
+  config.adaptive.enabled = true;
+  config.adaptive.target_overhead = 0.02;  // strict: forces adjustments
+  config.adaptive.min_interval = millis(20);
+  config.adaptive.max_interval = millis(200);
+  Crimes crimes(guest.hypervisor, *guest.kernel, config);
+
+  ParsecProfile profile = ParsecProfile::by_name("raytrace");
+  profile.working_set_pages = 512;
+  profile.touches_per_ms = 30.0;
+  profile.duration_ms = 2000.0;
+  ParsecWorkload app(*guest.kernel, profile);
+  crimes.set_workload(&app);
+  crimes.initialize();
+  EXPECT_EQ(crimes.current_interval(), millis(20));
+
+  (void)crimes.run(millis(3000));
+  EXPECT_GT(crimes.interval_adjustments(), 0u);
+  EXPECT_GT(crimes.current_interval(), millis(20));
+}
+
+TEST(GuestSyscall, DispatchReflectsHijack) {
+  TestGuest guest;
+  const auto clean = guest.kernel->invoke_syscall(5, 0xFEED);
+  EXPECT_FALSE(clean.hijacked);
+  EXPECT_EQ(clean.retval, 5u);
+  EXPECT_EQ(clean.handler, guest.kernel->pristine_syscall_handler(5));
+
+  // Hijack with a handler pointing into attacker-controlled heap.
+  const Vaddr rogue = guest.kernel->heap().malloc(64);
+  guest.kernel->attack_hijack_syscall(5, rogue);
+  const auto owned = guest.kernel->invoke_syscall(5, 0xFEED);
+  EXPECT_TRUE(owned.hijacked);
+  EXPECT_EQ(owned.handler, rogue);
+  // Behavioural evidence: the hook siphoned the argument.
+  EXPECT_EQ(guest.kernel->read_value<std::uint64_t>(rogue), 0xFEEDu);
+  // Other syscalls are unaffected.
+  EXPECT_FALSE(guest.kernel->invoke_syscall(6, 1).hijacked);
+}
+
+TEST(WrkStats, PercentilesFromSamples) {
+  WrkStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.samples.push_back(millis(i));
+  }
+  EXPECT_NEAR(stats.percentile_ms(0), 1.0, 0.01);
+  EXPECT_NEAR(stats.percentile_ms(50), 50.5, 1.0);
+  EXPECT_NEAR(stats.percentile_ms(99), 99.01, 1.0);
+  EXPECT_NEAR(stats.percentile_ms(100), 100.0, 0.01);
+  WrkStats empty;
+  EXPECT_DOUBLE_EQ(empty.percentile_ms(50), 0.0);
+}
+
+}  // namespace
+}  // namespace crimes

@@ -1,0 +1,143 @@
+// Tests: the multi-tenant cloud host ("security as a cloud service",
+// section 2) -- per-tenant policies, attack isolation, memory accounting.
+#include "cloud/cloud_host.h"
+#include "detect/canary_scan.h"
+#include "detect/malware_scan.h"
+#include "workload/malware.h"
+#include "workload/parsec.h"
+
+#include <gtest/gtest.h>
+
+namespace crimes {
+namespace {
+
+GuestConfig small_guest(OsFlavor flavor = OsFlavor::Linux) {
+  GuestConfig gc;
+  gc.page_count = 2048;
+  gc.task_slab_pages = 4;
+  gc.canary_table_pages = 8;
+  gc.flavor = flavor;
+  return gc;
+}
+
+CrimesConfig tenant_crimes(Nanos interval = millis(50)) {
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(interval);
+  config.record_execution = false;
+  return config;
+}
+
+ParsecProfile small_profile(double duration_ms = 400.0) {
+  ParsecProfile profile = ParsecProfile::by_name("raytrace");
+  profile.working_set_pages = 256;
+  profile.touches_per_ms = 5.0;
+  profile.duration_ms = duration_ms;
+  return profile;
+}
+
+TEST(CloudHost, RunsMultipleTenantsToCompletion) {
+  CloudHost host(1u << 19);
+  Tenant& a = host.admit({"tenant-a", small_guest(), tenant_crimes()});
+  Tenant& b = host.admit({"tenant-b", small_guest(), tenant_crimes()});
+  EXPECT_EQ(host.tenant_count(), 2u);
+
+  ParsecWorkload wa(a.kernel(), small_profile(), 1);
+  ParsecWorkload wb(b.kernel(), small_profile(), 2);
+  a.set_workload(&wa);
+  b.set_workload(&wb);
+  host.initialize_all();
+
+  const CloudRunReport report = host.run(millis(400));
+  EXPECT_EQ(report.tenants_attacked, 0u);
+  EXPECT_EQ(report.epochs_scheduled, 16u);  // 2 tenants x 8 epochs
+  EXPECT_TRUE(wa.finished());
+  EXPECT_TRUE(wb.finished());
+  EXPECT_EQ(a.totals().epochs, 8u);
+  EXPECT_EQ(a.totals().checkpoints, 8u);
+}
+
+TEST(CloudHost, AttackedTenantIsFrozenOthersUnaffected) {
+  CloudHost host(1u << 19);
+  Tenant& victim =
+      host.admit({"victim", small_guest(OsFlavor::Windows), tenant_crimes()});
+  Tenant& bystander =
+      host.admit({"bystander", small_guest(), tenant_crimes()});
+
+  victim.crimes().add_module(std::make_unique<MalwareScanModule>(
+      MalwareScanModule::default_blacklist()));
+  MalwareWorkload evil(victim.kernel(), victim.crimes().nic(), millis(120));
+  ParsecWorkload good(bystander.kernel(), small_profile(), 3);
+  victim.set_workload(&evil);
+  bystander.set_workload(&good);
+  host.initialize_all();
+
+  const CloudRunReport report = host.run(millis(400));
+  EXPECT_EQ(report.tenants_attacked, 1u);
+  ASSERT_EQ(report.attacked_tenants.size(), 1u);
+  EXPECT_EQ(report.attacked_tenants[0], "victim");
+
+  EXPECT_TRUE(victim.frozen());
+  EXPECT_EQ(victim.kernel().vm().state(), VmState::Paused);
+  EXPECT_NE(victim.crimes().attack(), nullptr);
+
+  // The bystander ran to completion, unperturbed.
+  EXPECT_FALSE(bystander.frozen());
+  EXPECT_TRUE(good.finished());
+  EXPECT_EQ(bystander.totals().checkpoints, 8u);
+  EXPECT_EQ(bystander.kernel().vm().state(), VmState::Running);
+}
+
+TEST(CloudHost, PerTenantPoliciesCoexist) {
+  CloudHost host(1u << 19);
+  CrimesConfig sync = tenant_crimes(millis(50));
+  CrimesConfig best_effort = tenant_crimes(millis(100));
+  best_effort.mode = SafetyMode::BestEffort;
+
+  Tenant& a = host.admit({"sync-50ms", small_guest(), sync});
+  Tenant& b = host.admit({"be-100ms", small_guest(), best_effort});
+  ParsecWorkload wa(a.kernel(), small_profile(), 4);
+  ParsecWorkload wb(b.kernel(), small_profile(), 5);
+  a.set_workload(&wa);
+  b.set_workload(&wb);
+  host.initialize_all();
+  (void)host.run(millis(400));
+
+  EXPECT_EQ(a.totals().epochs, 8u);   // 400/50
+  EXPECT_EQ(b.totals().epochs, 4u);   // 400/100
+}
+
+TEST(CloudHost, MemoryReportShowsTheDoublingCost) {
+  CloudHost host(1u << 19);
+  Tenant& protected_tenant =
+      host.admit({"protected", small_guest(), tenant_crimes()});
+  CrimesConfig disabled = tenant_crimes();
+  disabled.mode = SafetyMode::Disabled;
+  Tenant& unprotected = host.admit({"unprotected", small_guest(), disabled});
+
+  ParsecWorkload wa(protected_tenant.kernel(), small_profile(), 6);
+  ParsecWorkload wb(unprotected.kernel(), small_profile(), 7);
+  protected_tenant.set_workload(&wa);
+  unprotected.set_workload(&wb);
+  host.initialize_all();
+  (void)host.run(millis(200));
+
+  const CloudMemoryReport report = host.memory_report();
+  ASSERT_EQ(report.rows.size(), 2u);
+  // The protected tenant pays for a backup image ~equal to its touched
+  // footprint ("CRIMES doubles the VM's memory cost", section 3.3).
+  EXPECT_NEAR(report.rows[0].overhead_factor(), 2.0, 0.1);
+  EXPECT_DOUBLE_EQ(report.rows[1].overhead_factor(), 1.0);
+  EXPECT_EQ(report.machine_frames_in_use,
+            report.rows[0].primary_pages + report.rows[0].backup_pages +
+                report.rows[1].primary_pages);
+}
+
+TEST(CloudHost, TenantLookupByName) {
+  CloudHost host(1u << 19);
+  (void)host.admit({"alpha", small_guest(), tenant_crimes()});
+  EXPECT_EQ(host.tenant("alpha").name(), "alpha");
+  EXPECT_THROW((void)host.tenant("missing"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace crimes

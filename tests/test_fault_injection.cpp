@@ -1,0 +1,156 @@
+// Fault-injection tests: forensics and introspection must degrade
+// gracefully, never crash, when an attacker corrupts the structures they
+// parse -- a real constraint for tools that analyze hostile memory.
+#include "common/rng.h"
+#include "forensics/memory_dump.h"
+#include "forensics/plugins.h"
+#include "test_helpers.h"
+#include "vmi/vmi_session.h"
+
+#include <gtest/gtest.h>
+
+namespace crimes {
+namespace {
+
+using testing::TestGuest;
+namespace fx = forensics;
+
+MemoryDump dump_of(TestGuest& guest) {
+  return MemoryDump::capture(*guest.vm, guest.kernel->symbols(),
+                             guest.kernel->flavor(), "fi", Nanos{0});
+}
+
+TEST(FaultInjection, PslistSurvivesNextPointerToGarbage) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("broken", 1);
+  const Vaddr task = guest.kernel->task_va(pid);
+  // Point the chain at an unmapped address.
+  guest.kernel->write_value<std::uint64_t>(task + TaskLayout::kNextOff,
+                                           kVaBase + 17);
+  const auto listed = fx::pslist(dump_of(guest));
+  // Partial results up to the corruption, no crash.
+  EXPECT_FALSE(listed.empty());
+  // psscan is unaffected by pointer corruption.
+  bool scan_sees_broken = false;
+  for (const auto& p : fx::psscan(dump_of(guest))) {
+    if (p.name == "broken") scan_sees_broken = true;
+  }
+  EXPECT_TRUE(scan_sees_broken);
+}
+
+TEST(FaultInjection, PslistSurvivesSelfLoop) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("loop", 1);
+  const Vaddr task = guest.kernel->task_va(pid);
+  guest.kernel->write_value<std::uint64_t>(task + TaskLayout::kNextOff,
+                                           task.value());
+  // The walk is bounded; it must return, not spin.
+  const auto listed = fx::pslist(dump_of(guest));
+  EXPECT_FALSE(listed.empty());
+}
+
+TEST(FaultInjection, VmiSurvivesShreddedPageTable) {
+  TestGuest guest;
+  // Shred a swath of PTEs covering the task slab.
+  GuestPageTable& pt = guest.kernel->page_table();
+  const std::uint64_t slab_vpn = guest.kernel->layout().task_slab.value();
+  pt.set_entry(slab_vpn, Pfn{slab_vpn}, 0);
+
+  VmiSession vmi(guest.hypervisor, guest.vm->id(), guest.kernel->symbols(),
+                 guest.kernel->flavor(), CostModel::defaults());
+  vmi.init();
+  vmi.preprocess();
+  // Walking tasks now faults mid-walk; that must surface as VmiError.
+  EXPECT_THROW((void)vmi.process_list(), VmiError);
+}
+
+TEST(FaultInjection, DumpTranslationSurvivesCorruptCr3) {
+  TestGuest guest;
+  guest.vm->vcpu().cr3 = 0xFFFFFFFFFF000ULL;  // way out of range
+  const MemoryDump dump = dump_of(guest);
+  EXPECT_FALSE(dump.read_u64(Vaddr{kVaBase + kPageSize}).has_value());
+  EXPECT_TRUE(fx::pslist(dump).empty());
+  // Physical sweeps still work without translation.
+  EXPECT_FALSE(fx::psscan(dump).empty());
+}
+
+TEST(FaultInjection, PsscanIgnoresImplausibleRecords) {
+  TestGuest guest;
+  // Forge magic values with garbage fields in the heap.
+  const Vaddr spot = guest.kernel->heap().malloc(2 * TaskLayout::kSize);
+  const Vaddr aligned{(spot.value() + 15) & ~std::uint64_t{15}};
+  guest.kernel->write_value<std::uint32_t>(
+      aligned + TaskLayout::kMagicOff, TaskLayout::kMagic);
+  guest.kernel->write_value<std::uint32_t>(
+      aligned + TaskLayout::kPidOff, 99'000'000u);  // implausible pid
+  const auto before = fx::psscan(dump_of(guest)).size();
+  // The forged record must have been filtered.
+  for (const auto& p : fx::psscan(dump_of(guest))) {
+    EXPECT_LT(p.pid.value(), 4'000'001u);
+  }
+  EXPECT_EQ(before, guest.kernel->process_list_ground_truth().size() + 1);
+  // (+1 is the pid-0 sentinel, which psscan legitimately sees.)
+}
+
+TEST(FaultInjection, NetscanSurvivesCorruptMagics) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("s", 1);
+  (void)guest.kernel->open_socket(SocketInfo{
+      .pid = pid, .proto = 6, .state = 1,
+      .local_ip = 1, .local_port = 2, .remote_ip = 3, .remote_port = 4,
+      .entry_va = Vaddr{0}});
+  // Corrupt the magic of the *first* slot: the scan keeps going and just
+  // skips the mangled record.
+  const Vaddr table = guest.kernel->symbols().lookup("tcp_hashinfo");
+  guest.kernel->write_value<std::uint32_t>(table + SocketLayout::kMagicOff,
+                                           0xDEADBEEF);
+  EXPECT_TRUE(fx::netscan(dump_of(guest)).empty() ||
+              fx::netscan(dump_of(guest)).size() <= 1);
+}
+
+TEST(FaultInjection, RandomByteFlipsNeverCrashForensics) {
+  // Property: arbitrary single-page corruption anywhere in the guest must
+  // never make the plugin suite throw or hang.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    TestGuest guest;
+    (void)guest.kernel->spawn_process("victim", 1);
+    Rng rng(seed);
+    for (int flips = 0; flips < 64; ++flips) {
+      const Pfn pfn{1 + rng.next_below(guest.vm->page_count() - 1)};
+      const std::uint64_t off = rng.next_below(kPageSize);
+      guest.vm->page(pfn).data[off] ^= std::byte{0xFF};
+    }
+    const MemoryDump dump = dump_of(guest);
+    EXPECT_NO_THROW({
+      (void)fx::pslist(dump);
+      (void)fx::psscan(dump);
+      (void)fx::psxview(dump);
+      (void)fx::modscan(dump);
+      (void)fx::netscan(dump);
+      (void)fx::handles(dump);
+      (void)fx::syscall_table(dump);
+      (void)fx::malfind(dump);
+      (void)fx::timeline(dump);
+    }) << "seed " << seed;
+  }
+}
+
+TEST(FaultInjection, VmiRandomReadsAreBoundedErrors) {
+  TestGuest guest;
+  VmiSession vmi(guest.hypervisor, guest.vm->id(), guest.kernel->symbols(),
+                 guest.kernel->flavor(), CostModel::defaults());
+  vmi.init();
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const Vaddr va{rng.next_u64()};
+    try {
+      (void)vmi.read_u64(va);
+    } catch (const VmiError&) {
+      // expected for unmapped/garbage addresses
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace crimes

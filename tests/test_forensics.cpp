@@ -1,0 +1,268 @@
+// Unit tests: memory dumps and the Volatility-style plugins.
+#include "forensics/memory_dump.h"
+#include "forensics/plugins.h"
+#include "forensics/report.h"
+#include "test_helpers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace crimes {
+namespace {
+
+using testing::TestGuest;
+namespace fx = forensics;
+
+MemoryDump dump_of(TestGuest& guest, const std::string& label = "t") {
+  return MemoryDump::capture(*guest.vm, guest.kernel->symbols(),
+                             guest.kernel->flavor(), label, Nanos{0});
+}
+
+TEST(MemoryDump, CaptureIsAFrozenCopy) {
+  TestGuest guest;
+  const MemoryDump dump = dump_of(guest);
+  const Pid pid = guest.kernel->spawn_process("after-dump", 1);
+  (void)pid;
+  // The dump does not see post-capture changes.
+  const auto before = fx::pslist(dump).size();
+  const MemoryDump dump2 = dump_of(guest);
+  EXPECT_EQ(fx::pslist(dump2).size(), before + 1);
+}
+
+TEST(MemoryDump, TranslationFaultsReturnNullopt) {
+  TestGuest guest;
+  const MemoryDump dump = dump_of(guest);
+  EXPECT_FALSE(dump.read_u64(Vaddr{kVaBase + 8}).has_value());  // guard page
+  EXPECT_FALSE(dump.read_u64(Vaddr{123}).has_value());
+  EXPECT_TRUE(dump.read_u64(Vaddr{kVaBase + kPageSize}).has_value());
+}
+
+TEST(Pslist, MatchesGroundTruth) {
+  TestGuest guest;
+  (void)guest.kernel->spawn_process("listed", 5);
+  const MemoryDump dump = dump_of(guest);
+  const auto truth = guest.kernel->process_list_ground_truth();
+  const auto listed = fx::pslist(dump);
+  ASSERT_EQ(listed.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(listed[i].pid, truth[i].pid);
+    EXPECT_EQ(listed[i].name, truth[i].name);
+  }
+}
+
+TEST(Psscan, FindsUnlinkedProcessThatPslistMisses) {
+  TestGuest guest;
+  const Pid hidden = guest.kernel->spawn_process("deep-ghost", 0);
+  guest.kernel->attack_hide_process(hidden, /*scrub_pid_hash=*/true);
+  const MemoryDump dump = dump_of(guest);
+
+  const auto listed = fx::pslist(dump);
+  EXPECT_EQ(std::find_if(listed.begin(), listed.end(),
+                         [&](const fx::PsEntry& p) {
+                           return p.pid == hidden;
+                         }),
+            listed.end());
+
+  const auto scanned = fx::psscan(dump);
+  EXPECT_NE(std::find_if(scanned.begin(), scanned.end(),
+                         [&](const fx::PsEntry& p) {
+                           return p.pid == hidden && p.name == "deep-ghost";
+                         }),
+            scanned.end());
+}
+
+TEST(Psscan, DoesNotResurrectExitedProcesses) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("short-lived", 1);
+  guest.kernel->exit_process(pid);
+  const MemoryDump dump = dump_of(guest);
+  for (const auto& p : fx::psscan(dump)) {
+    EXPECT_NE(p.pid, pid) << "freed slab slot still matched";
+  }
+}
+
+TEST(Psxview, HiddenRowIsMarkedSuspicious) {
+  TestGuest guest;
+  const Pid hidden = guest.kernel->spawn_process("stealthy", 0);
+  guest.kernel->attack_hide_process(hidden);
+  const MemoryDump dump = dump_of(guest);
+
+  const auto rows = fx::psxview(dump);
+  bool found = false;
+  for (const auto& row : rows) {
+    if (row.proc.pid == hidden) {
+      found = true;
+      EXPECT_FALSE(row.in_pslist);
+      EXPECT_TRUE(row.in_psscan);
+      EXPECT_TRUE(row.in_pid_hash);
+      EXPECT_TRUE(row.suspicious());
+    } else {
+      EXPECT_TRUE(row.in_pslist) << row.proc.name;
+      EXPECT_FALSE(row.suspicious());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Modscan, SeesUnlinkedModule) {
+  TestGuest guest;
+  guest.kernel->load_module("rootkit_lkm", 8192);
+  // Simulate DKOM: unlink the module but leave the record.
+  const auto mods = guest.kernel->module_list_ground_truth();
+  const auto it =
+      std::find_if(mods.begin(), mods.end(), [](const ModuleInfo& m) {
+        return m.name == "rootkit_lkm";
+      });
+  ASSERT_NE(it, mods.end());
+  const Vaddr node = it->module_va;
+  const Vaddr next{guest.kernel->read_value<std::uint64_t>(
+      node + ModuleLayout::kNextOff)};
+  const Vaddr prev{guest.kernel->read_value<std::uint64_t>(
+      node + ModuleLayout::kPrevOff)};
+  guest.kernel->write_value<std::uint64_t>(prev + ModuleLayout::kNextOff,
+                                           next.value());
+  guest.kernel->write_value<std::uint64_t>(next + ModuleLayout::kPrevOff,
+                                           prev.value());
+
+  const MemoryDump dump = dump_of(guest);
+  bool found_unlinked = false;
+  for (const auto& m : fx::modscan(dump)) {
+    if (m.name == "rootkit_lkm") {
+      found_unlinked = true;
+      EXPECT_FALSE(m.in_list);
+    }
+  }
+  EXPECT_TRUE(found_unlinked);
+}
+
+TEST(Netscan, ParsesSocketTable) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("client", 1);
+  (void)guest.kernel->open_socket(SocketInfo{
+      .pid = pid,
+      .proto = 6,
+      .state = 8,
+      .local_ip = make_ipv4(192, 168, 1, 76),
+      .local_port = 49164,
+      .remote_ip = make_ipv4(104, 28, 18, 89),
+      .remote_port = 8080,
+      .entry_va = Vaddr{0},
+  });
+  const MemoryDump dump = dump_of(guest);
+  const auto rows = fx::netscan(dump);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].local, "192.168.1.76:49164");
+  EXPECT_EQ(rows[0].remote, "104.28.18.89:8080");
+  EXPECT_STREQ(fx::tcp_state_name(rows[0].state), "CLOSE_WAIT");
+  EXPECT_EQ(rows[0].pid, pid);
+}
+
+TEST(Handles, ParsesFileTable) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("writer", 1);
+  (void)guest.kernel->open_file(pid, "/tmp/a.txt");
+  (void)guest.kernel->open_file(pid, "/tmp/b.txt");
+  const MemoryDump dump = dump_of(guest);
+  const auto rows = fx::handles(dump);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].path, "/tmp/a.txt");
+  EXPECT_EQ(rows[1].pid, pid);
+}
+
+TEST(Procdump, ExtractsImageEvenForHiddenProcess) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("malware.exe", 1000);
+  guest.kernel->attack_hide_process(pid);
+  const MemoryDump dump = dump_of(guest);
+  const auto result = fx::procdump(dump, pid);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->proc.name, "malware.exe");
+  EXPECT_EQ(result->image.size(), kPageSize);
+  EXPECT_FALSE(fx::procdump(dump, Pid{99999}).has_value());
+}
+
+TEST(ProcMapsAndDumpMap, CoverHeapRegion) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("mapped", 1000);
+  const MemoryDump dump = dump_of(guest);
+  const auto regions = fx::proc_maps(dump, pid);
+  ASSERT_FALSE(regions.empty());
+  const auto heap_it =
+      std::find_if(regions.begin(), regions.end(), [](const fx::VadRegion& r) {
+        return r.label == "[heap]";
+      });
+  ASSERT_NE(heap_it, regions.end());
+  const auto bytes = fx::dump_map(dump, *heap_it, 1024);
+  EXPECT_EQ(bytes.size(), 1024u);
+}
+
+TEST(SyscallTablePlugin, ReadsAllEntries) {
+  TestGuest guest;
+  guest.kernel->attack_hijack_syscall(3, Vaddr{kVaBase + 0x5000});
+  const MemoryDump dump = dump_of(guest);
+  const auto table = fx::syscall_table(dump);
+  ASSERT_EQ(table.size(), kSyscallCount);
+  EXPECT_EQ(table[3], kVaBase + 0x5000);
+}
+
+TEST(DumpDiff, SurfacesAttackDeltas) {
+  TestGuest guest;
+  const MemoryDump before = dump_of(guest, "before");
+
+  const Pid pid = guest.kernel->spawn_process("dropper", 1000);
+  (void)guest.kernel->open_socket(SocketInfo{
+      .pid = pid, .proto = 6, .state = 1,
+      .local_ip = make_ipv4(10, 0, 0, 5), .local_port = 1234,
+      .remote_ip = make_ipv4(6, 6, 6, 6), .remote_port = 443,
+      .entry_va = Vaddr{0}});
+  (void)guest.kernel->open_file(pid, "/etc/shadow");
+  guest.kernel->attack_hijack_syscall(11, Vaddr{kVaBase + 0x9000});
+  const MemoryDump after = dump_of(guest, "after");
+
+  const fx::DumpDiff diff = fx::DumpDiff::compute(before, after);
+  EXPECT_FALSE(diff.empty());
+  EXPECT_GT(diff.changed_pages.size(), 0u);
+  ASSERT_EQ(diff.new_processes.size(), 1u);
+  EXPECT_EQ(diff.new_processes[0].name, "dropper");
+  ASSERT_EQ(diff.new_sockets.size(), 1u);
+  EXPECT_EQ(diff.new_sockets[0].remote, "6.6.6.6:443");
+  ASSERT_EQ(diff.new_handles.size(), 1u);
+  EXPECT_EQ(diff.new_handles[0].path, "/etc/shadow");
+  ASSERT_EQ(diff.changed_syscall_slots.size(), 1u);
+  EXPECT_EQ(diff.changed_syscall_slots[0], 11u);
+  EXPECT_TRUE(diff.exited_processes.empty());
+}
+
+TEST(DumpDiff, IdenticalDumpsAreEmpty) {
+  TestGuest guest;
+  const MemoryDump a = dump_of(guest, "a");
+  const MemoryDump b = dump_of(guest, "b");
+  EXPECT_TRUE(fx::DumpDiff::compute(a, b).empty());
+}
+
+TEST(Report, RendersSectionsAndTables) {
+  fx::ForensicReport report("unit-test");
+  report.add_section("Summary", "two findings");
+  report.add_table("Procs", {"Name", "PID"}, {{"evil", "42"}, {"good", "7"}});
+  EXPECT_EQ(report.section_count(), 2u);
+  EXPECT_TRUE(report.contains("unit-test"));
+  EXPECT_TRUE(report.contains("evil"));
+  EXPECT_TRUE(report.contains("Name"));
+  EXPECT_FALSE(report.contains("absent"));
+}
+
+TEST(Report, PluginRenderersProduceAlignedOutput) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("rowproc", 1);
+  (void)pid;
+  const MemoryDump dump = dump_of(guest);
+  const std::string ps = fx::render_pslist(fx::pslist(dump));
+  EXPECT_NE(ps.find("rowproc"), std::string::npos);
+  EXPECT_NE(ps.find("PID"), std::string::npos);
+  const std::string psx = fx::render_psxview(fx::psxview(dump));
+  EXPECT_NE(psx.find("pslist"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crimes

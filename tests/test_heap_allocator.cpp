@@ -1,0 +1,144 @@
+// Unit + property tests: the canary-placing guest heap allocator.
+#include "common/rng.h"
+#include "guestos/guest_kernel.h"
+#include "test_helpers.h"
+
+#include <gtest/gtest.h>
+
+namespace crimes {
+namespace {
+
+using testing::TestGuest;
+
+TEST(HeapAllocator, MallocPlacesCorrectCanary) {
+  TestGuest guest;
+  HeapAllocator& heap = guest.kernel->heap();
+  const Vaddr obj = heap.malloc(100);
+  const Vaddr canary = obj + 100;
+  const auto value = guest.kernel->read_value<std::uint64_t>(canary);
+  EXPECT_EQ(value, heap.expected_canary(canary));
+  EXPECT_EQ(heap.stats().live_objects, 1u);
+}
+
+TEST(HeapAllocator, TableEntriesMirroredInGuestMemory) {
+  TestGuest guest;
+  HeapAllocator& heap = guest.kernel->heap();
+  const Vaddr obj = heap.malloc(64);
+  const Vaddr table = guest.kernel->symbols().lookup("__crimes_canary_table");
+  EXPECT_EQ(guest.kernel->read_value<std::uint64_t>(
+                table + CanaryTableLayout::kCountOff),
+            1u);
+  const Vaddr entry = table + CanaryTableLayout::kHeaderSize;
+  EXPECT_EQ(guest.kernel->read_value<std::uint64_t>(
+                entry + CanaryTableLayout::kEntryObjOff),
+            obj.value());
+  EXPECT_EQ(guest.kernel->read_value<std::uint64_t>(
+                entry + CanaryTableLayout::kEntrySizeOff),
+            64u);
+}
+
+TEST(HeapAllocator, FreeValidatesCanary) {
+  TestGuest guest;
+  HeapAllocator& heap = guest.kernel->heap();
+  const Vaddr good = heap.malloc(64);
+  EXPECT_TRUE(heap.free(good));
+
+  const Vaddr bad = heap.malloc(64);
+  guest.kernel->write_value<std::uint64_t>(bad + 64, 0xBADBADBADULL);
+  EXPECT_FALSE(heap.free(bad));  // corruption reported
+
+  EXPECT_THROW((void)heap.free(Vaddr{kVaBase + 0x123000}), std::out_of_range);
+}
+
+TEST(HeapAllocator, FreedBlocksAreReused) {
+  TestGuest guest;
+  HeapAllocator& heap = guest.kernel->heap();
+  const Vaddr a = heap.malloc(256);
+  ASSERT_TRUE(heap.free(a));
+  const Vaddr b = heap.malloc(256);
+  EXPECT_EQ(a, b);  // first-fit reuse
+}
+
+TEST(HeapAllocator, ZeroSizeBecomesOneByte) {
+  TestGuest guest;
+  const Vaddr obj = guest.kernel->heap().malloc(0);
+  EXPECT_FALSE(obj.is_null());
+  EXPECT_TRUE(guest.kernel->heap().free(obj));
+}
+
+TEST(HeapAllocator, ExhaustionThrowsBadAlloc) {
+  GuestConfig config = TestGuest::small_config();
+  config.page_count = 512;
+  config.canary_table_pages = 1;
+  TestGuest guest(config);
+  HeapAllocator& heap = guest.kernel->heap();
+  EXPECT_THROW(
+      [&] {
+        for (int i = 0; i < 100000; ++i) (void)heap.malloc(4096);
+      }(),
+      std::bad_alloc);
+  EXPECT_GT(heap.stats().failed_allocs, 0u);
+}
+
+TEST(HeapAllocator, SwapRemoveKeepsTableConsistent) {
+  TestGuest guest;
+  HeapAllocator& heap = guest.kernel->heap();
+  std::vector<Vaddr> objs;
+  for (int i = 0; i < 10; ++i) objs.push_back(heap.malloc(32));
+  ASSERT_TRUE(heap.free(objs[3]));  // middle removal swaps the last entry in
+
+  // Every remaining live object still has a valid, correctly-indexed entry.
+  const auto live = heap.live_objects();
+  EXPECT_EQ(live.size(), 9u);
+  for (const auto& [obj, canary] : live) {
+    EXPECT_EQ(guest.kernel->read_value<std::uint64_t>(canary),
+              heap.expected_canary(canary));
+  }
+  // And freeing all of them still validates.
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    if (i == 3) continue;
+    EXPECT_TRUE(heap.free(objs[i]));
+  }
+  EXPECT_EQ(heap.stats().live_objects, 0u);
+}
+
+// Property: random malloc/free/write sequences never corrupt canaries, and
+// every canary in the table always validates.
+class HeapChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapChurn, CanariesSurviveRandomInBoundsTraffic) {
+  TestGuest guest;
+  HeapAllocator& heap = guest.kernel->heap();
+  Rng rng(GetParam());
+  std::vector<std::pair<Vaddr, std::size_t>> live;
+
+  for (int step = 0; step < 2000; ++step) {
+    const double roll = rng.next_double();
+    if (roll < 0.4 || live.empty()) {
+      const std::size_t size = 8 + rng.next_below(500);
+      live.emplace_back(heap.malloc(size), size);
+    } else if (roll < 0.7) {
+      const std::size_t i = rng.next_below(live.size());
+      EXPECT_TRUE(heap.free(live[i].first));
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      const auto& [obj, size] = live[rng.next_below(live.size())];
+      const std::uint64_t off = rng.next_below(size - 7);  // in-bounds u64
+      guest.kernel->write_value<std::uint64_t>(obj + off, rng.next_u64());
+    }
+  }
+  // Full validation sweep.
+  for (const auto& [obj, canary] : heap.live_objects()) {
+    EXPECT_EQ(guest.kernel->read_value<std::uint64_t>(canary),
+              heap.expected_canary(canary))
+        << "canary corrupted by in-bounds traffic";
+  }
+  EXPECT_EQ(heap.stats().live_objects, live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapChurn,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace crimes

@@ -1,0 +1,35 @@
+// Shared fixtures/helpers for the CRIMES test suite.
+#pragma once
+
+#include "core/crimes.h"
+#include "guestos/guest_kernel.h"
+#include "hypervisor/hypervisor.h"
+
+#include <memory>
+
+namespace crimes::testing {
+
+// A small booted guest on its own hypervisor, sized for fast tests.
+struct TestGuest {
+  explicit TestGuest(GuestConfig config = small_config()) : kernel_holder() {
+    vm = &hypervisor.create_domain("test-vm", config.page_count);
+    kernel_holder = std::make_unique<GuestKernel>(*vm, config);
+    kernel = kernel_holder.get();
+    kernel->boot();
+  }
+
+  [[nodiscard]] static GuestConfig small_config() {
+    GuestConfig config;
+    config.page_count = 2048;  // 8 MiB
+    config.task_slab_pages = 4;
+    config.canary_table_pages = 8;
+    return config;
+  }
+
+  Hypervisor hypervisor{1 << 20};  // 4 GiB machine
+  Vm* vm = nullptr;
+  std::unique_ptr<GuestKernel> kernel_holder;
+  GuestKernel* kernel = nullptr;
+};
+
+}  // namespace crimes::testing

@@ -1,0 +1,160 @@
+// Tests: kernel-text integrity scanning and the malfind/timeline plugins.
+#include "detect/kernel_text_scan.h"
+#include "forensics/memory_dump.h"
+#include "forensics/plugins.h"
+#include "test_helpers.h"
+#include "vmi/vmi_session.h"
+
+#include <gtest/gtest.h>
+
+namespace crimes {
+namespace {
+
+using testing::TestGuest;
+namespace fx = forensics;
+
+struct TextFixture {
+  TextFixture()
+      : guest(),
+        vmi(guest.hypervisor, guest.vm->id(), guest.kernel->symbols(),
+            guest.kernel->flavor(), CostModel::defaults()) {
+    vmi.init();
+    vmi.preprocess();
+    module.capture_baseline(vmi);
+  }
+
+  ScanContext ctx(std::span<const Pfn> dirty) {
+    return ScanContext{.vmi = vmi,
+                       .dirty = dirty,
+                       .costs = CostModel::defaults(),
+                       .pending_packets = nullptr,
+                       .now = Nanos{0}};
+  }
+
+  TestGuest guest;
+  VmiSession vmi;
+  KernelTextIntegrityModule module;
+};
+
+TEST(KernelText, Fnv1aIsStableAndSensitive) {
+  std::vector<std::byte> data(128, std::byte{0x41});
+  const auto h1 = fnv1a(data);
+  EXPECT_EQ(fnv1a(data), h1);
+  data[127] = std::byte{0x42};
+  EXPECT_NE(fnv1a(data), h1);
+}
+
+TEST(KernelText, CleanTextPasses) {
+  TextFixture f;
+  std::vector<Pfn> all;
+  for (std::size_t i = 0; i < f.guest.kernel->config().page_count; ++i) {
+    all.push_back(Pfn{i});
+  }
+  auto ctx = f.ctx(all);
+  EXPECT_TRUE(f.module.scan(ctx).clean());
+  EXPECT_GT(f.module.pages_rehashed(), 0u);
+}
+
+TEST(KernelText, InlineHookDetectedOnDirtyTextPage) {
+  TextFixture f;
+  const std::byte hook[] = {std::byte{0xE9}, std::byte{0xDE},
+                            std::byte{0xAD}, std::byte{0xBE},
+                            std::byte{0xEF}};  // jmp rel32
+  f.guest.kernel->attack_patch_kernel_text(3 * kPageSize + 16, hook);
+
+  const Pfn text_page{f.guest.kernel->layout().kernel_text.value() + 3};
+  std::vector<Pfn> dirty{text_page};
+  auto ctx = f.ctx(dirty);
+  const ScanResult result = f.module.scan(ctx);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_NE(result.findings[0].description.find("page 3"),
+            std::string::npos);
+}
+
+TEST(KernelText, NonTextDirtIsFreeToScan) {
+  TextFixture f;
+  std::vector<Pfn> dirty{f.guest.kernel->layout().heap_base};
+  auto ctx = f.ctx(dirty);
+  const ScanResult result = f.module.scan(ctx);
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(f.module.pages_rehashed(), 0u);
+  EXPECT_LT(result.cost, micros(50));
+}
+
+TEST(KernelText, BaselineRequired) {
+  TestGuest guest;
+  VmiSession vmi(guest.hypervisor, guest.vm->id(), guest.kernel->symbols(),
+                 guest.kernel->flavor(), CostModel::defaults());
+  vmi.init();
+  KernelTextIntegrityModule module;
+  std::vector<Pfn> dirty;
+  ScanContext ctx{.vmi = vmi,
+                  .dirty = dirty,
+                  .costs = CostModel::defaults(),
+                  .pending_packets = nullptr,
+                  .now = Nanos{0}};
+  EXPECT_THROW((void)module.scan(ctx), std::logic_error);
+}
+
+TEST(Malfind, FindsPlantedShellcodeOnly) {
+  TestGuest guest;
+  const Vaddr spot = guest.kernel->heap().malloc(256);
+  guest.kernel->attack_plant_shellcode(spot);
+
+  const MemoryDump dump = MemoryDump::capture(
+      *guest.vm, guest.kernel->symbols(), guest.kernel->flavor(), "d",
+      Nanos{0});
+  const auto hits = fx::malfind(dump);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].va, spot);
+  EXPECT_NE(hits[0].reason.find("syscall stub"), std::string::npos);
+  EXPECT_EQ(hits[0].length, 24u + 9u);
+}
+
+TEST(Malfind, CleanGuestHasNoHits) {
+  TestGuest guest;
+  (void)guest.kernel->heap().malloc(512);
+  const MemoryDump dump = MemoryDump::capture(
+      *guest.vm, guest.kernel->symbols(), guest.kernel->flavor(), "d",
+      Nanos{0});
+  EXPECT_TRUE(fx::malfind(dump).empty());
+}
+
+TEST(Timeline, OrdersProcessStartsAndFlagsHidden) {
+  TestGuest guest;
+  guest.kernel->tick(1'000'000);  // 1 ms
+  (void)guest.kernel->spawn_process("early", 1);
+  guest.kernel->tick(5'000'000);
+  const Pid ghost = guest.kernel->spawn_process("ghost", 0);
+  guest.kernel->attack_hide_process(ghost);
+  guest.kernel->tick(2'000'000);
+  (void)guest.kernel->spawn_process("late", 1);
+
+  const MemoryDump dump = MemoryDump::capture(
+      *guest.vm, guest.kernel->symbols(), guest.kernel->flavor(), "d",
+      Nanos{0});
+  const auto events = fx::timeline(dump);
+  ASSERT_GE(events.size(), 3u);
+  // Sorted by time.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at_ns, events[i].at_ns);
+  }
+  // The hidden process appears, flagged.
+  bool ghost_flagged = false;
+  std::size_t ghost_idx = 0, late_idx = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].description.find("'ghost'") != std::string::npos) {
+      ghost_idx = i;
+      ghost_flagged =
+          events[i].description.find("HIDDEN") != std::string::npos;
+    }
+    if (events[i].description.find("'late'") != std::string::npos) {
+      late_idx = i;
+    }
+  }
+  EXPECT_TRUE(ghost_flagged);
+  EXPECT_LT(ghost_idx, late_idx);
+}
+
+}  // namespace
+}  // namespace crimes

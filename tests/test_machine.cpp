@@ -1,0 +1,72 @@
+// Unit tests: machine memory (frame pool).
+#include "machine/machine_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace crimes {
+namespace {
+
+TEST(MachineMemory, AllocatesZeroedFrames) {
+  MachineMemory mem(64);
+  const Mfn mfn = mem.allocate_frame();
+  for (const std::byte b : mem.frame(mfn).data) {
+    ASSERT_EQ(b, std::byte{0});
+  }
+  EXPECT_EQ(mem.allocated_frames(), 1u);
+}
+
+TEST(MachineMemory, FramesAreIndependent) {
+  MachineMemory mem(64);
+  const Mfn a = mem.allocate_frame();
+  const Mfn b = mem.allocate_frame();
+  mem.frame(a).data[0] = std::byte{0xAA};
+  EXPECT_EQ(mem.frame(b).data[0], std::byte{0});
+  EXPECT_EQ(mem.frame(a).data[0], std::byte{0xAA});
+}
+
+TEST(MachineMemory, CapacityEnforced) {
+  MachineMemory mem(3);
+  (void)mem.allocate_frames(3);
+  EXPECT_THROW((void)mem.allocate_frame(), std::bad_alloc);
+}
+
+TEST(MachineMemory, FreeingRecyclesAndZeroes) {
+  MachineMemory mem(2);
+  const Mfn a = mem.allocate_frame();
+  mem.frame(a).data[7] = std::byte{0x42};
+  mem.free_frame(a);
+  EXPECT_EQ(mem.allocated_frames(), 0u);
+  const Mfn b = mem.allocate_frame();
+  EXPECT_EQ(b, a);  // recycled
+  EXPECT_EQ(mem.frame(b).data[7], std::byte{0});  // scrubbed
+}
+
+TEST(MachineMemory, MfnsStableAcrossGrowth) {
+  MachineMemory mem(10000);
+  const Mfn first = mem.allocate_frame();
+  mem.frame(first).data[0] = std::byte{0x5A};
+  Page* const p = &mem.frame(first);
+  (void)mem.allocate_frames(9000);  // forces several chunk allocations
+  EXPECT_EQ(&mem.frame(first), p);  // no relocation
+  EXPECT_EQ(mem.frame(first).data[0], std::byte{0x5A});
+}
+
+TEST(MachineMemory, InvalidMfnRejected) {
+  MachineMemory mem(4);
+  (void)mem.allocate_frame();
+  EXPECT_THROW((void)mem.frame(Mfn{99}), std::out_of_range);
+  EXPECT_THROW((void)mem.frame(Mfn::invalid()), std::out_of_range);
+  EXPECT_THROW(mem.free_frame(Mfn{99}), std::out_of_range);
+}
+
+TEST(Page, EqualityIsByteWise) {
+  Page a, b;
+  EXPECT_EQ(a, b);
+  b.data[4095] = std::byte{1};
+  EXPECT_FALSE(a == b);
+  b.zero();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace crimes

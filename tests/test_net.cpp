@@ -1,0 +1,123 @@
+// Unit tests: NIC, output buffer (zero-window semantics) and disk overlay.
+#include "net/output_buffer.h"
+#include "net/virtual_disk.h"
+#include "net/virtual_nic.h"
+
+#include <gtest/gtest.h>
+
+namespace crimes {
+namespace {
+
+TEST(VirtualNic, StampsIdsAndTimes) {
+  VirtualNic nic;
+  std::vector<Packet> sent;
+  nic.set_sink([&](Packet&& p) { sent.push_back(std::move(p)); });
+  nic.send(Packet{.kind = PacketKind::Data, .size_bytes = 100, .payload = ""},
+           millis(5));
+  nic.send(Packet{.kind = PacketKind::Data, .size_bytes = 50, .payload = ""},
+           millis(6));
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[0].id, 1u);
+  EXPECT_EQ(sent[1].id, 2u);
+  EXPECT_EQ(sent[0].sent_at, millis(5));
+  EXPECT_EQ(nic.packets_sent(), 2u);
+  EXPECT_EQ(nic.bytes_sent(), 150u);
+}
+
+TEST(VirtualNic, NoSinkIsAnError) {
+  VirtualNic nic;
+  EXPECT_THROW(nic.send(Packet{}, Nanos{0}), std::logic_error);
+}
+
+TEST(OutputBuffer, ReleaseDeliversWithBufferingDelay) {
+  ExternalNetwork net(micros(100));
+  OutputBuffer buffer;
+  buffer.hold(Packet{.kind = PacketKind::Response, .payload = "", .sent_at = millis(1)});
+  buffer.hold(Packet{.kind = PacketKind::Response, .payload = "", .sent_at = millis(2)});
+  EXPECT_EQ(buffer.pending_count(), 2u);
+  EXPECT_EQ(net.delivered_count(), 0u);  // nothing visible yet
+
+  buffer.release_all(net, millis(20));
+  EXPECT_EQ(buffer.pending_count(), 0u);
+  ASSERT_EQ(net.delivered_count(), 2u);
+  // Released at epoch end, regardless of in-epoch send time.
+  EXPECT_EQ(net.log()[0].released_at, millis(20));
+  EXPECT_EQ(net.log()[0].delivered_at, millis(20) + micros(100));
+  EXPECT_EQ(buffer.total_released(), 2u);
+}
+
+TEST(OutputBuffer, DropDiscardsEverything) {
+  ExternalNetwork net(micros(100));
+  OutputBuffer buffer;
+  buffer.hold(Packet{.payload = "exfil"});
+  buffer.drop_all();
+  EXPECT_EQ(buffer.pending_count(), 0u);
+  EXPECT_EQ(net.delivered_count(), 0u);
+  EXPECT_EQ(buffer.total_dropped(), 1u);
+  buffer.release_all(net, millis(1));  // nothing left to release
+  EXPECT_EQ(net.delivered_count(), 0u);
+}
+
+TEST(ExternalNetwork, ListenerFiresPerDelivery) {
+  ExternalNetwork net(micros(50));
+  int calls = 0;
+  net.set_listener([&](const DeliveredPacket&) { ++calls; });
+  net.deliver(Packet{}, millis(1));
+  net.deliver(Packet{}, millis(2));
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(VirtualDisk, BufferedWritesInvisibleExternallyUntilCommit) {
+  VirtualDisk disk(16);
+  std::vector<std::byte> data(8, std::byte{0x5A});
+  disk.write_block(3, data);
+
+  // Guest sees its own write; the outside world does not.
+  EXPECT_EQ(disk.read_block(3)[0], std::byte{0x5A});
+  EXPECT_EQ(disk.read_committed(3)[0], std::byte{0});
+  EXPECT_EQ(disk.pending_count(), 1u);
+
+  disk.commit_pending();
+  EXPECT_EQ(disk.read_committed(3)[0], std::byte{0x5A});
+  EXPECT_EQ(disk.pending_count(), 0u);
+  EXPECT_EQ(disk.total_committed(), 1u);
+}
+
+TEST(VirtualDisk, DropErasesPoisonedWrites) {
+  VirtualDisk disk(16);
+  disk.write_block(2, std::vector<std::byte>(4, std::byte{0xEE}));
+  disk.drop_pending();
+  EXPECT_EQ(disk.read_block(2)[0], std::byte{0});  // guest view reverts too
+  EXPECT_EQ(disk.total_dropped(), 1u);
+}
+
+TEST(VirtualDisk, UnbufferedModeCommitsDirectly) {
+  VirtualDisk disk(16);
+  disk.set_buffering(false);
+  disk.write_block(1, std::vector<std::byte>(4, std::byte{0x11}));
+  EXPECT_EQ(disk.read_committed(1)[0], std::byte{0x11});
+  EXPECT_EQ(disk.pending_count(), 0u);
+}
+
+TEST(VirtualDisk, OverlayShadowsCommittedData) {
+  VirtualDisk disk(16);
+  disk.set_buffering(false);
+  disk.write_block(5, std::vector<std::byte>(4, std::byte{0x01}));
+  disk.set_buffering(true);
+  disk.write_block(5, std::vector<std::byte>(4, std::byte{0x02}));
+  EXPECT_EQ(disk.read_block(5)[0], std::byte{0x02});      // overlay wins
+  EXPECT_EQ(disk.read_committed(5)[0], std::byte{0x01});  // old data outside
+  disk.drop_pending();
+  EXPECT_EQ(disk.read_block(5)[0], std::byte{0x01});
+}
+
+TEST(VirtualDisk, BlocksArePaddedAndBounded) {
+  VirtualDisk disk(4);
+  disk.write_block(0, std::vector<std::byte>(10, std::byte{0x3C}));
+  EXPECT_EQ(disk.read_block(0).size(), VirtualDisk::kBlockSize);
+  EXPECT_THROW(disk.write_block(4, {}), std::out_of_range);
+  EXPECT_THROW((void)disk.read_block(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace crimes

@@ -1,0 +1,232 @@
+// Property-style sweeps over the full CRIMES stack (DESIGN.md section 5):
+// zero-window safety, detection-latency bounds and cost monotonicity must
+// hold across epoch intervals, optimization levels and attack timings.
+#include "core/crimes.h"
+#include "detect/canary_scan.h"
+#include "detect/malware_scan.h"
+#include "test_helpers.h"
+#include "workload/malware.h"
+#include "workload/overflow.h"
+#include "workload/parsec.h"
+
+#include <gtest/gtest.h>
+
+namespace crimes {
+namespace {
+
+using testing::TestGuest;
+
+// --- Zero-window safety across attack timings and intervals ---------------
+
+class ZeroWindow
+    : public ::testing::TestWithParam<std::tuple<int /*interval ms*/,
+                                                 int /*attack ms*/>> {};
+
+TEST_P(ZeroWindow, NoAttackEpochOutputEverEscapes) {
+  const auto [interval_ms, attack_ms] = GetParam();
+  GuestConfig gc = TestGuest::small_config();
+  gc.flavor = OsFlavor::Windows;
+  TestGuest guest(gc);
+
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(millis(interval_ms));
+  config.mode = SafetyMode::Synchronous;
+  Crimes crimes(guest.hypervisor, *guest.kernel, config);
+  crimes.add_module(std::make_unique<MalwareScanModule>(
+      MalwareScanModule::default_blacklist()));
+
+  MalwareWorkload app(*guest.kernel, crimes.nic(), millis(attack_ms));
+  crimes.set_workload(&app);
+  crimes.initialize();
+  const RunSummary summary = crimes.run(millis(2000));
+
+  ASSERT_TRUE(summary.attack_detected);
+  for (const auto& delivered : crimes.network().log()) {
+    EXPECT_NE(delivered.packet.kind, PacketKind::Data);
+  }
+  // Detection happened at the end of the epoch containing the attack: the
+  // attack's guest work time falls inside epoch ceil((attack+1)/interval).
+  const std::size_t attack_epoch =
+      static_cast<std::size_t>(attack_ms / interval_ms) + 1;
+  EXPECT_EQ(summary.epochs, attack_epoch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntervalsAndTimings, ZeroWindow,
+    ::testing::Combine(::testing::Values(20, 50, 100, 200),
+                       ::testing::Values(5, 55, 130, 388)));
+
+// --- Detection completeness across overflow shapes --------------------------
+
+class OverflowSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t /*obj size*/,
+                                                 std::size_t /*overrun*/>> {};
+
+TEST_P(OverflowSweep, AnyOverrunIsCaughtAndPinpointed) {
+  const auto [obj_size, overrun] = GetParam();
+  TestGuest guest;
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(millis(50));
+  Crimes crimes(guest.hypervisor, *guest.kernel, config);
+  crimes.add_module(std::make_unique<CanaryScanModule>());
+
+  OverflowScript script;
+  script.attack_at = millis(80);
+  script.object_size = obj_size;
+  script.overrun_bytes = overrun;
+  OverflowWorkload app(*guest.kernel, script);
+  crimes.set_workload(&app);
+  crimes.initialize();
+
+  const RunSummary summary = crimes.run(millis(1000));
+  ASSERT_TRUE(summary.attack_detected) << "size=" << obj_size
+                                       << " overrun=" << overrun;
+  ASSERT_TRUE(crimes.attack()->pinpoint.has_value());
+  EXPECT_TRUE(crimes.attack()->pinpoint->found);
+  EXPECT_EQ(crimes.attack()->pinpoint->instr_index,
+            app.attack_instr().value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndOverruns, OverflowSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 100, 256, 4000),
+                       ::testing::Values<std::size_t>(1, 8, 64)));
+
+// --- Cost monotonicity across optimization levels ---------------------------
+
+TEST(Properties, NormalizedRuntimeOrderingAcrossSchemes) {
+  // For a fixed workload: No-opt >= Memcpy >= Pre-map >= Full >= 1.0.
+  ParsecProfile profile = ParsecProfile::by_name("swaptions");
+  profile.working_set_pages = 1024;
+  profile.touches_per_ms = 40.0;
+  profile.duration_ms = 1000.0;
+
+  std::vector<double> norms;
+  for (const auto& scheme :
+       {CheckpointConfig::no_opt(), CheckpointConfig::memcpy_only(),
+        CheckpointConfig::premap(), CheckpointConfig::full()}) {
+    GuestConfig gc = profile.recommended_guest();
+    TestGuest guest(gc);
+    CrimesConfig config;
+    config.checkpoint = scheme;
+    config.record_execution = false;
+    Crimes crimes(guest.hypervisor, *guest.kernel, config);
+    ParsecWorkload app(*guest.kernel, profile);
+    crimes.set_workload(&app);
+    crimes.initialize();
+    norms.push_back(crimes.run(millis(2000)).normalized_runtime());
+  }
+  EXPECT_GE(norms[0], norms[1]);
+  EXPECT_GE(norms[1], norms[2]);
+  EXPECT_GE(norms[2], norms[3]);
+  EXPECT_GE(norms[3], 1.0);
+  EXPECT_GT(norms[0], norms[3] * 1.01);  // optimizations actually matter
+}
+
+TEST(Properties, LongerIntervalsReduceOverheadForBatchWork) {
+  ParsecProfile profile = ParsecProfile::by_name("freqmine");
+  profile.working_set_pages = 1024;
+  profile.touches_per_ms = 30.0;
+  profile.duration_ms = 1200.0;
+
+  double prev_norm = 1e9;
+  for (const int interval_ms : {60, 120, 200}) {
+    GuestConfig gc = profile.recommended_guest();
+    TestGuest guest(gc);
+    CrimesConfig config;
+    config.checkpoint = CheckpointConfig::full(millis(interval_ms));
+    config.record_execution = false;
+    Crimes crimes(guest.hypervisor, *guest.kernel, config);
+    ParsecWorkload app(*guest.kernel, profile);
+    crimes.set_workload(&app);
+    crimes.initialize();
+    const double norm = crimes.run(millis(3000)).normalized_runtime();
+    EXPECT_LT(norm, prev_norm)
+        << "normalized runtime should fall as interval grows (Fig 5a)";
+    prev_norm = norm;
+  }
+}
+
+TEST(Properties, PauseTimeGrowsWithInterval) {
+  ParsecProfile profile = ParsecProfile::by_name("freqmine");
+  profile.working_set_pages = 2048;
+  profile.touches_per_ms = 60.0;
+  profile.duration_ms = 1200.0;
+
+  double prev_pause = 0.0;
+  for (const int interval_ms : {60, 120, 200}) {
+    GuestConfig gc = profile.recommended_guest();
+    TestGuest guest(gc);
+    CrimesConfig config;
+    config.checkpoint = CheckpointConfig::full(millis(interval_ms));
+    config.record_execution = false;
+    Crimes crimes(guest.hypervisor, *guest.kernel, config);
+    ParsecWorkload app(*guest.kernel, profile);
+    crimes.set_workload(&app);
+    crimes.initialize();
+    const double pause = crimes.run(millis(3000)).avg_pause_ms();
+    EXPECT_GT(pause, prev_pause)
+        << "per-epoch pause should grow with interval (Fig 5b)";
+    prev_pause = pause;
+  }
+}
+
+TEST(Properties, AccountingInvariants) {
+  TestGuest guest;
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(millis(50));
+  Crimes crimes(guest.hypervisor, *guest.kernel, config);
+  ParsecProfile profile = ParsecProfile::by_name("raytrace");
+  profile.working_set_pages = 256;
+  profile.duration_ms = 500.0;
+  ParsecWorkload app(*guest.kernel, profile);
+  crimes.set_workload(&app);
+  crimes.initialize();
+  const RunSummary s = crimes.run(millis(1000));
+
+  // Phase costs sum to total pause.
+  EXPECT_EQ(s.total_costs.pause_total(), s.total_pause);
+  // Every epoch committed (no attack).
+  EXPECT_EQ(s.checkpoints, s.epochs);
+  // Average pause is positive and far below the epoch interval.
+  EXPECT_GT(s.avg_pause_ms(), 0.0);
+  EXPECT_LT(s.avg_pause_ms(), 50.0);
+  EXPECT_GT(s.avg_dirty_pages(), 0.0);
+}
+
+// --- Checkpoint fidelity under a real workload, all schemes -----------------
+
+class FidelityUnderLoad : public ::testing::TestWithParam<int> {};
+
+TEST_P(FidelityUnderLoad, BackupAlwaysMatchesAtCommit) {
+  const auto scheme =
+      std::vector{CheckpointConfig::no_opt(), CheckpointConfig::memcpy_only(),
+                  CheckpointConfig::premap(),
+                  CheckpointConfig::full()}[GetParam()];
+  TestGuest guest;
+  SimClock clock;
+  Checkpointer cp(guest.hypervisor, *guest.vm, clock, CostModel::defaults(),
+                  scheme);
+  cp.initialize();
+
+  ParsecProfile profile = ParsecProfile::by_name("raytrace");
+  profile.working_set_pages = 512;
+  profile.touches_per_ms = 50.0;
+  ParsecWorkload app(*guest.kernel, profile, GetParam() + 10);
+
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    app.run_epoch(clock.now(), millis(40));
+    clock.advance(millis(40));
+    (void)cp.run_checkpoint({});
+    for (std::size_t i = 0; i < guest.vm->page_count(); ++i) {
+      ASSERT_EQ(guest.vm->page(Pfn{i}), cp.backup().page(Pfn{i}))
+          << scheme.label() << " diverged at page " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, FidelityUnderLoad,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace crimes

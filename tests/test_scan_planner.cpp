@@ -1,0 +1,126 @@
+// Tests: dirty-page classification (Figure 1 step 1) and the scan modules'
+// plan-directed fast paths.
+#include "detect/canary_scan.h"
+#include "detect/scan_planner.h"
+#include "test_helpers.h"
+#include "vmi/vmi_session.h"
+
+#include <gtest/gtest.h>
+
+namespace crimes {
+namespace {
+
+using testing::TestGuest;
+
+TEST(ScanPlanner, ClassifiesEveryRegionExactlyOnce) {
+  const GuestConfig config = TestGuest::small_config();
+  const GuestLayout layout = GuestLayout::compute(config);
+
+  std::vector<Pfn> dirty{
+      layout.kernel_text,
+      Pfn{layout.kernel_text.value() + layout.kernel_text_pages - 1},
+      layout.syscall_table,
+      layout.pid_hash,
+      layout.task_slab,
+      layout.module_slab,
+      layout.socket_table,
+      layout.file_table,
+      layout.canary_table,
+      layout.heap_base,
+      Pfn{layout.heap_base.value() + layout.heap_pages - 1},
+      layout.page_table_base,  // -> other
+      Pfn{0},                  // guard -> other
+  };
+  const ScanPlan plan = ScanPlan::classify(layout, dirty);
+  EXPECT_EQ(plan.kernel_text.size(), 2u);
+  EXPECT_EQ(plan.kernel_tables.size(), 2u);
+  EXPECT_EQ(plan.task_slab.size(), 1u);
+  EXPECT_EQ(plan.module_slab.size(), 1u);
+  EXPECT_EQ(plan.socket_file_tables.size(), 2u);
+  EXPECT_EQ(plan.canary_table.size(), 1u);
+  EXPECT_EQ(plan.heap.size(), 2u);
+  EXPECT_EQ(plan.other.size(), 2u);
+  EXPECT_EQ(plan.total(), dirty.size());
+}
+
+TEST(ScanPlanner, EmptyDirtyListYieldsEmptyPlan) {
+  const GuestLayout layout =
+      GuestLayout::compute(TestGuest::small_config());
+  const ScanPlan plan = ScanPlan::classify(layout, {});
+  EXPECT_EQ(plan.total(), 0u);
+  EXPECT_FALSE(plan.heap_evidence_possible());
+}
+
+TEST(ScanPlanner, HeapEvidencePredicate) {
+  const GuestLayout layout =
+      GuestLayout::compute(TestGuest::small_config());
+  {
+    std::vector<Pfn> dirty{layout.task_slab};
+    EXPECT_FALSE(ScanPlan::classify(layout, dirty).heap_evidence_possible());
+  }
+  {
+    std::vector<Pfn> dirty{layout.heap_base};
+    EXPECT_TRUE(ScanPlan::classify(layout, dirty).heap_evidence_possible());
+  }
+  {
+    std::vector<Pfn> dirty{layout.canary_table};
+    EXPECT_TRUE(ScanPlan::classify(layout, dirty).heap_evidence_possible());
+  }
+}
+
+TEST(ScanPlanner, CanaryModuleSkipsWholeScanOnIrrelevantEpochs) {
+  TestGuest guest;
+  (void)guest.kernel->heap().malloc(64);
+  VmiSession vmi(guest.hypervisor, guest.vm->id(), guest.kernel->symbols(),
+                 guest.kernel->flavor(), CostModel::defaults());
+  vmi.init();
+  vmi.preprocess();
+  (void)vmi.take_cost();
+
+  // Epoch that only touched the task slab (process churn, no heap work).
+  std::vector<Pfn> dirty{guest.kernel->layout().task_slab};
+  const ScanPlan plan = ScanPlan::classify(guest.kernel->layout(), dirty);
+  CanaryScanModule module;
+  ScanContext ctx{.vmi = vmi,
+                  .dirty = dirty,
+                  .costs = CostModel::defaults(),
+                  .pending_packets = nullptr,
+                  .plan = &plan,
+                  .now = Nanos{0}};
+  const ScanResult result = module.scan(ctx);
+  EXPECT_TRUE(result.clean());
+  EXPECT_EQ(module.scans_skipped_by_plan(), 1u);
+  EXPECT_EQ(module.canaries_checked(), 0u);
+  // Skipping means not even the table header was read.
+  EXPECT_LT(result.cost, micros(1));
+}
+
+TEST(ScanPlanner, CanaryModuleStillCatchesOverflowWithPlan) {
+  TestGuest guest;
+  const Vaddr obj = guest.kernel->heap().malloc(64);
+  guest.kernel->write_value<std::uint64_t>(obj + 64, 0xBADULL);
+
+  VmiSession vmi(guest.hypervisor, guest.vm->id(), guest.kernel->symbols(),
+                 guest.kernel->flavor(), CostModel::defaults());
+  vmi.init();
+  vmi.preprocess();
+
+  // The overflow dirtied the object's heap page; plan directs the scan in.
+  const auto pfn = vmi.pfn_of(obj + 64);
+  ASSERT_TRUE(pfn.has_value());
+  std::vector<Pfn> dirty{*pfn};
+  const ScanPlan plan = ScanPlan::classify(guest.kernel->layout(), dirty);
+  CanaryScanModule module;
+  ScanContext ctx{.vmi = vmi,
+                  .dirty = dirty,
+                  .costs = CostModel::defaults(),
+                  .pending_packets = nullptr,
+                  .plan = &plan,
+                  .now = Nanos{0}};
+  const ScanResult result = module.scan(ctx);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].location, obj + 64);
+}
+
+}  // namespace
+}  // namespace crimes

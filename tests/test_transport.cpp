@@ -1,0 +1,179 @@
+// Tests: checkpoint transports, including the Remus-style compressed
+// (XOR-delta + RLE) path and its codec.
+#include "checkpoint/checkpointer.h"
+#include "checkpoint/transport.h"
+#include "common/rng.h"
+#include "test_helpers.h"
+
+#include <gtest/gtest.h>
+
+namespace crimes {
+namespace {
+
+using testing::TestGuest;
+
+TEST(Rle, RoundTripsVariousPatterns) {
+  const auto round_trip = [](std::vector<std::byte> data) {
+    const auto encoded = rle::encode(data);
+    std::vector<std::byte> decoded(data.size());
+    ASSERT_TRUE(rle::decode(encoded, decoded));
+    EXPECT_EQ(decoded, data);
+  };
+  round_trip({});
+  round_trip(std::vector<std::byte>(4096, std::byte{0}));         // all zero
+  round_trip(std::vector<std::byte>(4096, std::byte{0xAB}));      // all lits
+  {
+    std::vector<std::byte> sparse(4096, std::byte{0});
+    sparse[17] = std::byte{1};
+    sparse[4000] = std::byte{2};
+    round_trip(sparse);
+  }
+  {
+    Rng rng(3);
+    std::vector<std::byte> random(4096);
+    for (auto& b : random) b = static_cast<std::byte>(rng.next_u64());
+    round_trip(random);
+  }
+  {
+    // Runs longer than the u16 field can express in one record.
+    std::vector<std::byte> long_runs(200000, std::byte{0});
+    for (std::size_t i = 100000; i < 180000; ++i) {
+      long_runs[i] = std::byte{0x55};
+    }
+    round_trip(long_runs);
+  }
+}
+
+TEST(Rle, CompressesSparseDataAndRejectsGarbage) {
+  std::vector<std::byte> sparse(4096, std::byte{0});
+  sparse[100] = std::byte{7};
+  const auto encoded = rle::encode(sparse);
+  EXPECT_LT(encoded.size(), 64u);
+
+  std::vector<std::byte> out(4096);
+  std::vector<std::byte> truncated(encoded.begin(), encoded.begin() + 2);
+  EXPECT_FALSE(rle::decode(truncated, out));
+  // A record claiming more literals than remain.
+  std::vector<std::byte> lying(4);
+  lying[2] = std::byte{0xFF};
+  lying[3] = std::byte{0xFF};
+  EXPECT_FALSE(rle::decode(lying, out));
+}
+
+TEST(CompressedTransport, ProducesIdenticalBackupImage) {
+  TestGuest guest;
+  SimClock clock;
+  CheckpointConfig config = CheckpointConfig::no_opt();
+  config.compress = true;
+  Checkpointer cp(guest.hypervisor, *guest.vm, clock, CostModel::defaults(),
+                  config);
+  cp.initialize();
+
+  Rng rng(31);
+  const GuestLayout& layout = guest.kernel->layout();
+  const Vaddr heap = layout.va_of(layout.heap_base);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (int i = 0; i < 150; ++i) {
+      const std::uint64_t off =
+          rng.next_below(layout.heap_pages * kPageSize / 8 - 1) * 8;
+      guest.kernel->write_value<std::uint64_t>(heap + off, rng.next_u64());
+    }
+    (void)cp.run_checkpoint({});
+    for (std::size_t i = 0; i < guest.vm->page_count(); ++i) {
+      ASSERT_EQ(std::as_const(*guest.vm).page(Pfn{i}),
+                std::as_const(cp.backup()).page(Pfn{i}))
+          << "epoch " << epoch << " page " << i;
+    }
+  }
+}
+
+TEST(CompressedTransport, SparseDirtyingCompressesAndCostsLess) {
+  // Two identical guests, one plain socket, one compressed. Each epoch
+  // writes 8 bytes into each of many pages: deltas are tiny.
+  TestGuest plain_guest, comp_guest;
+  SimClock c1, c2;
+  Checkpointer plain(plain_guest.hypervisor, *plain_guest.vm, c1,
+                     CostModel::defaults(), CheckpointConfig::no_opt());
+  CheckpointConfig comp_config = CheckpointConfig::no_opt();
+  comp_config.compress = true;
+  Checkpointer comp(comp_guest.hypervisor, *comp_guest.vm, c2,
+                    CostModel::defaults(), comp_config);
+  plain.initialize();
+  comp.initialize();
+
+  const auto sparse_writes = [](GuestKernel& kernel) {
+    const GuestLayout& layout = kernel.layout();
+    const Vaddr heap = layout.va_of(layout.heap_base);
+    for (std::size_t page = 0; page < 200; ++page) {
+      kernel.write_value<std::uint64_t>(heap + page * kPageSize + 64,
+                                        0xABCDEF ^ page);
+    }
+  };
+  sparse_writes(*plain_guest.kernel);
+  sparse_writes(*comp_guest.kernel);
+  // First checkpoint after boot carries cold pages; commit it, then
+  // measure a steady-state epoch.
+  (void)plain.run_checkpoint({});
+  (void)comp.run_checkpoint({});
+  sparse_writes(*plain_guest.kernel);
+  sparse_writes(*comp_guest.kernel);
+  const EpochResult plain_result = plain.run_checkpoint({});
+  const EpochResult comp_result = comp.run_checkpoint({});
+
+  ASSERT_EQ(plain_result.dirty.size(), comp_result.dirty.size());
+  EXPECT_LT(comp_result.costs.copy, plain_result.costs.copy / 2);
+
+  const auto& transport =
+      dynamic_cast<const CompressedSocketTransport&>(comp.transport());
+  EXPECT_GT(transport.compression_ratio(), 10.0);
+}
+
+TEST(CompressedTransport, IncompressibleDataCostsAboutTheSame) {
+  TestGuest guest;
+  SimClock clock;
+  CheckpointConfig config = CheckpointConfig::no_opt();
+  config.compress = true;
+  Checkpointer cp(guest.hypervisor, *guest.vm, clock, CostModel::defaults(),
+                  config);
+  cp.initialize();
+
+  // Fill whole pages with random bytes: zero-free deltas.
+  Rng rng(77);
+  const GuestLayout& layout = guest.kernel->layout();
+  const Vaddr heap = layout.va_of(layout.heap_base);
+  std::vector<std::byte> junk(kPageSize);
+  for (std::size_t page = 0; page < 50; ++page) {
+    for (auto& b : junk) {
+      b = static_cast<std::byte>(rng.next_u64() | 1);  // never zero
+    }
+    guest.kernel->write_virt(heap + page * kPageSize, junk);
+  }
+  const EpochResult result = cp.run_checkpoint({});
+  const Nanos plain_cost =
+      CostModel::defaults().copy_socket_per_page * result.dirty.size();
+  // Within ~2x of the plain socket cost (RLE adds a little framing).
+  EXPECT_LT(result.costs.copy, plain_cost * 2);
+  EXPECT_GT(result.costs.copy, plain_cost / 2);
+}
+
+TEST(CompressedTransport, RejectedWithMemcpyOptimization) {
+  TestGuest guest;
+  SimClock clock;
+  CheckpointConfig config = CheckpointConfig::full();
+  config.compress = true;
+  EXPECT_THROW(Checkpointer(guest.hypervisor, *guest.vm, clock,
+                            CostModel::defaults(), config),
+               std::invalid_argument);
+}
+
+TEST(Transports, NamesAreDistinct) {
+  const CostModel& costs = CostModel::defaults();
+  MemcpyTransport a(costs);
+  SocketTransport b(costs);
+  CompressedSocketTransport c(costs);
+  EXPECT_STRNE(a.name(), b.name());
+  EXPECT_STRNE(b.name(), c.name());
+}
+
+}  // namespace
+}  // namespace crimes

@@ -1,0 +1,180 @@
+// Unit tests: the VMI session. Central invariant: VMI's parsed view of
+// guest structures equals the guest kernel's ground truth -- introspection
+// really reads the same bytes the kernel wrote.
+#include "test_helpers.h"
+#include "vmi/vmi_session.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace crimes {
+namespace {
+
+using testing::TestGuest;
+
+VmiSession make_session(TestGuest& guest, bool preprocess = true) {
+  VmiSession vmi(guest.hypervisor, guest.vm->id(), guest.kernel->symbols(),
+                 guest.kernel->flavor(), CostModel::defaults());
+  vmi.init();
+  if (preprocess) vmi.preprocess();
+  return vmi;
+}
+
+TEST(Vmi, RequiresInitBeforeReads) {
+  TestGuest guest;
+  VmiSession vmi(guest.hypervisor, guest.vm->id(), guest.kernel->symbols(),
+                 guest.kernel->flavor(), CostModel::defaults());
+  EXPECT_THROW((void)vmi.read_u64(Vaddr{kVaBase + kPageSize}), VmiError);
+  vmi.init();
+  EXPECT_NO_THROW((void)vmi.read_u64(Vaddr{kVaBase + kPageSize}));
+}
+
+TEST(Vmi, ProcessListMatchesGroundTruth) {
+  TestGuest guest;
+  (void)guest.kernel->spawn_process("extra-proc", 42);
+  VmiSession vmi = make_session(guest);
+
+  const auto truth = guest.kernel->process_list_ground_truth();
+  const auto view = vmi.process_list();
+  ASSERT_EQ(view.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(view[i].pid, truth[i].pid);
+    EXPECT_EQ(view[i].name, truth[i].name);
+    EXPECT_EQ(view[i].uid, truth[i].uid);
+    EXPECT_EQ(view[i].task_va, truth[i].task_va);
+  }
+}
+
+TEST(Vmi, ModuleListMatchesGroundTruth) {
+  TestGuest guest;
+  guest.kernel->load_module("evil_lkm", 4096);
+  VmiSession vmi = make_session(guest);
+
+  const auto truth = guest.kernel->module_list_ground_truth();
+  const auto view = vmi.module_list();
+  ASSERT_EQ(view.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ(view[i].name, truth[i].name);
+    EXPECT_EQ(view[i].size, truth[i].size);
+  }
+}
+
+TEST(Vmi, SyscallTableReadMatchesPristine) {
+  TestGuest guest;
+  VmiSession vmi = make_session(guest);
+  const auto table = vmi.read_syscall_table();
+  ASSERT_EQ(table.size(), kSyscallCount);
+  for (std::size_t i = 0; i < kSyscallCount; ++i) {
+    EXPECT_EQ(Vaddr{table[i]}, guest.kernel->pristine_syscall_handler(i));
+  }
+}
+
+TEST(Vmi, PidHashSeesAllProcessesIncludingHidden) {
+  TestGuest guest;
+  const Pid hidden = guest.kernel->spawn_process("sneaky", 0);
+  guest.kernel->attack_hide_process(hidden);
+  VmiSession vmi = make_session(guest);
+
+  const auto hash = vmi.read_pid_hash();
+  const Vaddr hidden_va = guest.kernel->task_va(hidden);
+  EXPECT_NE(std::find(hash.begin(), hash.end(), hidden_va), hash.end());
+
+  const auto listed = vmi.process_list();
+  EXPECT_EQ(std::find_if(listed.begin(), listed.end(),
+                         [&](const VmiProcess& p) {
+                           return p.task_va == hidden_va;
+                         }),
+            listed.end());
+}
+
+TEST(Vmi, CanaryTableMatchesAllocator) {
+  TestGuest guest;
+  HeapAllocator& heap = guest.kernel->heap();
+  const Vaddr a = heap.malloc(100);
+  const Vaddr b = heap.malloc(200);
+  VmiSession vmi = make_session(guest);
+
+  const VmiCanaryTable table = vmi.read_canary_table();
+  EXPECT_EQ(table.key, heap.canary_key());
+  ASSERT_EQ(table.entries.size(), 2u);
+  EXPECT_EQ(table.entries[0].obj_addr, a);
+  EXPECT_EQ(table.entries[0].canary_addr, a + 100);
+  EXPECT_EQ(table.entries[1].obj_addr, b);
+  EXPECT_EQ(table.entries[1].obj_size, 200u);
+}
+
+TEST(Vmi, CorruptedCanaryCountRejected) {
+  TestGuest guest;
+  const Vaddr table = guest.kernel->symbols().lookup("__crimes_canary_table");
+  guest.kernel->write_value<std::uint64_t>(
+      table + CanaryTableLayout::kCountOff, 1u << 30);
+  VmiSession vmi = make_session(guest);
+  EXPECT_THROW((void)vmi.read_canary_table(), VmiError);
+}
+
+TEST(Vmi, CorruptedTaskListIsBounded) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("loop-me", 0);
+  const Vaddr task = guest.kernel->task_va(pid);
+  // Make the task point at itself: an unterminated walk.
+  guest.kernel->write_value<std::uint64_t>(task + TaskLayout::kNextOff,
+                                           task.value());
+  VmiSession vmi = make_session(guest);
+  EXPECT_THROW((void)vmi.process_list(), VmiError);
+}
+
+TEST(Vmi, TranslationFaultSurfacesAsVmiError) {
+  TestGuest guest;
+  VmiSession vmi = make_session(guest);
+  EXPECT_THROW((void)vmi.read_u64(Vaddr{kVaBase + 17}), VmiError);  // guard pg
+  EXPECT_FALSE(vmi.pfn_of(Vaddr{kVaBase + 17}).has_value());
+  EXPECT_TRUE(vmi.pfn_of(Vaddr{kVaBase + kPageSize}).has_value());
+}
+
+TEST(Vmi, CostsFollowTable3Shape) {
+  TestGuest guest;
+  const CostModel& costs = CostModel::defaults();
+  VmiSession vmi(guest.hypervisor, guest.vm->id(), guest.kernel->symbols(),
+                 guest.kernel->flavor(), costs);
+
+  vmi.init();
+  const Nanos init_cost = vmi.take_cost();
+  EXPECT_EQ(init_cost, costs.vmi_init);
+
+  vmi.preprocess();
+  const Nanos preprocess_cost = vmi.take_cost();
+  EXPECT_EQ(preprocess_cost, costs.vmi_preprocess);
+
+  // First walk warms the translation cache...
+  (void)vmi.process_list();
+  const Nanos cold_walk = vmi.take_cost();
+  // ...so a second walk is cheaper and both are far below init.
+  (void)vmi.process_list();
+  const Nanos warm_walk = vmi.take_cost();
+  EXPECT_LT(warm_walk, cold_walk);
+  EXPECT_LT(cold_walk, init_cost / 10);
+  EXPECT_GT(vmi.cached_translations(), 0u);
+}
+
+TEST(Vmi, InitAndPreprocessAreIdempotent) {
+  TestGuest guest;
+  VmiSession vmi = make_session(guest);
+  (void)vmi.take_cost();
+  vmi.init();
+  vmi.preprocess();
+  EXPECT_EQ(vmi.take_cost(), Nanos::zero());  // second calls are free no-ops
+}
+
+TEST(Vmi, ReadStrAndU32) {
+  TestGuest guest;
+  const Pid pid = guest.kernel->spawn_process("strings", 3);
+  VmiSession vmi = make_session(guest);
+  const Vaddr task = guest.kernel->task_va(pid);
+  EXPECT_EQ(vmi.read_str(task + TaskLayout::kCommOff, TaskLayout::kCommLen),
+            "strings");
+  EXPECT_EQ(vmi.read_u32(task + TaskLayout::kUidOff), 3u);
+}
+
+}  // namespace
+}  // namespace crimes
