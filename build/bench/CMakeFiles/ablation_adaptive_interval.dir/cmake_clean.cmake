@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_interval.dir/ablation_adaptive_interval.cpp.o"
+  "CMakeFiles/ablation_adaptive_interval.dir/ablation_adaptive_interval.cpp.o.d"
+  "ablation_adaptive_interval"
+  "ablation_adaptive_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latency_decomposition.dir/ablation_latency_decomposition.cpp.o"
+  "CMakeFiles/ablation_latency_decomposition.dir/ablation_latency_decomposition.cpp.o.d"
+  "ablation_latency_decomposition"
+  "ablation_latency_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latency_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

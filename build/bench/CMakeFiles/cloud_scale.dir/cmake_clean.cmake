@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_scale.dir/cloud_scale.cpp.o"
+  "CMakeFiles/cloud_scale.dir/cloud_scale.cpp.o.d"
+  "cloud_scale"
+  "cloud_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

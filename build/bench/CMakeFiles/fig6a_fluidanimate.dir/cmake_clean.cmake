@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_fluidanimate.dir/fig6a_fluidanimate.cpp.o"
+  "CMakeFiles/fig6a_fluidanimate.dir/fig6a_fluidanimate.cpp.o.d"
+  "fig6a_fluidanimate"
+  "fig6a_fluidanimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_fluidanimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_bitmap_scan.dir/fig6b_bitmap_scan.cpp.o"
+  "CMakeFiles/fig6b_bitmap_scan.dir/fig6b_bitmap_scan.cpp.o.d"
+  "fig6b_bitmap_scan"
+  "fig6b_bitmap_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_bitmap_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6b_bitmap_scan.
+# This may be replaced when dependencies are built.

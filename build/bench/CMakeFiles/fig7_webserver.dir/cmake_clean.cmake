@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_webserver.dir/fig7_webserver.cpp.o"
+  "CMakeFiles/fig7_webserver.dir/fig7_webserver.cpp.o.d"
+  "fig7_webserver"
+  "fig7_webserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_canary_rate.dir/micro_canary_rate.cpp.o"
+  "CMakeFiles/micro_canary_rate.dir/micro_canary_rate.cpp.o.d"
+  "micro_canary_rate"
+  "micro_canary_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_canary_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_vmi_costs.dir/table3_vmi_costs.cpp.o"
+  "CMakeFiles/table3_vmi_costs.dir/table3_vmi_costs.cpp.o.d"
+  "table3_vmi_costs"
+  "table3_vmi_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_vmi_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

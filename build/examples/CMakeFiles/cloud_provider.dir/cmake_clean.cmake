@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_provider.dir/cloud_provider.cpp.o"
+  "CMakeFiles/cloud_provider.dir/cloud_provider.cpp.o.d"
+  "cloud_provider"
+  "cloud_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

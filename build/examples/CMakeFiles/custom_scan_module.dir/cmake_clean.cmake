@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_scan_module.dir/custom_scan_module.cpp.o"
+  "CMakeFiles/custom_scan_module.dir/custom_scan_module.cpp.o.d"
+  "custom_scan_module"
+  "custom_scan_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_scan_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_dump.dir/inspect_dump.cpp.o"
+  "CMakeFiles/inspect_dump.dir/inspect_dump.cpp.o.d"
+  "inspect_dump"
+  "inspect_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overflow_forensics.dir/overflow_forensics.cpp.o"
+  "CMakeFiles/overflow_forensics.dir/overflow_forensics.cpp.o.d"
+  "overflow_forensics"
+  "overflow_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overflow_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asan/shadow_memory.cpp" "src/CMakeFiles/crimes.dir/asan/shadow_memory.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/asan/shadow_memory.cpp.o.d"
+  "/root/repo/src/checkpoint/checkpointer.cpp" "src/CMakeFiles/crimes.dir/checkpoint/checkpointer.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/checkpoint/checkpointer.cpp.o.d"
+  "/root/repo/src/checkpoint/transport.cpp" "src/CMakeFiles/crimes.dir/checkpoint/transport.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/checkpoint/transport.cpp.o.d"
+  "/root/repo/src/cloud/cloud_host.cpp" "src/CMakeFiles/crimes.dir/cloud/cloud_host.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/cloud/cloud_host.cpp.o.d"
+  "/root/repo/src/common/cost_model.cpp" "src/CMakeFiles/crimes.dir/common/cost_model.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/common/cost_model.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/crimes.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/common/log.cpp.o.d"
+  "/root/repo/src/core/adaptive_interval.cpp" "src/CMakeFiles/crimes.dir/core/adaptive_interval.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/core/adaptive_interval.cpp.o.d"
+  "/root/repo/src/core/crimes.cpp" "src/CMakeFiles/crimes.dir/core/crimes.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/core/crimes.cpp.o.d"
+  "/root/repo/src/detect/canary_scan.cpp" "src/CMakeFiles/crimes.dir/detect/canary_scan.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/detect/canary_scan.cpp.o.d"
+  "/root/repo/src/detect/detector.cpp" "src/CMakeFiles/crimes.dir/detect/detector.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/detect/detector.cpp.o.d"
+  "/root/repo/src/detect/hidden_process_scan.cpp" "src/CMakeFiles/crimes.dir/detect/hidden_process_scan.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/detect/hidden_process_scan.cpp.o.d"
+  "/root/repo/src/detect/idt_integrity_scan.cpp" "src/CMakeFiles/crimes.dir/detect/idt_integrity_scan.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/detect/idt_integrity_scan.cpp.o.d"
+  "/root/repo/src/detect/kernel_text_scan.cpp" "src/CMakeFiles/crimes.dir/detect/kernel_text_scan.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/detect/kernel_text_scan.cpp.o.d"
+  "/root/repo/src/detect/malware_scan.cpp" "src/CMakeFiles/crimes.dir/detect/malware_scan.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/detect/malware_scan.cpp.o.d"
+  "/root/repo/src/detect/network_content_scan.cpp" "src/CMakeFiles/crimes.dir/detect/network_content_scan.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/detect/network_content_scan.cpp.o.d"
+  "/root/repo/src/detect/scan_planner.cpp" "src/CMakeFiles/crimes.dir/detect/scan_planner.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/detect/scan_planner.cpp.o.d"
+  "/root/repo/src/detect/syscall_integrity_scan.cpp" "src/CMakeFiles/crimes.dir/detect/syscall_integrity_scan.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/detect/syscall_integrity_scan.cpp.o.d"
+  "/root/repo/src/forensics/artifact_store.cpp" "src/CMakeFiles/crimes.dir/forensics/artifact_store.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/forensics/artifact_store.cpp.o.d"
+  "/root/repo/src/forensics/memory_dump.cpp" "src/CMakeFiles/crimes.dir/forensics/memory_dump.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/forensics/memory_dump.cpp.o.d"
+  "/root/repo/src/forensics/plugins.cpp" "src/CMakeFiles/crimes.dir/forensics/plugins.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/forensics/plugins.cpp.o.d"
+  "/root/repo/src/forensics/report.cpp" "src/CMakeFiles/crimes.dir/forensics/report.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/forensics/report.cpp.o.d"
+  "/root/repo/src/guestos/guest_kernel.cpp" "src/CMakeFiles/crimes.dir/guestos/guest_kernel.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/guestos/guest_kernel.cpp.o.d"
+  "/root/repo/src/guestos/guest_page_table.cpp" "src/CMakeFiles/crimes.dir/guestos/guest_page_table.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/guestos/guest_page_table.cpp.o.d"
+  "/root/repo/src/guestos/heap_allocator.cpp" "src/CMakeFiles/crimes.dir/guestos/heap_allocator.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/guestos/heap_allocator.cpp.o.d"
+  "/root/repo/src/guestos/kernel_layout.cpp" "src/CMakeFiles/crimes.dir/guestos/kernel_layout.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/guestos/kernel_layout.cpp.o.d"
+  "/root/repo/src/hypervisor/dirty_bitmap.cpp" "src/CMakeFiles/crimes.dir/hypervisor/dirty_bitmap.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/hypervisor/dirty_bitmap.cpp.o.d"
+  "/root/repo/src/hypervisor/events.cpp" "src/CMakeFiles/crimes.dir/hypervisor/events.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/hypervisor/events.cpp.o.d"
+  "/root/repo/src/hypervisor/hypervisor.cpp" "src/CMakeFiles/crimes.dir/hypervisor/hypervisor.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/hypervisor/hypervisor.cpp.o.d"
+  "/root/repo/src/hypervisor/vm.cpp" "src/CMakeFiles/crimes.dir/hypervisor/vm.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/hypervisor/vm.cpp.o.d"
+  "/root/repo/src/machine/machine_memory.cpp" "src/CMakeFiles/crimes.dir/machine/machine_memory.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/machine/machine_memory.cpp.o.d"
+  "/root/repo/src/net/output_buffer.cpp" "src/CMakeFiles/crimes.dir/net/output_buffer.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/net/output_buffer.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/crimes.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/virtual_disk.cpp" "src/CMakeFiles/crimes.dir/net/virtual_disk.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/net/virtual_disk.cpp.o.d"
+  "/root/repo/src/net/virtual_nic.cpp" "src/CMakeFiles/crimes.dir/net/virtual_nic.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/net/virtual_nic.cpp.o.d"
+  "/root/repo/src/replay/recorder.cpp" "src/CMakeFiles/crimes.dir/replay/recorder.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/replay/recorder.cpp.o.d"
+  "/root/repo/src/replay/replay_engine.cpp" "src/CMakeFiles/crimes.dir/replay/replay_engine.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/replay/replay_engine.cpp.o.d"
+  "/root/repo/src/vmi/vmi_session.cpp" "src/CMakeFiles/crimes.dir/vmi/vmi_session.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/vmi/vmi_session.cpp.o.d"
+  "/root/repo/src/workload/malware.cpp" "src/CMakeFiles/crimes.dir/workload/malware.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/workload/malware.cpp.o.d"
+  "/root/repo/src/workload/overflow.cpp" "src/CMakeFiles/crimes.dir/workload/overflow.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/workload/overflow.cpp.o.d"
+  "/root/repo/src/workload/parsec.cpp" "src/CMakeFiles/crimes.dir/workload/parsec.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/workload/parsec.cpp.o.d"
+  "/root/repo/src/workload/web_server.cpp" "src/CMakeFiles/crimes.dir/workload/web_server.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/workload/web_server.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/CMakeFiles/crimes.dir/workload/workload.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/workload/workload.cpp.o.d"
+  "/root/repo/src/workload/wrk_client.cpp" "src/CMakeFiles/crimes.dir/workload/wrk_client.cpp.o" "gcc" "src/CMakeFiles/crimes.dir/workload/wrk_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

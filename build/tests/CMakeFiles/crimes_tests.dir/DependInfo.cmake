@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive.cpp" "tests/CMakeFiles/crimes_tests.dir/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/test_artifact_store.cpp" "tests/CMakeFiles/crimes_tests.dir/test_artifact_store.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_artifact_store.cpp.o.d"
+  "/root/repo/tests/test_asan.cpp" "tests/CMakeFiles/crimes_tests.dir/test_asan.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_asan.cpp.o.d"
+  "/root/repo/tests/test_checkpointer.cpp" "tests/CMakeFiles/crimes_tests.dir/test_checkpointer.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_checkpointer.cpp.o.d"
+  "/root/repo/tests/test_cloud.cpp" "tests/CMakeFiles/crimes_tests.dir/test_cloud.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_cloud.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/crimes_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_crimes_api.cpp" "tests/CMakeFiles/crimes_tests.dir/test_crimes_api.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_crimes_api.cpp.o.d"
+  "/root/repo/tests/test_crimes_e2e.cpp" "tests/CMakeFiles/crimes_tests.dir/test_crimes_e2e.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_crimes_e2e.cpp.o.d"
+  "/root/repo/tests/test_detect.cpp" "tests/CMakeFiles/crimes_tests.dir/test_detect.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_detect.cpp.o.d"
+  "/root/repo/tests/test_dirty_bitmap.cpp" "tests/CMakeFiles/crimes_tests.dir/test_dirty_bitmap.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_dirty_bitmap.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/crimes_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/crimes_tests.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/test_forensics.cpp" "tests/CMakeFiles/crimes_tests.dir/test_forensics.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_forensics.cpp.o.d"
+  "/root/repo/tests/test_guestos.cpp" "tests/CMakeFiles/crimes_tests.dir/test_guestos.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_guestos.cpp.o.d"
+  "/root/repo/tests/test_heap_allocator.cpp" "tests/CMakeFiles/crimes_tests.dir/test_heap_allocator.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_heap_allocator.cpp.o.d"
+  "/root/repo/tests/test_hypervisor.cpp" "tests/CMakeFiles/crimes_tests.dir/test_hypervisor.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_hypervisor.cpp.o.d"
+  "/root/repo/tests/test_kernel_text.cpp" "tests/CMakeFiles/crimes_tests.dir/test_kernel_text.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_kernel_text.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/crimes_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/crimes_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/crimes_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_replay.cpp" "tests/CMakeFiles/crimes_tests.dir/test_replay.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_replay.cpp.o.d"
+  "/root/repo/tests/test_scan_planner.cpp" "tests/CMakeFiles/crimes_tests.dir/test_scan_planner.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_scan_planner.cpp.o.d"
+  "/root/repo/tests/test_transport.cpp" "tests/CMakeFiles/crimes_tests.dir/test_transport.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_transport.cpp.o.d"
+  "/root/repo/tests/test_vmi.cpp" "tests/CMakeFiles/crimes_tests.dir/test_vmi.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_vmi.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/crimes_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/crimes_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/crimes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
