@@ -8,10 +8,16 @@
 namespace crimes {
 
 const char* CheckpointConfig::label() const {
-  if (opt_memcpy && opt_premap && opt_chunked_scan) return "Full";
+  if (opt_memcpy && opt_premap && opt_chunked_scan) {
+    return wants_pool() ? "Parallel" : "Full";
+  }
   if (opt_memcpy && opt_premap) return "Pre-map";
   if (opt_memcpy) return "Memcpy";
   return "No-opt";
+}
+
+std::size_t CheckpointConfig::pool_threads() const {
+  return copy_threads > 1 ? copy_threads : ThreadPool::default_thread_count();
 }
 
 Checkpointer::Checkpointer(Hypervisor& hypervisor, Vm& primary,
@@ -39,8 +45,22 @@ Checkpointer::Checkpointer(Hypervisor& hypervisor, Vm& primary,
         "CheckpointConfig: compression applies to the socket transport "
         "only");
   }
+  if (config_.copy_threads > 1 && !config_.opt_memcpy) {
+    // The socket transports serialize through a sequential stream cipher;
+    // only disjoint-frame memcpys shard without ordering constraints.
+    throw std::invalid_argument(
+        "CheckpointConfig: copy_threads requires opt_memcpy");
+  }
+  if (config_.parallel_scan && !config_.opt_chunked_scan) {
+    throw std::invalid_argument(
+        "CheckpointConfig: parallel_scan requires opt_chunked_scan");
+  }
+  if (config_.wants_pool()) {
+    pool_ = std::make_unique<ThreadPool>(config_.pool_threads());
+  }
   if (config_.opt_memcpy) {
-    transport_ = std::make_unique<MemcpyTransport>(costs);
+    transport_ = std::make_unique<MemcpyTransport>(costs, pool_.get(),
+                                                   config_.copy_threads);
   } else if (config_.compress) {
     transport_ = std::make_unique<CompressedSocketTransport>(costs);
   } else {
@@ -119,8 +139,15 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
   primary_->suspend();
   result.costs.suspend = costs_->suspend_cost(dirty_count);
 
-  // 2. Scan the dirty bitmap (Optimization 3 picks the algorithm).
-  if (config_.opt_chunked_scan) {
+  // 2. Scan the dirty bitmap (Optimization 3 picks the algorithm; the
+  // parallel engine shards it).
+  if (config_.opt_chunked_scan && config_.parallel_scan && pool_ != nullptr) {
+    std::vector<std::size_t> shard_set_bits;
+    result.dirty =
+        bitmap.scan_parallel(*pool_, pool_->size(), &shard_set_bits);
+    result.costs.bitscan =
+        costs_->bitscan_parallel_cost(bitmap.word_count(), shard_set_bits);
+  } else if (config_.opt_chunked_scan) {
     result.dirty = bitmap.scan_chunked();
     result.costs.bitscan = costs_->bitscan_chunked_cost(bitmap.word_count(),
                                                         result.dirty.size());

@@ -1,8 +1,10 @@
 #include "checkpoint/transport.h"
 
 #include "common/bytes.h"
+#include "common/thread_pool.h"
 #include "machine/page.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace crimes {
@@ -30,13 +32,44 @@ void xor_keystream(std::span<std::byte> data, std::uint64_t key) {
 
 }  // namespace
 
+std::size_t MemcpyTransport::effective_shards(std::size_t pages) const {
+  if (pool_ == nullptr || shards_ <= 1) return 1;
+  return std::clamp<std::size_t>(pages / kMinPagesPerShard, 1, shards_);
+}
+
 Nanos MemcpyTransport::copy(ForeignMapping& primary, ForeignMapping& backup,
                             std::span<const Pfn> dirty) {
-  for (const Pfn pfn : dirty) {
-    std::memcpy(backup.page(pfn).data.data(), primary.peek(pfn).data.data(),
-                kPageSize);
+  const std::size_t shards = effective_shards(dirty.size());
+  if (shards <= 1) {
+    for (const Pfn pfn : dirty) {
+      std::memcpy(backup.page(pfn).data.data(), primary.peek(pfn).data.data(),
+                  kPageSize);
+    }
+    return costs_->copy_memcpy_per_page * dirty.size();
   }
-  return costs_->copy_memcpy_per_page * dirty.size();
+
+  // Gather pass, serial: mutable backup access materializes lazily
+  // allocated frames from the shared machine pool, which must not race.
+  // Frames are stable once handed out, so the collected pointers survive
+  // the parallel pass.
+  std::vector<std::pair<std::byte*, const std::byte*>> pages;
+  pages.reserve(dirty.size());
+  for (const Pfn pfn : dirty) {
+    pages.emplace_back(backup.page(pfn).data.data(),
+                       primary.peek(pfn).data.data());
+  }
+
+  // Copy pass: dirty PFNs are unique and map to disjoint frames, so the
+  // shards share nothing -- no locks on the suspended-window path.
+  pool_->parallel_for_shards(
+      pages.size(), shards,
+      [&pages](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          std::memcpy(pages[i].first, pages[i].second, kPageSize);
+        }
+      });
+  return costs_->parallel_shard_cost(costs_->copy_memcpy_per_page,
+                                     dirty.size(), shards);
 }
 
 namespace rle {

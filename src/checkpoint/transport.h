@@ -13,6 +13,12 @@
 //
 // Either way the backup image ends up byte-identical -- a property the test
 // suite asserts for every transport/optimization combination.
+//
+// Parallel engine: MemcpyTransport can shard the dirty-PFN list across a
+// worker pool. Dirty frames are disjoint (one PFN maps to one machine
+// frame, and a PFN appears once in the list), so the concurrent memcpys
+// need no locking; only the frame *materialization* (lazy allocation from
+// the shared machine pool) is kept on the calling thread.
 #pragma once
 
 #include "common/cost_model.h"
@@ -24,6 +30,8 @@
 #include <vector>
 
 namespace crimes {
+
+class ThreadPool;
 
 class Transport {
  public:
@@ -39,14 +47,27 @@ class Transport {
 
 class MemcpyTransport final : public Transport {
  public:
-  explicit MemcpyTransport(const CostModel& costs) : costs_(&costs) {}
+  // With a pool and shards > 1, epochs with at least kMinPagesPerShard
+  // pages per shard copy in parallel; smaller epochs stay serial (the
+  // fork/join overhead would dominate).
+  explicit MemcpyTransport(const CostModel& costs, ThreadPool* pool = nullptr,
+                           std::size_t shards = 0)
+      : costs_(&costs), pool_(pool), shards_(shards) {}
+
+  static constexpr std::size_t kMinPagesPerShard = 16;
 
   Nanos copy(ForeignMapping& primary, ForeignMapping& backup,
              std::span<const Pfn> dirty) override;
   [[nodiscard]] const char* name() const override { return "memcpy"; }
 
+  // Shard count the next copy of `pages` dirty pages would use (1 =
+  // serial). Exposed so the cost accounting is testable.
+  [[nodiscard]] std::size_t effective_shards(std::size_t pages) const;
+
  private:
   const CostModel* costs_;
+  ThreadPool* pool_;
+  std::size_t shards_;
 };
 
 class SocketTransport final : public Transport {

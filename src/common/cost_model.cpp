@@ -1,6 +1,44 @@
 #include "common/cost_model.h"
 
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
 namespace crimes {
+
+Nanos CostModel::parallel_cost(std::span<const Nanos> shard_costs) const {
+  if (shard_costs.empty()) return Nanos{0};
+  Nanos slowest{0};
+  for (const Nanos cost : shard_costs) slowest = std::max(slowest, cost);
+  return slowest + thread_fork_join;
+}
+
+Nanos CostModel::parallel_shard_cost(Nanos per_item, std::size_t items,
+                                     std::size_t workers) const {
+  if (workers <= 1 || items == 0) return per_item * items;
+  // shard_bounds gives the first shards one extra item, so the slowest
+  // shard processes ceil(items / workers).
+  const std::size_t largest = (items + workers - 1) / workers;
+  return per_item * largest + thread_fork_join;
+}
+
+Nanos CostModel::bitscan_parallel_cost(
+    std::size_t total_words,
+    std::span<const std::size_t> shard_set_bits) const {
+  const std::size_t shards = shard_set_bits.size();
+  if (shards <= 1) {
+    return bitscan_chunked_cost(
+        total_words, shards == 1 ? shard_set_bits.front() : 0);
+  }
+  Nanos slowest{0};
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const auto [begin, end] =
+        ThreadPool::shard_bounds(total_words, shards, shard);
+    slowest = std::max(
+        slowest, bitscan_chunked_cost(end - begin, shard_set_bits[shard]));
+  }
+  return slowest + thread_fork_join;
+}
 
 const CostModel& CostModel::defaults() {
   static const CostModel model{};

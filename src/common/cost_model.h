@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 namespace crimes {
 
@@ -102,6 +103,13 @@ struct CostModel {
   // acknowledgement round trip to the remote Restore host.
   Nanos remote_ack_rtt = micros(200);
 
+  // --- Parallel checkpoint engine (post-paper extension). A phase forked
+  // across the worker pool finishes when its slowest shard does, so its
+  // virtual-time charge is max(per-shard cost) + fork/join overhead. The
+  // overhead covers dispatching tasks to already-running workers plus the
+  // join barrier -- no thread spawn is ever on the suspended-window path.
+  Nanos thread_fork_join = micros(15);
+
   // --- Disk persistence of checkpoints (section 5.5: "tens of seconds for
   // large VMs", "100+ sec" for several full snapshots -> ~30 MB/s).
   Nanos disk_write_per_page = micros(130);
@@ -132,6 +140,21 @@ struct CostModel {
                                            std::size_t set_bits) const {
     return bitscan_per_word * total_words + bitscan_per_set_bit * set_bits;
   }
+
+  // Join rule for any forked phase: the slowest shard plus the fork/join
+  // overhead. Zero shards means the phase did not run at all.
+  [[nodiscard]] Nanos parallel_cost(std::span<const Nanos> shard_costs) const;
+
+  // Forked phase over `items` uniform-cost items split evenly across
+  // `workers` shards (the ThreadPool::shard_bounds partition).
+  [[nodiscard]] Nanos parallel_shard_cost(Nanos per_item, std::size_t items,
+                                          std::size_t workers) const;
+
+  // Parallel word-wise bitmap scan: shard i covers an even slice of the
+  // word array and decomposed shard_set_bits[i] dirty bits.
+  [[nodiscard]] Nanos bitscan_parallel_cost(
+      std::size_t total_words,
+      std::span<const std::size_t> shard_set_bits) const;
 
   [[nodiscard]] static const CostModel& defaults();
 };

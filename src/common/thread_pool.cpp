@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace crimes {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(1, threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::shard_bounds(
+    std::size_t n, std::size_t shards, std::size_t shard) {
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;
+  const std::size_t begin = shard * base + std::min(shard, extra);
+  const std::size_t end = begin + base + (shard < extra ? 1 : 0);
+  return {begin, end};
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the future
+  }
+}
+
+void ThreadPool::parallel_for_shards(
+    std::size_t n, std::size_t shards,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  shards = std::clamp<std::size_t>(shards, 1, std::max<std::size_t>(1, n));
+  if (shards == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards);
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const auto [begin, end] = shard_bounds(n, shards, shard);
+    pending.push_back(submit([&fn, shard, begin = begin, end = end] {
+      fn(shard, begin, end);
+    }));
+  }
+  // Join every shard before surfacing any exception: shard lambdas capture
+  // caller-stack state that must stay alive until all workers are done.
+  for (auto& future : pending) future.wait();
+  std::exception_ptr first;
+  for (auto& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace crimes

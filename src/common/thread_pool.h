@@ -1,0 +1,82 @@
+// Fixed-size worker pool for the parallel checkpoint engine.
+//
+// The paper's entire latency budget is the VM-suspended window; its three
+// optimizations attack that window single-threadedly. The pool lets the
+// hot phases -- dirty-bitmap scan, dirty-page copy, detection scans --
+// shard across cores without per-epoch thread spawns: workers are created
+// once (at Checkpointer construction) and parked on a condition variable
+// between epochs, so the per-phase overhead is one dispatch + one join
+// barrier (charged as CostModel::thread_fork_join in virtual time).
+//
+// Plain mutex/condvar design on purpose: it is trivially clean under TSan
+// and the dispatch cost is irrelevant next to the work each shard does.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace crimes {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  // Hardware thread count, with a floor of 1 for exotic platforms.
+  [[nodiscard]] static std::size_t default_thread_count();
+
+  // Evenly partitions [0, n) into `shards` contiguous ranges and returns
+  // [begin, end) of range `shard`. The first n % shards ranges get one
+  // extra element, so sizes differ by at most one -- this is the partition
+  // every parallel phase (and the cost model mirroring it) uses.
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> shard_bounds(
+      std::size_t n, std::size_t shards, std::size_t shard);
+
+  // Schedules `fn` on the pool; the future resolves with its result (or
+  // rethrows its exception).
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  // Runs fn(shard, begin, end) for every shard of [0, n) on the pool and
+  // blocks until all shards finish. Shards are disjoint, so `fn` may write
+  // shard-local outputs without locking. The first exception any shard
+  // threw is rethrown after every shard has completed (no dangling work).
+  void parallel_for_shards(
+      std::size_t n, std::size_t shards,
+      const std::function<void(std::size_t shard, std::size_t begin,
+                               std::size_t end)>& fn);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace crimes

@@ -121,7 +121,10 @@ AuditResult Crimes::run_audit(std::span<const Pfn> dirty) {
       .plan = &plan,
       .now = clock_.now(),
   };
-  ScanResult result = detector_.audit(ctx);
+  ThreadPool* pool = checkpointer_ ? checkpointer_->pool() : nullptr;
+  ScanResult result = config_.checkpoint.parallel_audit && pool != nullptr
+                          ? detector_.audit_parallel(ctx, *pool)
+                          : detector_.audit(ctx);
   const bool passed = result.clean();
   last_findings_ = std::move(result.findings);
   return AuditResult{.passed = passed, .cost = result.cost};

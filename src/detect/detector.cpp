@@ -1,5 +1,9 @@
 #include "detect/detector.h"
 
+#include "common/thread_pool.h"
+
+#include <future>
+
 namespace crimes {
 
 const char* to_string(Severity severity) {
@@ -30,6 +34,53 @@ ScanResult Detector::audit(ScanContext& ctx) {
     total.cost += r.cost;
     for (auto& f : r.findings) total.findings.push_back(std::move(f));
   }
+  return total;
+}
+
+ScanResult Detector::audit_parallel(ScanContext& ctx, ThreadPool& pool) {
+  if (modules_.size() < 2) return audit(ctx);  // nothing to fork
+  ++audits_run_;
+
+  ScanResult total;
+  // Charges already sitting on the caller's session belong to the caller,
+  // not to any one fork.
+  total.cost = ctx.vmi.take_cost();
+
+  std::vector<VmiSession> sessions;
+  sessions.reserve(modules_.size());
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    sessions.push_back(ctx.vmi.fork());
+  }
+
+  std::vector<ScanResult> results(modules_.size());
+  std::vector<std::future<void>> pending;
+  pending.reserve(modules_.size());
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    pending.push_back(pool.submit([this, i, &ctx, &sessions, &results] {
+      ScanContext local{
+          .vmi = sessions[i],
+          .dirty = ctx.dirty,
+          .costs = ctx.costs,
+          .pending_packets = ctx.pending_packets,
+          .plan = ctx.plan,
+          .now = ctx.now,
+      };
+      results[i] = modules_[i]->scan(local);
+    }));
+  }
+  // Join everything before surfacing an exception: the lambdas reference
+  // this frame's vectors.
+  for (auto& future : pending) future.wait();
+  for (auto& future : pending) future.get();
+
+  std::vector<Nanos> module_costs;
+  module_costs.reserve(results.size());
+  for (ScanResult& r : results) {
+    module_costs.push_back(r.cost);
+    for (auto& f : r.findings) total.findings.push_back(std::move(f));
+  }
+  total.cost += ctx.costs.parallel_cost(module_costs);
+  for (const VmiSession& session : sessions) ctx.vmi.absorb(session);
   return total;
 }
 

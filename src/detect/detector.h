@@ -19,6 +19,8 @@
 
 namespace crimes {
 
+class ThreadPool;
+
 enum class Severity { Info, Warning, Critical };
 
 [[nodiscard]] const char* to_string(Severity severity);
@@ -77,6 +79,14 @@ class Detector {
   // empty Detector reports clean at zero cost (the Checkpointer then
   // charges its baseline no-op scan cost).
   [[nodiscard]] ScanResult audit(ScanContext& ctx);
+
+  // Parallel engine: runs the modules concurrently on the pool. Modules
+  // are independent reads of a quiesced VM, so each worker gets a fork of
+  // the caller's VmiSession (sessions are not thread-safe) and its own
+  // ScanContext. Findings are joined in module-registration order --
+  // byte-identical to audit() -- and the virtual-time charge is
+  // max(per-module cost) + fork/join overhead instead of the sum.
+  [[nodiscard]] ScanResult audit_parallel(ScanContext& ctx, ThreadPool& pool);
 
   [[nodiscard]] std::uint64_t audits_run() const { return audits_run_; }
 

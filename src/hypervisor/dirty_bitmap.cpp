@@ -1,5 +1,8 @@
 #include "hypervisor/dirty_bitmap.h"
 
+#include "common/thread_pool.h"
+
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -55,6 +58,51 @@ std::vector<Pfn> DirtyBitmap::scan_chunked() const {
       if (pfn < page_count_) dirty.push_back(Pfn{pfn});
       word &= word - 1;  // clear lowest set bit
     }
+  }
+  return dirty;
+}
+
+std::vector<Pfn> DirtyBitmap::scan_parallel(
+    ThreadPool& pool, std::size_t shards,
+    std::vector<std::size_t>* shard_set_bits) const {
+  shards = std::clamp<std::size_t>(shards, 1,
+                                   std::max<std::size_t>(1, words_.size()));
+  if (shards == 1) {
+    if (shard_set_bits != nullptr) *shard_set_bits = {dirty_count_};
+    return scan_chunked();
+  }
+
+  std::vector<std::vector<Pfn>> local(shards);
+  pool.parallel_for_shards(
+      words_.size(), shards,
+      [this, &local](std::size_t shard, std::size_t begin, std::size_t end) {
+        std::vector<Pfn>& out = local[shard];
+        std::size_t count = 0;
+        for (std::size_t wi = begin; wi < end; ++wi) {
+          count += static_cast<std::size_t>(std::popcount(words_[wi]));
+        }
+        out.reserve(count);
+        for (std::size_t wi = begin; wi < end; ++wi) {
+          std::uint64_t word = words_[wi];
+          while (word != 0) {
+            const int bit = std::countr_zero(word);
+            const std::size_t pfn =
+                wi * kBitsPerWord + static_cast<std::size_t>(bit);
+            if (pfn < page_count_) out.push_back(Pfn{pfn});
+            word &= word - 1;
+          }
+        }
+      });
+
+  std::vector<Pfn> dirty;
+  dirty.reserve(dirty_count_);
+  if (shard_set_bits != nullptr) {
+    shard_set_bits->clear();
+    shard_set_bits->reserve(shards);
+  }
+  for (const auto& part : local) {
+    if (shard_set_bits != nullptr) shard_set_bits->push_back(part.size());
+    dirty.insert(dirty.end(), part.begin(), part.end());
   }
   return dirty;
 }

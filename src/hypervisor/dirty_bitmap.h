@@ -15,6 +15,8 @@
 
 namespace crimes {
 
+class ThreadPool;
+
 class DirtyBitmap {
  public:
   static constexpr std::size_t kBitsPerWord = 64;
@@ -39,6 +41,17 @@ class DirtyBitmap {
 
   // CRIMES-style scan: skip zero words, decompose nonzero ones with ctz.
   [[nodiscard]] std::vector<Pfn> scan_chunked() const;
+
+  // Parallel checkpoint engine: the chunked scan sharded across the pool.
+  // Each worker ctz-decomposes a contiguous slice of the word array into a
+  // shard-local vector; shards are concatenated in slice order, so the
+  // result is identical to scan_chunked() (PFN-ascending). When
+  // `shard_set_bits` is non-null it receives the number of dirty bits each
+  // shard decomposed, which is exactly what
+  // CostModel::bitscan_parallel_cost needs to charge max-shard time.
+  [[nodiscard]] std::vector<Pfn> scan_parallel(
+      ThreadPool& pool, std::size_t shards,
+      std::vector<std::size_t>* shard_set_bits = nullptr) const;
 
  private:
   std::size_t page_count_;

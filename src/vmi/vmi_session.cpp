@@ -42,6 +42,21 @@ void VmiSession::preprocess() {
   accrued_ += costs_->vmi_preprocess;
 }
 
+VmiSession VmiSession::fork() const {
+  VmiSession child(*this);
+  child.accrued_ = Nanos{0};
+  child.cold_ = 0;
+  child.cached_ = 0;
+  return child;
+}
+
+void VmiSession::absorb(const VmiSession& child) {
+  for (const auto& [vpn, pfn] : child.tlb_) tlb_.emplace(vpn, pfn);
+  accrued_ += child.accrued_;  // anything the worker's module did not drain
+  cold_ += child.cold_;
+  cached_ += child.cached_;
+}
+
 void VmiSession::require_init() const {
   if (!initialized_) throw VmiError("VmiSession: init() not called");
 }

@@ -74,6 +74,17 @@ class VmiSession {
   // CRIMES always runs it once at startup (section 5.3).
   void preprocess();
 
+  // Parallel audits: a session's translation cache and cost ledger are
+  // mutable per read, so concurrent scan modules each need their own
+  // handle (real LibVMI sessions are not thread-safe either). fork()
+  // clones this session -- warm TLB included, no re-init/preprocess
+  // charge, zeroed cost and telemetry ledgers -- for one worker; after the
+  // join, absorb() folds the fork's newly learned translations, residual
+  // cost, and telemetry back into the parent so later serial epochs see
+  // the same cache state they would have after a serial audit.
+  [[nodiscard]] VmiSession fork() const;
+  void absorb(const VmiSession& child);
+
   [[nodiscard]] bool initialized() const { return initialized_; }
   [[nodiscard]] bool preprocessed() const { return preprocessed_; }
   [[nodiscard]] OsFlavor flavor() const { return flavor_; }

@@ -1,11 +1,15 @@
-// Unit + property tests: the dirty bitmap and its two scan algorithms
-// (the paper's Optimization 3). The key invariant: word-wise chunked
-// scanning returns exactly the same dirty set as bit-by-bit scanning, for
-// any bitmap.
+// Unit + property tests: the dirty bitmap and its scan algorithms (the
+// paper's Optimization 3 plus the parallel engine's sharded variant). The
+// key invariant: word-wise chunked scanning -- serial or sharded across
+// the pool -- returns exactly the same dirty set as bit-by-bit scanning,
+// for any bitmap.
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "hypervisor/dirty_bitmap.h"
 
 #include <gtest/gtest.h>
+
+#include <numeric>
 
 namespace crimes {
 namespace {
@@ -30,6 +34,7 @@ TEST(DirtyBitmap, OutOfRangeThrows) {
 }
 
 TEST(DirtyBitmap, ScansAreSortedAndComplete) {
+  ThreadPool pool(4);
   DirtyBitmap bm(256);
   bm.mark(Pfn{200});
   bm.mark(Pfn{0});
@@ -38,34 +43,73 @@ TEST(DirtyBitmap, ScansAreSortedAndComplete) {
   const std::vector<Pfn> expect{Pfn{0}, Pfn{63}, Pfn{64}, Pfn{200}};
   EXPECT_EQ(bm.scan_naive(), expect);
   EXPECT_EQ(bm.scan_chunked(), expect);
+  EXPECT_EQ(bm.scan_parallel(pool, 4), expect);
 }
 
 TEST(DirtyBitmap, EmptyAndFullExtremes) {
+  ThreadPool pool(4);
   DirtyBitmap bm(130);  // deliberately not a multiple of 64
   EXPECT_TRUE(bm.scan_naive().empty());
   EXPECT_TRUE(bm.scan_chunked().empty());
+  EXPECT_TRUE(bm.scan_parallel(pool, 4).empty());
   for (std::size_t i = 0; i < 130; ++i) bm.mark(Pfn{i});
   EXPECT_EQ(bm.scan_naive().size(), 130u);
   EXPECT_EQ(bm.scan_chunked().size(), 130u);
+  EXPECT_EQ(bm.scan_parallel(pool, 4), bm.scan_chunked());
+}
+
+TEST(DirtyBitmap, SingleBitFoundByEveryScanAndShardCount) {
+  ThreadPool pool(4);
+  DirtyBitmap bm(100000);
+  bm.mark(Pfn{64123});
+  const std::vector<Pfn> expect{Pfn{64123}};
+  EXPECT_EQ(bm.scan_naive(), expect);
+  EXPECT_EQ(bm.scan_chunked(), expect);
+  for (const std::size_t shards : {1u, 2u, 3u, 4u, 8u}) {
+    EXPECT_EQ(bm.scan_parallel(pool, shards), expect);
+  }
 }
 
 TEST(DirtyBitmap, LastWordPartialBitsIgnoredByChunkedScan) {
   // Stray bits beyond page_count in the final word must not yield
   // phantom PFNs.
+  ThreadPool pool(2);
   DirtyBitmap bm(70);
   bm.mutable_words()[1] = ~std::uint64_t{0};  // bits 64..127 all set
   const auto dirty = bm.scan_chunked();
   ASSERT_EQ(dirty.size(), 6u);  // only 64..69 are real pages
   EXPECT_EQ(dirty.front(), Pfn{64});
   EXPECT_EQ(dirty.back(), Pfn{69});
+  // The parallel scan puts the stray-bit word in its final shard; it must
+  // apply the same page_count guard.
+  EXPECT_EQ(bm.scan_parallel(pool, 2), dirty);
 }
 
-// Property: the two scan algorithms agree on random bitmaps of many sizes
-// and densities.
+TEST(DirtyBitmap, ParallelScanReportsPerShardSetBits) {
+  ThreadPool pool(4);
+  DirtyBitmap bm(64 * 8);  // 8 words, 2 words per shard at 4 shards
+  bm.mark(Pfn{0});         // word 0 -> shard 0
+  bm.mark(Pfn{65});        // word 1 -> shard 0
+  bm.mark(Pfn{400});       // word 6 -> shard 3
+  std::vector<std::size_t> shard_bits;
+  const auto dirty = bm.scan_parallel(pool, 4, &shard_bits);
+  EXPECT_EQ(dirty, bm.scan_chunked());
+  ASSERT_EQ(shard_bits.size(), 4u);
+  EXPECT_EQ(shard_bits[0], 2u);
+  EXPECT_EQ(shard_bits[1], 0u);
+  EXPECT_EQ(shard_bits[2], 0u);
+  EXPECT_EQ(shard_bits[3], 1u);
+  EXPECT_EQ(std::accumulate(shard_bits.begin(), shard_bits.end(),
+                            std::size_t{0}),
+            bm.dirty_count());
+}
+
+// Property: all three scan algorithms agree on random bitmaps of many
+// sizes and densities, for every shard count.
 class ScanEquivalence
     : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
 
-TEST_P(ScanEquivalence, NaiveAndChunkedAgree) {
+TEST_P(ScanEquivalence, NaiveChunkedAndParallelAgree) {
   const auto [pages, density] = GetParam();
   Rng rng(pages * 7919 + static_cast<std::uint64_t>(density * 1000));
   DirtyBitmap bm(pages);
@@ -76,6 +120,16 @@ TEST_P(ScanEquivalence, NaiveAndChunkedAgree) {
   const auto chunked = bm.scan_chunked();
   EXPECT_EQ(naive, chunked);
   EXPECT_EQ(naive.size(), bm.dirty_count());
+
+  ThreadPool pool(4);
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    std::vector<std::size_t> shard_bits;
+    EXPECT_EQ(bm.scan_parallel(pool, shards, &shard_bits), chunked)
+        << "shards=" << shards;
+    EXPECT_EQ(std::accumulate(shard_bits.begin(), shard_bits.end(),
+                              std::size_t{0}),
+              bm.dirty_count());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

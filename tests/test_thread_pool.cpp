@@ -1,0 +1,135 @@
+// Tests: the fixed worker pool behind the parallel checkpoint engine.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace crimes {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResultsThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, AtLeastOneWorkerEvenWhenAskedForZero) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("worker failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ShardBoundsPartitionExactly) {
+  for (const std::size_t n : {0u, 1u, 7u, 64u, 100u, 1000u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 4u, 8u, 13u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [begin, end] = ThreadPool::shard_bounds(n, shards, s);
+        EXPECT_EQ(begin, prev_end);  // contiguous, in order
+        EXPECT_LE(begin, end);
+        covered += end - begin;
+        prev_end = end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(ThreadPool, ShardSizesDifferByAtMostOne) {
+  const auto size_of = [](std::size_t n, std::size_t shards, std::size_t s) {
+    const auto [begin, end] = ThreadPool::shard_bounds(n, shards, s);
+    return end - begin;
+  };
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_GE(size_of(100, 8, s), 12u);
+    EXPECT_LE(size_of(100, 8, s), 13u);
+  }
+}
+
+TEST(ThreadPool, ParallelForShardsCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_shards(kN, 7,
+                           [&hits](std::size_t, std::size_t begin,
+                                   std::size_t end) {
+                             for (std::size_t i = begin; i < end; ++i) {
+                               hits[i].fetch_add(1);
+                             }
+                           });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForShardsHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  // n = 0: a single degenerate shard.
+  pool.parallel_for_shards(0, 4, [&calls](std::size_t, std::size_t begin,
+                                          std::size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, end);
+  });
+  EXPECT_EQ(calls.load(), 1);
+  // More shards than items: clamps to one shard per item.
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_shards(3, 16, [&total](std::size_t, std::size_t begin,
+                                           std::size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 3u);
+}
+
+TEST(ThreadPool, ParallelForShardsRethrowsAfterJoiningAllShards) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for_shards(64, 4,
+                               [&completed](std::size_t shard, std::size_t,
+                                            std::size_t) {
+                                 if (shard == 2) {
+                                   throw std::runtime_error("shard died");
+                                 }
+                                 completed.fetch_add(1);
+                               }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 3u);  // every other shard still ran
+}
+
+TEST(ThreadPool, ManySmallBatchesReuseTheSameWorkers) {
+  // Regression guard for per-epoch thread spawns: hammer the pool with
+  // many tiny fork/join rounds, as the epoch loop does.
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for_shards(8, 2,
+                             [&sum](std::size_t, std::size_t begin,
+                                    std::size_t end) {
+                               for (std::size_t i = begin; i < end; ++i) {
+                                 sum.fetch_add(i);
+                               }
+                             });
+  }
+  EXPECT_EQ(sum.load(), 200u * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+}  // namespace
+}  // namespace crimes
