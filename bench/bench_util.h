@@ -8,6 +8,7 @@
 #include "asan/shadow_memory.h"
 #include "core/crimes.h"
 #include "detect/canary_scan.h"
+#include "telemetry/export.h"
 #include "workload/parsec.h"
 #include "workload/web_server.h"
 #include "workload/wrk_client.h"
@@ -61,6 +62,55 @@ inline RunSummary run_parsec_scheme(const ParsecProfile& profile,
   crimes.set_workload(&app);
   crimes.initialize();
   return crimes.run(millis(profile.duration_ms * 2));
+}
+
+// Same as run_parsec_scheme but with the telemetry layer on: prints the
+// per-phase count/mean/p50/p95/p99 table and, when paths are given, writes
+// a Chrome trace_event JSON (load at chrome://tracing or ui.perfetto.dev)
+// and a flat metrics JSONL.
+inline RunSummary run_parsec_scheme_traced(const ParsecProfile& profile,
+                                           const CheckpointConfig& scheme,
+                                           const std::string& trace_out = {},
+                                           const std::string& metrics_out = {},
+                                           SafetyMode mode =
+                                               SafetyMode::Synchronous) {
+  Hypervisor hypervisor(1u << 21);
+  const GuestConfig gc = profile.recommended_guest();
+  Vm& vm = hypervisor.create_domain(profile.name, gc.page_count);
+  GuestKernel kernel(vm, gc);
+  kernel.boot();
+
+  CrimesConfig config;
+  config.checkpoint = scheme;
+  config.mode = mode;
+  config.record_execution = false;
+  config.telemetry = true;
+  Crimes crimes(hypervisor, kernel, config);
+  ParsecWorkload app(kernel, profile);
+  crimes.set_workload(&app);
+  crimes.initialize();
+  const RunSummary summary = crimes.run(millis(profile.duration_ms * 2));
+
+  const telemetry::Telemetry* tel = crimes.telemetry();
+  std::printf("%s", telemetry::format_phase_table(tel->metrics).c_str());
+  if (!trace_out.empty()) {
+    if (telemetry::write_chrome_trace(tel->trace, trace_out)) {
+      std::printf("wrote %zu spans to %s\n", tel->trace.span_count(),
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out.c_str());
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (telemetry::write_metrics_jsonl(tel->metrics, metrics_out)) {
+      std::printf("wrote metrics to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_out.c_str());
+    }
+  }
+  return summary;
 }
 
 // The AddressSanitizer baseline of Figure 3: the workload runs inside the

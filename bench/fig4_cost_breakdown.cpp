@@ -7,10 +7,23 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crimes;
   using namespace crimes::bench;
+
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-out <file.trace.json>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   ParsecProfile profile = ParsecProfile::by_name("swaptions");
   profile.duration_ms = 4000.0;
@@ -36,5 +49,12 @@ int main() {
   std::printf("\npause-time reduction Full vs No-opt: %.0f%% (paper: 67%%, "
               "29.86 -> 10.21 ms)\n",
               100.0 * (1.0 - full_total / no_opt_total));
+
+  if (!trace_out.empty()) {
+    print_header("traced Full-scheme run (telemetry on)");
+    (void)run_parsec_scheme_traced(profile,
+                                   CheckpointConfig::full(millis(200)),
+                                   trace_out);
+  }
   return 0;
 }

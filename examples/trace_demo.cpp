@@ -1,0 +1,104 @@
+// Telemetry demo: run a short Synchronous-Safety workload with the epoch
+// telemetry layer on, print the per-phase latency table, and export a
+// Chrome trace_event JSON (open at chrome://tracing or ui.perfetto.dev)
+// plus a flat metrics JSONL.
+//
+//   ./examples/trace_demo [--trace-out f.trace.json]
+//                         [--metrics-out f.metrics.jsonl]
+//
+// Exits nonzero if the recorded phase spans fail to cover >= 95% of the
+// measured total pause time -- the acceptance bar for the trace being a
+// faithful account of where checkpoint time went.
+#include "core/crimes.h"
+#include "detect/canary_scan.h"
+#include "telemetry/export.h"
+#include "workload/parsec.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+int main(int argc, char** argv) {
+  using namespace crimes;
+
+  std::string trace_out = "trace_demo.trace.json";
+  std::string metrics_out = "trace_demo.metrics.jsonl";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace-out <file>] [--metrics-out <file>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // A ~200 ms guest workload checkpointed every 20 ms: enough epochs for
+  // the phase histograms to have a meaningful tail.
+  Hypervisor hypervisor;
+  ParsecProfile profile = ParsecProfile::by_name("swaptions");
+  profile.duration_ms = 200.0;
+  const GuestConfig guest_config = profile.recommended_guest();
+  Vm& vm = hypervisor.create_domain("traced", guest_config.page_count);
+  GuestKernel kernel(vm, guest_config);
+  kernel.boot();
+
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(millis(20));
+  config.mode = SafetyMode::Synchronous;
+  config.record_execution = false;
+  config.telemetry = true;
+  Crimes crimes(hypervisor, kernel, config);
+  crimes.add_module(std::make_unique<CanaryScanModule>());
+  ParsecWorkload app(kernel, profile);
+  crimes.set_workload(&app);
+  crimes.initialize();
+
+  const RunSummary summary = crimes.run(millis(400));
+  const telemetry::Telemetry* tel = crimes.telemetry();
+
+  std::printf("epochs: %zu  total pause: %.3f ms  max pause: %.3f ms  "
+              "p95: %.3f ms  p99: %.3f ms\n",
+              summary.epochs, to_ms(summary.total_pause),
+              summary.max_pause_ms(), summary.p95_pause_ms(),
+              summary.p99_pause_ms());
+  std::printf("%s", telemetry::format_phase_table(tel->metrics).c_str());
+
+  if (!telemetry::write_chrome_trace(tel->trace, trace_out)) {
+    std::fprintf(stderr, "error: could not write %s\n", trace_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu spans to %s\n", tel->trace.span_count(),
+              trace_out.c_str());
+  if (!telemetry::write_metrics_jsonl(tel->metrics, metrics_out)) {
+    std::fprintf(stderr, "error: could not write %s\n", metrics_out.c_str());
+    return 1;
+  }
+  std::printf("wrote metrics to %s\n", metrics_out.c_str());
+
+  // Self-check: the checkpoint phase spans must account for >= 95% of the
+  // measured pause time, or the trace is lying about where time went.
+  Nanos covered{0};
+  for (const telemetry::TraceSpan& span : tel->trace.spans()) {
+    if (span.name == "suspend" || span.name == "dirty_scan" ||
+        span.name == "audit" || span.name == "map" || span.name == "copy" ||
+        span.name == "resume") {
+      covered += span.virt_end - span.virt_start;
+    }
+  }
+  const double coverage =
+      summary.total_pause.count() == 0
+          ? 1.0
+          : static_cast<double>(covered.count()) /
+                static_cast<double>(summary.total_pause.count());
+  std::printf("phase-span coverage of total pause: %.1f%%\n",
+              100.0 * coverage);
+  if (coverage < 0.95) {
+    std::fprintf(stderr, "error: phase spans cover < 95%% of total pause\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate a CRIMES Chrome trace (and optional metrics JSONL).
+
+Checks, in order:
+  1. The file is valid JSON of the chrome://tracing "object" flavor:
+     {"displayTimeUnit": ..., "traceEvents": [...]}, non-empty.
+  2. Every event is either a complete span ("ph": "X") with numeric
+     ts >= 0 and dur >= 0, or a metadata event ("ph": "M").
+  3. Per (pid, tid) lane, spans nest properly: sorting by (ts, -dur) and
+     sweeping with a stack, every span is fully contained in the enclosing
+     open span -- no partial overlaps, no orphan half-open intervals.
+  4. "epoch" spans exist, are monotonically increasing, and do not overlap
+     one another; every non-epoch span on the pipeline lane (tid 0) is
+     contained in some epoch span.
+  5. If --metrics is given, every line parses as a JSON object with a
+     "name" and "type" field.
+
+With --run BINARY, runs `BINARY --trace-out TRACE --metrics-out METRICS`
+first (this is how the ctest entry drives an end-to-end workload).
+
+Exit status: 0 on success, 1 on any validation failure.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+# Timestamps are microseconds parsed from printed doubles; adjacent spans
+# can disagree by a rounding ulp, so interval comparisons use a tolerance
+# well below the 1 ns resolution of the simulator.
+EPS = 1e-3
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_trace(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("'traceEvents' must be a non-empty array")
+    return events
+
+
+def check_events(events):
+    spans = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            fail(f"event {i}: unexpected ph {ph!r} (want 'X' or 'M')")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i}: missing field {key!r}")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(f"event {i}: ts must be a non-negative number")
+        if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+            fail(f"event {i}: dur must be a non-negative number")
+        spans.append(ev)
+    if not spans:
+        fail("trace contains metadata only, no spans")
+    return spans
+
+
+def check_nesting(spans):
+    lanes = {}
+    for ev in spans:
+        lanes.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    for lane, evs in sorted(lanes.items()):
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (name, ts, end)
+        for ev in evs:
+            start, end = ev["ts"], ev["ts"] + ev["dur"]
+            while stack and start >= stack[-1][2] - EPS:
+                stack.pop()
+            if stack and end > stack[-1][2] + EPS:
+                fail(
+                    f"lane {lane}: span {ev['name']!r} [{start}, {end}) "
+                    f"partially overlaps {stack[-1][0]!r} "
+                    f"[{stack[-1][1]}, {stack[-1][2]})"
+                )
+            stack.append((ev["name"], start, end))
+    print(f"check_trace: {len(spans)} spans across {len(lanes)} lane(s), "
+          "nesting OK")
+
+
+def check_epochs(spans):
+    epochs = sorted(
+        (e for e in spans if e["name"] == "epoch"),
+        key=lambda e: e["ts"],
+    )
+    if not epochs:
+        fail("no 'epoch' spans in trace")
+    prev_end = -1.0
+    for ev in epochs:
+        if ev["ts"] < prev_end - EPS:
+            fail(
+                f"epoch at ts={ev['ts']} overlaps previous epoch "
+                f"ending at {prev_end}"
+            )
+        prev_end = ev["ts"] + ev["dur"]
+
+    # Every non-epoch pipeline span must fall inside some epoch: a span
+    # outside every epoch is an orphan the recorder should not have kept.
+    # Response-path spans (rollback/replay/forensics) run after the last
+    # epoch has been cut short, so only the steady-state names are held
+    # to this.
+    steady = {"suspend", "dirty_scan", "audit", "map", "copy", "resume",
+              "commit", "buffer_release"}
+    for ev in spans:
+        if ev["tid"] != 0 or ev["name"] == "epoch":
+            continue
+        if ev["name"] not in steady and not ev["name"].startswith("scan:"):
+            continue
+        start, end = ev["ts"], ev["ts"] + ev["dur"]
+        if not any(
+            ep["ts"] - EPS <= start and end <= ep["ts"] + ep["dur"] + EPS
+            for ep in epochs
+        ):
+            fail(
+                f"span {ev['name']!r} [{start}, {end}) lies outside "
+                "every epoch"
+            )
+    print(f"check_trace: {len(epochs)} epochs, monotonic and "
+          "non-overlapping, all phase spans contained")
+
+
+def check_metrics(path):
+    n = 0
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno}: invalid JSON: {e}")
+                if not isinstance(obj, dict):
+                    fail(f"{path}:{lineno}: line is not a JSON object")
+                for key in ("name", "type"):
+                    if key not in obj:
+                        fail(f"{path}:{lineno}: missing field {key!r}")
+                n += 1
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if n == 0:
+        fail(f"{path}: no metrics lines")
+    print(f"check_trace: {n} metrics lines OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--run", help="binary to run first (emits the trace)")
+    ap.add_argument("--trace", required=True, help="Chrome trace JSON path")
+    ap.add_argument("--metrics", help="metrics JSONL path")
+    args = ap.parse_args()
+
+    if args.run:
+        cmd = [args.run, "--trace-out", args.trace]
+        if args.metrics:
+            cmd += ["--metrics-out", args.metrics]
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            fail(f"{' '.join(cmd)} exited with {proc.returncode}")
+
+    events = load_trace(args.trace)
+    spans = check_events(events)
+    check_nesting(spans)
+    check_epochs(spans)
+    if args.metrics:
+        check_metrics(args.metrics)
+    print("check_trace: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,9 @@
 #include "checkpoint/checkpointer.h"
 
 #include "common/log.h"
+#include "telemetry/telemetry.h"
 
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -18,6 +20,25 @@ const char* CheckpointConfig::label() const {
 
 std::size_t CheckpointConfig::pool_threads() const {
   return copy_threads > 1 ? copy_threads : ThreadPool::default_thread_count();
+}
+
+void Checkpointer::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  auto& m = telemetry_->metrics;
+  metrics_.suspend = &m.histogram("phase.suspend");
+  metrics_.dirty_scan = &m.histogram("phase.dirty_scan");
+  metrics_.audit = &m.histogram("phase.audit");
+  metrics_.map = &m.histogram("phase.map");
+  metrics_.copy = &m.histogram("phase.copy");
+  metrics_.resume = &m.histogram("phase.resume");
+  metrics_.pause_total = &m.histogram("phase.pause_total");
+  metrics_.dirty_pages = &m.histogram("checkpoint.dirty_pages");
+  metrics_.epochs = &m.counter("checkpoint.epochs");
+  metrics_.audit_failures = &m.counter("checkpoint.audit_failures");
 }
 
 Checkpointer::Checkpointer(Hypervisor& hypervisor, Vm& primary,
@@ -135,12 +156,36 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
   const DirtyBitmap& bitmap = primary_->dirty_bitmap();
   const std::size_t dirty_count = bitmap.dirty_count();
 
+  // Telemetry: phases are placed on the virtual timeline as their costs
+  // become known (the SimClock only advances once the whole pause is
+  // charged at the end); `cursor` walks the pause window phase by phase.
+  // Wall time is measured around the phases that do real work.
+  const bool traced = telemetry_ != nullptr;
+  Nanos cursor = clock_->now();
+  using WallClock = std::chrono::steady_clock;
+  WallClock::time_point wall_begin;
+  Nanos wall{0};
+  const auto wall_start = [&] {
+    if (traced) wall_begin = WallClock::now();
+  };
+  const auto wall_stop = [&] {
+    wall = traced ? std::chrono::duration_cast<Nanos>(WallClock::now() -
+                                                      wall_begin)
+                  : Nanos{0};
+  };
+  const auto phase_span = [&](const char* name, Nanos cost, Nanos wall_dur) {
+    if (traced) telemetry_->trace.add_span(name, cursor, cost, 0, wall_dur);
+    cursor += cost;
+  };
+
   // 1. Suspend the primary: quiesce vCPUs and in-flight DMA.
   primary_->suspend();
   result.costs.suspend = costs_->suspend_cost(dirty_count);
+  phase_span("suspend", result.costs.suspend, Nanos{0});
 
   // 2. Scan the dirty bitmap (Optimization 3 picks the algorithm; the
   // parallel engine shards it).
+  wall_start();
   if (config_.opt_chunked_scan && config_.parallel_scan && pool_ != nullptr) {
     std::vector<std::size_t> shard_set_bits;
     result.dirty =
@@ -156,16 +201,23 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
     result.costs.bitscan = costs_->bitscan_naive_cost(bitmap.page_count());
   }
   result.costs.dirty_pages = result.dirty.size();
+  wall_stop();
+  phase_span("dirty_scan", result.costs.bitscan, wall);
 
-  // 3. Security audit while the VM is quiesced.
+  // 3. Security audit while the VM is quiesced. `cursor` is the audit
+  // phase's virtual start; the Detector offsets its scan:<module> spans
+  // from it.
+  wall_start();
   if (audit) {
-    const AuditResult verdict = audit(result.dirty);
+    const AuditResult verdict = audit(result.dirty, cursor);
     result.costs.vmi = verdict.cost;
     result.audit_passed = verdict.passed;
   } else {
     result.costs.vmi = costs_->vmi_noop_scan;
     result.audit_passed = true;
   }
+  wall_stop();
+  phase_span("audit", result.costs.vmi, wall);
 
   if (!result.audit_passed) {
     // Evidence found: freeze the VM, keep the backup clean, keep the dirty
@@ -173,6 +225,7 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
     primary_->pause();
     clock_->advance(result.costs.suspend + result.costs.bitscan +
                     result.costs.vmi);
+    if (traced) record_epoch_metrics(result);
     CRIMES_LOG(Warn, "checkpointer")
         << "audit FAILED at " << to_ms(clock_->now()) << " ms; VM paused";
     return result;
@@ -180,8 +233,10 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
 
   // 4. Map the dirty frames (Optimization 2 makes this ~free).
   result.costs.map = map_cost(result.dirty.size());
+  phase_span("map", result.costs.map, Nanos{0});
 
   // 5. Propagate dirty pages into the backup (Optimization 1 picks how).
+  wall_start();
   {
     ForeignMapping src = hypervisor_->map_foreign(primary_->id());
     ForeignMapping dst = hypervisor_->map_foreign(backup_->id());
@@ -192,6 +247,8 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
       result.costs.copy += costs_->remote_ack_rtt;
     }
   }
+  wall_stop();
+  phase_span("copy", result.costs.copy, wall);
   backup_vcpu_ = primary_->vcpu();
   backup_->vcpu() = backup_vcpu_;
   primary_->dirty_bitmap().clear_all();
@@ -201,15 +258,38 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
   // 6. Resume speculative execution.
   primary_->resume();
   result.costs.resume = costs_->resume_cost(result.dirty.size());
+  phase_span("resume", result.costs.resume, Nanos{0});
 
   clock_->advance(result.costs.pause_total());
+  if (traced) record_epoch_metrics(result);
   return result;
+}
+
+void Checkpointer::record_epoch_metrics(const EpochResult& result) {
+  metrics_.suspend->record(result.costs.suspend.count());
+  metrics_.dirty_scan->record(result.costs.bitscan.count());
+  metrics_.audit->record(result.costs.vmi.count());
+  metrics_.dirty_pages->record(result.costs.dirty_pages);
+  metrics_.epochs->add();
+  if (!result.audit_passed) {
+    metrics_.audit_failures->add();
+    metrics_.pause_total->record(
+        (result.costs.suspend + result.costs.bitscan + result.costs.vmi)
+            .count());
+    return;
+  }
+  metrics_.map->record(result.costs.map.count());
+  metrics_.copy->record(result.costs.copy.count());
+  metrics_.resume->record(result.costs.resume.count());
+  metrics_.pause_total->record(result.costs.pause_total().count());
 }
 
 Nanos Checkpointer::rollback() {
   if (primary_->state() != VmState::Paused) {
     throw std::logic_error("Checkpointer::rollback: primary must be Paused");
   }
+  CRIMES_TRACE_SPAN(telemetry_ != nullptr ? &telemetry_->trace : nullptr,
+                    "rollback");
   const std::vector<Pfn> dirty = primary_->dirty_bitmap().scan_chunked();
   ForeignMapping src = hypervisor_->map_foreign(backup_->id());
   ForeignMapping dst = hypervisor_->map_foreign(primary_->id());

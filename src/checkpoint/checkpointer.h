@@ -19,6 +19,12 @@
 #include "common/thread_pool.h"
 #include "hypervisor/hypervisor.h"
 
+namespace crimes::telemetry {
+struct Telemetry;
+class Counter;
+class Histogram;
+}  // namespace crimes::telemetry
+
 #include <deque>
 #include <functional>
 #include <memory>
@@ -114,7 +120,12 @@ struct AuditResult {
 };
 
 // The Detector is invoked through this hook while the VM is suspended.
-using AuditFn = std::function<AuditResult(std::span<const Pfn> dirty)>;
+// `audit_start` is the virtual time at which the audit phase begins
+// (suspend and bitmap-scan costs are already known when the hook runs, but
+// the SimClock only advances once the whole pause is charged) -- telemetry
+// uses it to place scan spans on the epoch timeline.
+using AuditFn =
+    std::function<AuditResult(std::span<const Pfn> dirty, Nanos audit_start)>;
 
 struct EpochResult {
   PhaseCosts costs;
@@ -179,10 +190,16 @@ class Checkpointer {
   // serial. The Detector borrows it for parallel audits.
   [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
 
+  // Attaches (or detaches, with nullptr) the telemetry layer: per-phase
+  // spans on the trace and phase.* histograms in the registry. Metric
+  // pointers are resolved once here so the per-epoch path stays lock-free.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
  private:
   void full_sync();
   [[nodiscard]] Nanos map_cost(std::size_t dirty_pages) const;
   void push_history();
+  void record_epoch_metrics(const EpochResult& result);
 
   Hypervisor* hypervisor_;
   Vm* primary_;
@@ -197,6 +214,20 @@ class Checkpointer {
   Nanos startup_cost_{0};
   std::uint64_t checkpoints_taken_ = 0;
   std::deque<Snapshot> history_;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  struct PhaseMetrics {
+    telemetry::Histogram* suspend = nullptr;
+    telemetry::Histogram* dirty_scan = nullptr;
+    telemetry::Histogram* audit = nullptr;
+    telemetry::Histogram* map = nullptr;
+    telemetry::Histogram* copy = nullptr;
+    telemetry::Histogram* resume = nullptr;
+    telemetry::Histogram* pause_total = nullptr;
+    telemetry::Histogram* dirty_pages = nullptr;
+    telemetry::Counter* epochs = nullptr;
+    telemetry::Counter* audit_failures = nullptr;
+  } metrics_{};
 };
 
 }  // namespace crimes

@@ -1,6 +1,10 @@
 #include "common/log.h"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 namespace crimes {
 
@@ -9,9 +13,44 @@ Logger& Logger::instance() {
   return logger;
 }
 
+Logger::Logger() : start_(std::chrono::steady_clock::now()) {
+  if (const char* env = std::getenv("CRIMES_LOG_LEVEL")) {
+    LogLevel parsed;
+    if (parse_level(env, parsed)) {
+      level_.store(parsed, std::memory_order_relaxed);
+    } else {
+      std::fprintf(stderr,
+                   "[WARN ] %-12s unrecognized CRIMES_LOG_LEVEL '%s' "
+                   "(want debug|info|warn|error|off)\n",
+                   "log", env);
+    }
+  }
+}
+
+bool Logger::parse_level(const char* text, LogLevel& out) {
+  if (text == nullptr) return false;
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  if (lower == "debug") out = LogLevel::Debug;
+  else if (lower == "info") out = LogLevel::Info;
+  else if (lower == "warn" || lower == "warning") out = LogLevel::Warn;
+  else if (lower == "error") out = LogLevel::Error;
+  else if (lower == "off" || lower == "none") out = LogLevel::Off;
+  else return false;
+  return true;
+}
+
+void Logger::set_sink(Sink sink) {
+  const std::lock_guard lock(mutex_);
+  sink_ = std::move(sink);
+}
+
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
-  if (level < level_ || level_ == LogLevel::Off) return;
+  const LogLevel threshold = level_.load(std::memory_order_relaxed);
+  if (level < threshold || threshold == LogLevel::Off) return;
   const char* tag = "?";
   switch (level) {
     case LogLevel::Debug: tag = "DEBUG"; break;
@@ -20,8 +59,24 @@ void Logger::write(LogLevel level, const std::string& component,
     case LogLevel::Error: tag = "ERROR"; break;
     case LogLevel::Off: return;
   }
-  std::fprintf(stderr, "[%s] %-12s %s\n", tag, component.c_str(),
-               message.c_str());
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  const std::size_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000;
+
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[%s] [%10.3f ms t:%05zu] ", tag,
+                elapsed_ms, tid);
+  const std::string line = std::string(prefix) + component + " " + message;
+
+  const std::lock_guard lock(mutex_);
+  if (sink_) {
+    sink_(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace crimes

@@ -1,9 +1,19 @@
 // Minimal leveled logger.
 //
 // Default level is Warn so tests and benches stay quiet; examples raise it
-// to Info to narrate the epoch loop.
+// to Info to narrate the epoch loop. The startup level can be overridden
+// with the CRIMES_LOG_LEVEL environment variable (debug|info|warn|error|
+// off, case-insensitive).
+//
+// write() is thread-safe (the parallel checkpoint engine logs from pool
+// workers) and each line carries a monotonic timestamp (ms since process
+// start) plus the writing thread's id.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -15,14 +25,32 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+
+  // Parses a CRIMES_LOG_LEVEL value; returns false (and leaves `out`
+  // untouched) on anything unrecognized. Exposed for tests.
+  [[nodiscard]] static bool parse_level(const char* text, LogLevel& out);
 
   void write(LogLevel level, const std::string& component,
              const std::string& message);
 
+  // Redirects formatted lines away from stderr (tests); nullptr restores
+  // the default. The sink is invoked under the logger's mutex.
+  using Sink = std::function<void(LogLevel level, const std::string& line)>;
+  void set_sink(Sink sink);
+
  private:
-  LogLevel level_ = LogLevel::Warn;
+  Logger();
+
+  std::atomic<LogLevel> level_{LogLevel::Warn};
+  std::mutex mutex_;
+  Sink sink_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 namespace detail {

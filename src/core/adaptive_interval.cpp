@@ -1,9 +1,25 @@
 #include "core/adaptive_interval.h"
 
+#include "telemetry/telemetry.h"
+
 #include <algorithm>
 #include <cmath>
 
 namespace crimes {
+
+void AdaptiveIntervalController::set_telemetry(
+    telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    interval_gauge_ = nullptr;
+    pause_gauge_ = nullptr;
+    adjustments_counter_ = nullptr;
+    return;
+  }
+  interval_gauge_ = &telemetry->metrics.gauge("adaptive.interval_ms");
+  pause_gauge_ = &telemetry->metrics.gauge("adaptive.smoothed_pause_ms");
+  adjustments_counter_ = &telemetry->metrics.counter("adaptive.adjustments");
+  interval_gauge_->set(to_ms(interval_));
+}
 
 Nanos AdaptiveIntervalController::observe(const PhaseCosts& costs) {
   if (!config_.enabled) return interval_;
@@ -27,6 +43,11 @@ Nanos AdaptiveIntervalController::observe(const PhaseCosts& costs) {
   if (next != interval_) {
     interval_ = next;
     ++adjustments_;
+    if (adjustments_counter_ != nullptr) adjustments_counter_->add();
+  }
+  if (interval_gauge_ != nullptr) {
+    interval_gauge_->set(to_ms(interval_));
+    pause_gauge_->set(smoothed_pause_ms_);
   }
   return interval_;
 }

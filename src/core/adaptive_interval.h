@@ -15,6 +15,12 @@
 
 namespace crimes {
 
+namespace telemetry {
+struct Telemetry;
+class Counter;
+class Gauge;
+}  // namespace telemetry
+
 struct AdaptiveIntervalConfig {
   bool enabled = false;
   Nanos min_interval = millis(20);
@@ -44,6 +50,11 @@ class AdaptiveIntervalController {
 
   [[nodiscard]] std::size_t adjustments() const { return adjustments_; }
 
+  // Publishes the controller's reaction each epoch: adaptive.interval_ms /
+  // adaptive.smoothed_pause_ms gauges and an adaptive.adjustments counter,
+  // so traces show *why* epoch spans change length mid-run.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
  private:
   [[nodiscard]] Nanos clamp(Nanos interval) const {
     if (interval < config_.min_interval) return config_.min_interval;
@@ -55,6 +66,9 @@ class AdaptiveIntervalController {
   Nanos interval_;
   double smoothed_pause_ms_;
   std::size_t adjustments_ = 0;
+  telemetry::Gauge* interval_gauge_ = nullptr;
+  telemetry::Gauge* pause_gauge_ = nullptr;
+  telemetry::Counter* adjustments_counter_ = nullptr;
 };
 
 }  // namespace crimes

@@ -4,6 +4,7 @@
 #include "common/log.h"
 #include "forensics/plugins.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -39,7 +40,11 @@ Crimes::Crimes(Hypervisor& hypervisor, GuestKernel& kernel,
       config_(config),
       costs_(&costs),
       network_(costs.net_wire_latency),
-      disk_(config.disk_blocks) {}
+      disk_(config.disk_blocks) {
+  if (config_.telemetry) {
+    telemetry_ = std::make_unique<telemetry::Telemetry>(clock_);
+  }
+}
 
 void Crimes::add_module(std::unique_ptr<ScanModule> module) {
   detector_.add_module(std::move(module));
@@ -96,6 +101,12 @@ void Crimes::initialize() {
   if (config_.adaptive.enabled) {
     adaptive_.emplace(config_.adaptive, config_.checkpoint.epoch_interval);
   }
+  if (telemetry_) {
+    if (checkpointer_) checkpointer_->set_telemetry(telemetry_.get());
+    detector_.set_telemetry(telemetry_.get());
+    buffer_.set_telemetry(telemetry_.get());
+    if (adaptive_) adaptive_->set_telemetry(telemetry_.get());
+  }
   initialized_ = true;
   CRIMES_LOG(Info, "crimes") << "initialized: mode="
                              << to_string(config_.mode) << ", scheme="
@@ -103,7 +114,7 @@ void Crimes::initialize() {
                              << detector_.module_count();
 }
 
-AuditResult Crimes::run_audit(std::span<const Pfn> dirty) {
+AuditResult Crimes::run_audit(std::span<const Pfn> dirty, Nanos audit_start) {
   if (detector_.module_count() == 0) {
     // No tenant modules registered: the minimal no-op introspection the
     // paper's overhead experiments run.
@@ -120,6 +131,7 @@ AuditResult Crimes::run_audit(std::span<const Pfn> dirty) {
                              : nullptr,
       .plan = &plan,
       .now = clock_.now(),
+      .trace_start = audit_start,
   };
   ThreadPool* pool = checkpointer_ ? checkpointer_->pool() : nullptr;
   ScanResult result = config_.checkpoint.parallel_audit && pool != nullptr
@@ -139,7 +151,14 @@ RunSummary Crimes::run(Nanos max_work_time) {
                        ? "Disabled"
                        : config_.checkpoint.label();
 
+  telemetry::TraceRecorder* trace =
+      telemetry_ ? &telemetry_->trace : nullptr;
+  // Always collected (independent of the telemetry knob): tail pause for
+  // RunSummary. Recording is two relaxed atomic adds per epoch.
+  telemetry::Histogram pause_hist;
+
   while (!workload_->finished() && summary.work_time < max_work_time) {
+    CRIMES_TRACE_SPAN(trace, "epoch");
     const Nanos interval = current_interval();
     const Nanos epoch_start = clock_.now();
     recorder_.begin_epoch();
@@ -150,8 +169,11 @@ RunSummary Crimes::run(Nanos max_work_time) {
 
     if (config_.mode == SafetyMode::Disabled) continue;
 
-    const EpochResult epoch = checkpointer_->run_checkpoint(
-        [this](std::span<const Pfn> dirty) { return run_audit(dirty); });
+    const EpochResult epoch =
+        checkpointer_->run_checkpoint([this](std::span<const Pfn> dirty,
+                                             Nanos audit_start) {
+          return run_audit(dirty, audit_start);
+        });
 
     summary.total_costs.suspend += epoch.costs.suspend;
     summary.total_costs.vmi += epoch.costs.vmi;
@@ -162,14 +184,24 @@ RunSummary Crimes::run(Nanos max_work_time) {
     summary.total_costs.dirty_pages += epoch.costs.dirty_pages;
     summary.total_pause += epoch.costs.pause_total();
     summary.total_dirty_pages += epoch.costs.dirty_pages;
+    summary.max_pause = std::max(summary.max_pause,
+                                 epoch.costs.pause_total());
+    pause_hist.record(
+        static_cast<std::uint64_t>(epoch.costs.pause_total().count()));
     if (adaptive_) (void)adaptive_->observe(epoch.costs);
 
     if (epoch.audit_passed) {
       ++summary.checkpoints;
       // Commit the speculative epoch: outputs may now leave the host.
-      buffer_.release_all(network_, clock_.now());
-      disk_.commit_pending();
-      disk_checkpoint_ = disk_.snapshot_committed();
+      {
+        CRIMES_TRACE_SPAN(trace, "commit");
+        {
+          CRIMES_TRACE_SPAN(trace, "buffer_release");
+          buffer_.release_all(network_, clock_.now());
+        }
+        disk_.commit_pending();
+        disk_checkpoint_ = disk_.snapshot_committed();
+      }
 
       // Async deep-scan extension: completed scans may surface evidence
       // the online modules missed; due scans are launched on the fresh
@@ -198,6 +230,7 @@ RunSummary Crimes::run(Nanos max_work_time) {
       break;
     }
   }
+  summary.pause_histogram = pause_hist.snapshot();
   return summary;
 }
 
@@ -274,6 +307,8 @@ Crimes::HoneypotLog Crimes::run_honeypot(Nanos duration) {
 }
 
 void Crimes::respond(const EpochResult& epoch, Nanos epoch_start) {
+  telemetry::TraceRecorder* trace =
+      telemetry_ ? &telemetry_->trace : nullptr;
   AttackReport report;
   report.findings = last_findings_;
   report.timeline.epoch_start = epoch_start;
@@ -312,8 +347,11 @@ void Crimes::respond(const EpochResult& epoch, Nanos epoch_start) {
     recorder_.disable();  // do not re-record the replayed writes
     const std::uint64_t expected =
         kernel_->heap().canary_key() ^ canary_finding->location.value();
-    report.pinpoint = replay_->pinpoint_canary_corruption(
-        recorder_.ops(), canary_finding->location, expected);
+    {
+      CRIMES_TRACE_SPAN(trace, "replay");
+      report.pinpoint = replay_->pinpoint_canary_corruption(
+          recorder_.ops(), canary_finding->location, expected);
+    }
     report.timeline.replay_done_at = clock_.now();
     report.dumps.push_back(MemoryDump::capture(
         kernel_->vm(), kernel_->symbols(), kernel_->flavor(),
@@ -322,6 +360,7 @@ void Crimes::respond(const EpochResult& epoch, Nanos epoch_start) {
 
   // Volatility-style postmortem.
   if (config_.forensics) {
+    CRIMES_TRACE_SPAN(trace, "forensics");
     if (!volatility_initialized_) {
       clock_.advance(costs_->volatility_init);
       volatility_initialized_ = true;

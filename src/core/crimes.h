@@ -31,6 +31,7 @@
 #include "net/virtual_nic.h"
 #include "replay/recorder.h"
 #include "replay/replay_engine.h"
+#include "telemetry/telemetry.h"
 #include "vmi/vmi_session.h"
 #include "workload/workload.h"
 
@@ -67,6 +68,12 @@ struct CrimesConfig {
   // (section 3.1). When enabled, the interval floats inside
   // [min_interval, max_interval] tracking a target pause-overhead ratio.
   AdaptiveIntervalConfig adaptive;
+  // Telemetry layer: per-epoch phase spans (suspend/dirty_scan/audit/map/
+  // copy/resume, scan:<module>, commit/rollback/replay, buffer_release) on
+  // a TraceRecorder plus a MetricsRegistry of phase histograms, exportable
+  // as Chrome trace_event JSON / metrics JSONL (telemetry/export.h). Off by
+  // default: the disabled path allocates nothing per epoch.
+  bool telemetry = false;
 };
 
 // Timeline of an attack response, in virtual time (Figure 8).
@@ -92,11 +99,15 @@ struct RunSummary {
   std::string scheme;
   Nanos work_time{0};          // guest execution time (epochs x interval)
   Nanos total_pause{0};        // time spent suspended for checkpoints
+  Nanos max_pause{0};          // worst single-epoch pause
   std::size_t epochs = 0;
   std::size_t checkpoints = 0;
   bool attack_detected = false;
   PhaseCosts total_costs;      // summed over all checkpoints
   std::size_t total_dirty_pages = 0;
+  // Per-epoch pause distribution (nanoseconds), always collected: figure
+  // benches report tail pause (p95/p99), not just the average.
+  telemetry::HistogramSnapshot pause_histogram;
 
   [[nodiscard]] double normalized_runtime() const {
     if (work_time.count() == 0) return 1.0;
@@ -111,6 +122,15 @@ struct RunSummary {
     return checkpoints == 0 ? 0.0
                             : static_cast<double>(total_dirty_pages) /
                                   static_cast<double>(checkpoints);
+  }
+  [[nodiscard]] double max_pause_ms() const { return to_ms(max_pause); }
+  // Tail pause from the log2 histogram: accurate to a factor of 2,
+  // clamped to the exact max.
+  [[nodiscard]] double p95_pause_ms() const {
+    return static_cast<double>(pause_histogram.p95()) / 1e6;
+  }
+  [[nodiscard]] double p99_pause_ms() const {
+    return static_cast<double>(pause_histogram.p99()) / 1e6;
   }
   [[nodiscard]] PhaseCosts avg_costs() const;
 };
@@ -168,9 +188,17 @@ class Crimes {
   [[nodiscard]] std::size_t interval_adjustments() const {
     return adaptive_ ? adaptive_->adjustments() : 0;
   }
+  // The telemetry bundle, or nullptr when CrimesConfig::telemetry is off.
+  [[nodiscard]] telemetry::Telemetry* telemetry() {
+    return telemetry_.get();
+  }
+  [[nodiscard]] const telemetry::Telemetry* telemetry() const {
+    return telemetry_.get();
+  }
 
  private:
-  [[nodiscard]] AuditResult run_audit(std::span<const Pfn> dirty);
+  [[nodiscard]] AuditResult run_audit(std::span<const Pfn> dirty,
+                                      Nanos audit_start);
   void respond(const EpochResult& epoch, Nanos epoch_start);
   void analyze_malware(forensics::ForensicReport& report,
                        const MemoryDump& clean, const MemoryDump& bad,
@@ -194,6 +222,7 @@ class Crimes {
   std::unique_ptr<Checkpointer> checkpointer_;
   std::unique_ptr<ReplayEngine> replay_;
   std::optional<AdaptiveIntervalController> adaptive_;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
 
   Workload* workload_ = nullptr;
   bool initialized_ = false;

@@ -1,7 +1,9 @@
 #include "detect/detector.h"
 
 #include "common/thread_pool.h"
+#include "telemetry/telemetry.h"
 
+#include <chrono>
 #include <future>
 
 namespace crimes {
@@ -30,7 +32,17 @@ ScanResult Detector::audit(ScanContext& ctx) {
   ++audits_run_;
   ScanResult total;
   for (const auto& module : modules_) {
+    using WallClock = std::chrono::steady_clock;
+    const auto wall_begin =
+        telemetry_ != nullptr ? WallClock::now() : WallClock::time_point{};
     ScanResult r = module->scan(ctx);
+    if (telemetry_ != nullptr) {
+      // Serial audits run modules back to back inside the audit phase.
+      telemetry_->trace.add_span(
+          "scan:" + module->name(), ctx.trace_start + total.cost, r.cost, 0,
+          std::chrono::duration_cast<Nanos>(WallClock::now() - wall_begin));
+      telemetry_->metrics.counter("audit.findings").add(r.findings.size());
+    }
     total.cost += r.cost;
     for (auto& f : r.findings) total.findings.push_back(std::move(f));
   }
@@ -53,20 +65,31 @@ ScanResult Detector::audit_parallel(ScanContext& ctx, ThreadPool& pool) {
   }
 
   std::vector<ScanResult> results(modules_.size());
+  std::vector<Nanos> walls(modules_.size(), Nanos{0});
   std::vector<std::future<void>> pending;
   pending.reserve(modules_.size());
+  const bool traced = telemetry_ != nullptr;
   for (std::size_t i = 0; i < modules_.size(); ++i) {
-    pending.push_back(pool.submit([this, i, &ctx, &sessions, &results] {
-      ScanContext local{
-          .vmi = sessions[i],
-          .dirty = ctx.dirty,
-          .costs = ctx.costs,
-          .pending_packets = ctx.pending_packets,
-          .plan = ctx.plan,
-          .now = ctx.now,
-      };
-      results[i] = modules_[i]->scan(local);
-    }));
+    pending.push_back(
+        pool.submit([this, i, traced, &ctx, &sessions, &results, &walls] {
+          using WallClock = std::chrono::steady_clock;
+          const auto wall_begin =
+              traced ? WallClock::now() : WallClock::time_point{};
+          ScanContext local{
+              .vmi = sessions[i],
+              .dirty = ctx.dirty,
+              .costs = ctx.costs,
+              .pending_packets = ctx.pending_packets,
+              .plan = ctx.plan,
+              .now = ctx.now,
+              .trace_start = ctx.trace_start,
+          };
+          results[i] = modules_[i]->scan(local);
+          if (traced) {
+            walls[i] = std::chrono::duration_cast<Nanos>(WallClock::now() -
+                                                         wall_begin);
+          }
+        }));
   }
   // Join everything before surfacing an exception: the lambdas reference
   // this frame's vectors.
@@ -75,7 +98,16 @@ ScanResult Detector::audit_parallel(ScanContext& ctx, ThreadPool& pool) {
 
   std::vector<Nanos> module_costs;
   module_costs.reserve(results.size());
-  for (ScanResult& r : results) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ScanResult& r = results[i];
+    if (traced) {
+      // Concurrent modules all start when the audit does; one lane each,
+      // so the viewer shows them side by side.
+      telemetry_->trace.add_span("scan:" + modules_[i]->name(),
+                                 ctx.trace_start, r.cost,
+                                 static_cast<std::uint32_t>(1 + i), walls[i]);
+      telemetry_->metrics.counter("audit.findings").add(r.findings.size());
+    }
     module_costs.push_back(r.cost);
     for (auto& f : r.findings) total.findings.push_back(std::move(f));
   }

@@ -21,6 +21,10 @@ namespace crimes {
 
 class ThreadPool;
 
+namespace telemetry {
+struct Telemetry;
+}  // namespace telemetry
+
 enum class Severity { Info, Warning, Critical };
 
 [[nodiscard]] const char* to_string(Severity severity);
@@ -60,6 +64,10 @@ struct ScanContext {
   // caller has no layout knowledge (modules must then scan conservatively).
   const ScanPlan* plan = nullptr;
   Nanos now{0};
+  // Virtual time at which the audit phase starts inside the pause window
+  // (telemetry only: scan:<module> spans are offset from it; `now` remains
+  // the epoch-boundary timestamp modules key their logic off).
+  Nanos trace_start{0};
 };
 
 class ScanModule {
@@ -90,9 +98,17 @@ class Detector {
 
   [[nodiscard]] std::uint64_t audits_run() const { return audits_run_; }
 
+  // Attaches the telemetry layer: per-module scan:<name> spans (serial
+  // audits offset them sequentially inside the audit phase; parallel
+  // audits place them on per-module lanes) and a findings counter.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
  private:
   std::vector<std::unique_ptr<ScanModule>> modules_;
   std::uint64_t audits_run_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace crimes

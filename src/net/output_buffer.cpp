@@ -1,5 +1,7 @@
 #include "net/output_buffer.h"
 
+#include "telemetry/telemetry.h"
+
 namespace crimes {
 
 void ExternalNetwork::deliver(Packet packet, Nanos released_at) {
@@ -13,16 +15,32 @@ void ExternalNetwork::deliver(Packet packet, Nanos released_at) {
 }
 
 void OutputBuffer::release_all(ExternalNetwork& net, Nanos released_at) {
+  if (released_counter_ != nullptr) released_counter_->add(pending_.size());
   for (auto& p : pending_) {
     net.deliver(std::move(p), released_at);
     ++total_released_;
   }
   pending_.clear();
+  if (pending_gauge_ != nullptr) pending_gauge_->set(0.0);
 }
 
 void OutputBuffer::drop_all() {
+  if (dropped_counter_ != nullptr) dropped_counter_->add(pending_.size());
   total_dropped_ += pending_.size();
   pending_.clear();
+  if (pending_gauge_ != nullptr) pending_gauge_->set(0.0);
+}
+
+void OutputBuffer::set_telemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    released_counter_ = nullptr;
+    dropped_counter_ = nullptr;
+    pending_gauge_ = nullptr;
+    return;
+  }
+  released_counter_ = &telemetry->metrics.counter("net.packets_released");
+  dropped_counter_ = &telemetry->metrics.counter("net.packets_dropped");
+  pending_gauge_ = &telemetry->metrics.gauge("net.pending");
 }
 
 }  // namespace crimes

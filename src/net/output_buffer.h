@@ -6,12 +6,17 @@
 
 #include "common/sim_clock.h"
 #include "net/packet.h"
+#include "telemetry/metrics.h"
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 namespace crimes {
+
+namespace telemetry {
+struct Telemetry;
+}  // namespace telemetry
 
 // The "outside world": a log of packets that actually escaped the host.
 // Invariant tests key off this -- anything here was externally visible.
@@ -39,13 +44,22 @@ class ExternalNetwork {
 
 class OutputBuffer {
  public:
-  void hold(Packet&& packet) { pending_.push_back(std::move(packet)); }
+  void hold(Packet&& packet) {
+    pending_.push_back(std::move(packet));
+    if (pending_gauge_ != nullptr) {
+      pending_gauge_->set(static_cast<double>(pending_.size()));
+    }
+  }
 
   // Commits the epoch: every held packet escapes at `released_at`.
   void release_all(ExternalNetwork& net, Nanos released_at);
 
   // Audit failed: the epoch's outputs never existed.
   void drop_all();
+
+  // Attaches net.packets_released / net.packets_dropped counters and the
+  // net.pending depth gauge (nullptr detaches).
+  void set_telemetry(telemetry::Telemetry* telemetry);
 
   [[nodiscard]] const std::vector<Packet>& pending() const {
     return pending_;
@@ -60,6 +74,9 @@ class OutputBuffer {
   std::vector<Packet> pending_;
   std::uint64_t total_released_ = 0;
   std::uint64_t total_dropped_ = 0;
+  telemetry::Counter* released_counter_ = nullptr;
+  telemetry::Counter* dropped_counter_ = nullptr;
+  telemetry::Gauge* pending_gauge_ = nullptr;
 };
 
 }  // namespace crimes

@@ -1,0 +1,160 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <set>
+
+namespace crimes::telemetry {
+
+namespace {
+
+// Minimal JSON string escaping: the names we emit are identifiers, but the
+// exporters must never produce malformed JSON whatever they are fed.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void appendf(std::string& out, const char* fmt, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  out += buf;
+}
+
+double to_trace_us(Nanos d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+}  // namespace
+
+FileSink::FileSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::write(std::string_view chunk) {
+  if (file_ != nullptr) {
+    std::fwrite(chunk.data(), 1, chunk.size(), file_);
+  }
+}
+
+void export_chrome_trace(const TraceRecorder& recorder, TelemetrySink& sink) {
+  const std::vector<TraceSpan> spans = recorder.spans();
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Lane-name metadata so the viewer labels rows meaningfully.
+  std::set<std::uint32_t> tids;
+  for (const auto& span : spans) tids.insert(span.tid);
+  comma();
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"crimes (virtual time)\"}}";
+  for (const std::uint32_t tid : tids) {
+    comma();
+    appendf(out,
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+            "\"args\":{\"name\":\"%s\"}}",
+            tid,
+            tid == 0 ? "pipeline" : ("lane-" + std::to_string(tid)).c_str());
+  }
+
+  for (const auto& span : spans) {
+    comma();
+    appendf(out,
+            "{\"name\":\"%s\",\"cat\":\"crimes\",\"ph\":\"X\","
+            "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u,"
+            "\"args\":{\"wall_us\":%.3f,\"depth\":%u}}",
+            json_escape(span.name).c_str(), to_trace_us(span.virt_start),
+            to_trace_us(span.virt_duration()), span.tid,
+            to_trace_us(span.wall_duration()), span.depth);
+  }
+  out += "\n]}\n";
+  sink.write(out);
+}
+
+bool write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path) {
+  FileSink sink(path);
+  if (!sink.ok()) return false;
+  export_chrome_trace(recorder, sink);
+  return true;
+}
+
+void export_metrics_jsonl(const MetricsRegistry& metrics,
+                          TelemetrySink& sink) {
+  const MetricsRegistry::Snapshot snap = metrics.snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    appendf(out,
+            "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%" PRIu64 "}\n",
+            json_escape(name).c_str(), value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    appendf(out, "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%.6f}\n",
+            json_escape(name).c_str(), value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    appendf(out,
+            "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%" PRIu64
+            ",\"sum\":%" PRIu64 ",\"max\":%" PRIu64
+            ",\"mean\":%.3f,\"p50\":%" PRIu64 ",\"p95\":%" PRIu64
+            ",\"p99\":%" PRIu64 "}\n",
+            json_escape(name).c_str(), h.count, h.sum, h.max, h.mean(),
+            h.p50(), h.p95(), h.p99());
+  }
+  sink.write(out);
+}
+
+bool write_metrics_jsonl(const MetricsRegistry& metrics,
+                         const std::string& path) {
+  FileSink sink(path);
+  if (!sink.ok()) return false;
+  export_metrics_jsonl(metrics, sink);
+  return true;
+}
+
+std::string format_phase_table(const MetricsRegistry& metrics) {
+  const MetricsRegistry::Snapshot snap = metrics.snapshot();
+  std::string out;
+  appendf(out, "%-22s %8s %9s %9s %9s %9s %9s\n", "phase (ms)", "count",
+          "mean", "p50", "p95", "p99", "max");
+  const auto ms = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1e6;
+  };
+  for (const auto& [name, h] : snap.histograms) {
+    constexpr std::string_view kPrefix = "phase.";
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    appendf(out, "%-22s %8" PRIu64 " %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+            name.c_str() + kPrefix.size(), h.count, h.mean() / 1e6,
+            ms(h.p50()), ms(h.p95()), ms(h.p99()), ms(h.max));
+  }
+  return out;
+}
+
+}  // namespace crimes::telemetry

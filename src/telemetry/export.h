@@ -1,0 +1,70 @@
+// Exporters for the telemetry layer.
+//
+//  - Chrome trace_event JSON: load the file in chrome://tracing or
+//    https://ui.perfetto.dev to see the epoch pipeline on a timeline
+//    (virtual time on the ruler; measured wall time in each slice's args).
+//  - Metrics JSONL: one JSON object per line per metric -- trivially
+//    greppable / jq-able, append-friendly.
+//  - format_phase_table: the human-readable per-phase count/mean/p50/
+//    p95/p99/max table benches print after a figure run.
+//
+// All writing funnels through the small TelemetrySink interface so tests
+// can export into a string and parse it back.
+#pragma once
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace crimes::telemetry {
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void write(std::string_view chunk) = 0;
+};
+
+class StringSink final : public TelemetrySink {
+ public:
+  void write(std::string_view chunk) override { data_.append(chunk); }
+  [[nodiscard]] const std::string& str() const { return data_; }
+
+ private:
+  std::string data_;
+};
+
+class FileSink final : public TelemetrySink {
+ public:
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  void write(std::string_view chunk) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+// Emits {"displayTimeUnit":"ms","traceEvents":[...]} with one complete
+// ("ph":"X") event per span -- ts/dur in virtual microseconds -- plus
+// thread-name metadata for each lane.
+void export_chrome_trace(const TraceRecorder& recorder, TelemetrySink& sink);
+// Convenience wrapper; returns false if the file could not be opened.
+bool write_chrome_trace(const TraceRecorder& recorder,
+                        const std::string& path);
+
+void export_metrics_jsonl(const MetricsRegistry& metrics, TelemetrySink& sink);
+bool write_metrics_jsonl(const MetricsRegistry& metrics,
+                         const std::string& path);
+
+// Per-phase table over every histogram named "phase.*" (values are
+// nanoseconds; printed in ms).
+[[nodiscard]] std::string format_phase_table(const MetricsRegistry& metrics);
+
+}  // namespace crimes::telemetry

@@ -1,0 +1,22 @@
+// The bundle instrumented components share: one metrics registry + one
+// trace recorder per Crimes instance, both keyed to that instance's
+// SimClock. Components hold a `telemetry::Telemetry*` that is nullptr when
+// the CrimesConfig::telemetry knob is off -- every recording site guards on
+// it, so the disabled path does no allocation and no locking per epoch
+// (a test asserts this).
+#pragma once
+
+#include "common/sim_clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace crimes::telemetry {
+
+struct Telemetry {
+  explicit Telemetry(const SimClock& clock) : trace(clock) {}
+
+  MetricsRegistry metrics;
+  TraceRecorder trace;
+};
+
+}  // namespace crimes::telemetry

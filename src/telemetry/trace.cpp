@@ -1,0 +1,81 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+
+namespace crimes::telemetry {
+
+TraceRecorder::TraceRecorder(const SimClock& clock)
+    : clock_(&clock), wall_epoch_(std::chrono::steady_clock::now()) {}
+
+Nanos TraceRecorder::wall_now() const {
+  return std::chrono::duration_cast<Nanos>(std::chrono::steady_clock::now() -
+                                           wall_epoch_);
+}
+
+std::size_t TraceRecorder::begin_span(std::string_view name) {
+  const Nanos wall = wall_now();
+  const Nanos virt = clock_->now();
+  const std::lock_guard lock(mutex_);
+  const std::size_t index = spans_.size();
+  spans_.push_back(TraceSpan{
+      .name = std::string(name),
+      .virt_start = virt,
+      .virt_end = virt,
+      .wall_start = wall,
+      .wall_end = wall,
+      .tid = 0,
+      .depth = static_cast<std::uint32_t>(open_.size()),
+  });
+  open_.push_back(index);
+  return index;
+}
+
+void TraceRecorder::end_span(std::size_t token) {
+  const Nanos wall = wall_now();
+  const Nanos virt = clock_->now();
+  const std::lock_guard lock(mutex_);
+  if (token >= spans_.size()) return;
+  spans_[token].virt_end = virt;
+  spans_[token].wall_end = wall;
+  const auto it = std::find(open_.begin(), open_.end(), token);
+  if (it != open_.end()) open_.erase(it);
+}
+
+void TraceRecorder::add_span(std::string_view name, Nanos virt_start,
+                             Nanos virt_duration, std::uint32_t tid,
+                             Nanos wall_duration, std::uint32_t depth) {
+  const Nanos wall = wall_now();
+  const std::lock_guard lock(mutex_);
+  spans_.push_back(TraceSpan{
+      .name = std::string(name),
+      .virt_start = virt_start,
+      .virt_end = virt_start + virt_duration,
+      .wall_start = wall - wall_duration,
+      .wall_end = wall,
+      .tid = tid,
+      .depth = depth,
+  });
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  const std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+std::size_t TraceRecorder::span_count() const {
+  const std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+std::size_t TraceRecorder::open_spans() const {
+  const std::lock_guard lock(mutex_);
+  return open_.size();
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard lock(mutex_);
+  spans_.clear();
+  open_.clear();
+}
+
+}  // namespace crimes::telemetry

@@ -1,0 +1,111 @@
+// Phase-span tracing in virtual (SimClock) time plus wall time.
+//
+// Two recording modes, because the simulator charges time two ways:
+//
+//  - Scoped spans (begin_span/end_span, or the CRIMES_TRACE_SPAN RAII
+//    macro) sample the SimClock and a steady wall clock at entry and exit.
+//    Use these wherever the clock advances *inside* the span (the epoch
+//    loop, rollback, replay, forensics).
+//
+//  - Explicit spans (add_span) take a precomputed virtual interval. The
+//    checkpoint pipeline computes each phase's cost first and advances the
+//    SimClock once with the whole pause, so the per-phase sub-intervals
+//    (suspend/dirty_scan/audit/map/copy/resume) are only known as costs;
+//    the caller places them on the timeline itself. Parallel phases place
+//    concurrent spans on distinct lanes (`tid`), which Chrome's trace
+//    viewer renders side by side.
+//
+// Scoped spans maintain a single nesting stack and are meant for the
+// orchestrating thread; pool workers report through add_span (any thread,
+// mutex-protected) or through lock-free metrics.
+#pragma once
+
+#include "common/sim_clock.h"
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crimes::telemetry {
+
+struct TraceSpan {
+  std::string name;
+  Nanos virt_start{0};
+  Nanos virt_end{0};
+  Nanos wall_start{0};  // relative to TraceRecorder construction
+  Nanos wall_end{0};
+  std::uint32_t tid = 0;    // logical lane; 0 = the main pipeline
+  std::uint32_t depth = 0;  // nesting depth at begin (scoped spans only)
+
+  [[nodiscard]] Nanos virt_duration() const { return virt_end - virt_start; }
+  [[nodiscard]] Nanos wall_duration() const { return wall_end - wall_start; }
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const SimClock& clock);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Scoped spans: returns a token to pass to end_span. Nesting depth is
+  // tracked by an internal stack (strictly LIFO via the RAII macro).
+  [[nodiscard]] std::size_t begin_span(std::string_view name);
+  void end_span(std::size_t token);
+
+  // Explicit span with a precomputed virtual interval. `wall_duration` is
+  // the measured real time of the phase (0 when the phase does no real
+  // work in the simulator, e.g. suspend/resume).
+  void add_span(std::string_view name, Nanos virt_start, Nanos virt_duration,
+                std::uint32_t tid = 0, Nanos wall_duration = Nanos{0},
+                std::uint32_t depth = 0);
+
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::size_t open_spans() const;
+  // Wall time elapsed since the recorder was created.
+  [[nodiscard]] Nanos wall_now() const;
+  void clear();
+
+ private:
+  const SimClock* clock_;
+  std::chrono::steady_clock::time_point wall_epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+  std::vector<std::size_t> open_;  // indices of in-flight scoped spans
+};
+
+// RAII scoped span; a null recorder makes the whole object a no-op, so
+// instrumented code does not branch at every site.
+class TraceScope {
+ public:
+  TraceScope(TraceRecorder* recorder, std::string_view name)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) token_ = recorder_->begin_span(name);
+  }
+  ~TraceScope() {
+    if (recorder_ != nullptr) recorder_->end_span(token_);
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  std::size_t token_ = 0;
+};
+
+}  // namespace crimes::telemetry
+
+#define CRIMES_TRACE_CONCAT_INNER(a, b) a##b
+#define CRIMES_TRACE_CONCAT(a, b) CRIMES_TRACE_CONCAT_INNER(a, b)
+// Opens a span named `name` on `recorder` (a TraceRecorder*, may be null)
+// for the rest of the enclosing scope.
+#define CRIMES_TRACE_SPAN(recorder, name)                 \
+  ::crimes::telemetry::TraceScope CRIMES_TRACE_CONCAT(    \
+      crimes_trace_scope_, __LINE__) {                    \
+    (recorder), (name)                                    \
+  }

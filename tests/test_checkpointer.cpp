@@ -95,7 +95,7 @@ TEST(Checkpointer, AuditFailureLeavesBackupCleanAndVmPaused) {
   }
   scribble(*guest.kernel, rng, 80);
   const EpochResult result = cp.run_checkpoint(
-      [](std::span<const Pfn>) {
+      [](std::span<const Pfn>, Nanos) {
         return AuditResult{.passed = false, .cost = micros(100)};
       });
   EXPECT_FALSE(result.audit_passed);
@@ -128,7 +128,7 @@ TEST(Checkpointer, RollbackRestoresExactState) {
 
   scribble(*guest.kernel, rng, 120);
   guest.vm->vcpu().gpr[5] = 0xBBBB;
-  (void)cp.run_checkpoint([](std::span<const Pfn>) {
+  (void)cp.run_checkpoint([](std::span<const Pfn>, Nanos) {
     return AuditResult{.passed = false, .cost = Nanos{0}};
   });
 

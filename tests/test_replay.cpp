@@ -25,7 +25,7 @@ struct ReplayFixture {
   }
 
   void fail_epoch() {
-    (void)cp.run_checkpoint([](std::span<const Pfn>) {
+    (void)cp.run_checkpoint([](std::span<const Pfn>, Nanos) {
       return AuditResult{.passed = false, .cost = Nanos{0}};
     });
   }
