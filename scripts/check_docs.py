@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Documentation-drift check for the CRIMES repo (ctest: check_docs).
+
+Docs rot silently: a new src/ module or bench binary lands, the inventory
+tables in DESIGN.md / EXPERIMENTS.md are forgotten, and the next reader
+navigates with a stale map. This script makes drift a test failure:
+
+  1. Every module directory `src/<name>/` (containing at least one .h or
+     .cpp) must be mentioned as `src/<name>` in DESIGN.md's module
+     inventory (section 3).
+  2. Every benchmark source `bench/<name>.cpp` (excluding micro_* google-
+     benchmark binaries) must have a `<name>` entry in EXPERIMENTS.md.
+  3. Every benchmark listed in bench/CMakeLists.txt must have a source
+     file -- and vice versa (a bench that exists but is not built is just
+     as invisible as an undocumented one).
+
+Exit status: 0 when the docs cover the tree, 1 otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_docs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def module_dirs(repo: pathlib.Path) -> list[str]:
+    out = []
+    for child in sorted((repo / "src").iterdir()):
+        if not child.is_dir():
+            continue
+        if any(child.glob("*.h")) or any(child.glob("*.cpp")):
+            out.append(child.name)
+    return out
+
+
+def bench_sources(repo: pathlib.Path) -> list[str]:
+    out = []
+    for src in sorted((repo / "bench").glob("*.cpp")):
+        if src.stem.startswith("micro_"):
+            continue  # google-benchmark micro-benches live outside the index
+        out.append(src.stem)
+    return out
+
+
+def cmake_benches(repo: pathlib.Path) -> list[str]:
+    text = (repo / "bench" / "CMakeLists.txt").read_text(encoding="utf-8")
+    match = re.search(r"set\(CRIMES_BENCHES(.*?)\)", text, re.DOTALL)
+    if match is None:
+        fail("bench/CMakeLists.txt: no set(CRIMES_BENCHES ...) block")
+    return [line.strip() for line in match.group(1).splitlines()
+            if line.strip() and not line.strip().startswith("#")]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the script's repo)")
+    args = parser.parse_args()
+    repo = args.repo.resolve()
+
+    design = (repo / "DESIGN.md").read_text(encoding="utf-8")
+    experiments = (repo / "EXPERIMENTS.md").read_text(encoding="utf-8")
+
+    missing = [m for m in module_dirs(repo) if f"src/{m}" not in design]
+    if missing:
+        fail("DESIGN.md module inventory is missing: "
+             + ", ".join(f"src/{m}" for m in missing))
+
+    sources = bench_sources(repo)
+    undocumented = [b for b in sources if b not in experiments]
+    if undocumented:
+        fail("EXPERIMENTS.md has no entry for: " + ", ".join(undocumented))
+
+    built = cmake_benches(repo)
+    unbuilt = sorted(set(sources) - set(built))
+    if unbuilt:
+        fail("bench/CMakeLists.txt does not build: " + ", ".join(unbuilt))
+    sourceless = sorted(set(built) - set(sources))
+    if sourceless:
+        fail("bench/CMakeLists.txt lists benches with no source: "
+             + ", ".join(sourceless))
+
+    print(f"check_docs: OK ({len(module_dirs(repo))} modules in DESIGN.md, "
+          f"{len(sources)} benches in EXPERIMENTS.md)")
+
+
+if __name__ == "__main__":
+    main()

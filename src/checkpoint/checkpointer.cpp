@@ -1,6 +1,7 @@
 #include "checkpoint/checkpointer.h"
 
 #include "common/log.h"
+#include "fault/fault_injector.h"
 #include "telemetry/telemetry.h"
 
 #include <chrono>
@@ -8,6 +9,19 @@
 #include <stdexcept>
 
 namespace crimes {
+
+namespace {
+
+std::uint64_t fnv1a_page(const Page& page) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const std::byte b : page.data) {
+    h ^= static_cast<std::uint8_t>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
 
 const char* CheckpointConfig::label() const {
   if (opt_memcpy && opt_premap && opt_chunked_scan) {
@@ -39,6 +53,18 @@ void Checkpointer::set_telemetry(telemetry::Telemetry* telemetry) {
   metrics_.dirty_pages = &m.histogram("checkpoint.dirty_pages");
   metrics_.epochs = &m.counter("checkpoint.epochs");
   metrics_.audit_failures = &m.counter("checkpoint.audit_failures");
+  metrics_.copy_retries = &m.counter("checkpoint.copy_retries");
+  metrics_.checkpoint_failures = &m.counter("checkpoint.failures");
+  metrics_.transport_faults = &m.counter("fault.transport");
+  metrics_.torn_writes = &m.counter("fault.torn_write");
+  metrics_.bitmap_rereads = &m.counter("fault.bitmap_reread");
+  metrics_.worker_respawns = &m.counter("fault.worker_respawn");
+  metrics_.recovery = &m.histogram("checkpoint.recovery_ns");
+}
+
+void Checkpointer::set_fault_injector(fault::FaultInjector* faults) {
+  faults_ = faults;
+  transport_->set_fault_injector(faults);
 }
 
 Checkpointer::Checkpointer(Hypervisor& hypervisor, Vm& primary,
@@ -181,6 +207,16 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
   // 1. Suspend the primary: quiesce vCPUs and in-flight DMA.
   primary_->suspend();
   result.costs.suspend = costs_->suspend_cost(dirty_count);
+  // Resilience: a worker-loss fault kills one real pool thread; the pool
+  // joins it and spawns a replacement before any parallel phase runs.
+  if (faults_ != nullptr && pool_ != nullptr && faults_->loses_worker()) {
+    pool_->replace_worker();
+    result.costs.suspend += costs_->worker_respawn;
+    result.recovery_cost += costs_->worker_respawn;
+    if (metrics_.worker_respawns != nullptr) metrics_.worker_respawns->add();
+    CRIMES_LOG(Warn, "checkpointer")
+        << "pool worker lost; respawned (pool size " << pool_->size() << ")";
+  }
   phase_span("suspend", result.costs.suspend, Nanos{0});
 
   // 2. Scan the dirty bitmap (Optimization 3 picks the algorithm; the
@@ -201,6 +237,15 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
     result.costs.bitscan = costs_->bitscan_naive_cost(bitmap.page_count());
   }
   result.costs.dirty_pages = result.dirty.size();
+  // Resilience: an injected EIO on the log-dirty read forces a full
+  // re-scan plus the re-issued hypercall. The data of the second read is
+  // identical (the VM is suspended), so only the cost is charged.
+  if (faults_ != nullptr && faults_->bitmap_read_fails()) {
+    const Nanos reread = result.costs.bitscan + costs_->bitmap_reread;
+    result.costs.bitscan += reread;
+    result.recovery_cost += reread;
+    if (metrics_.bitmap_rereads != nullptr) metrics_.bitmap_rereads->add();
+  }
   wall_stop();
   phase_span("dirty_scan", result.costs.bitscan, wall);
 
@@ -235,13 +280,14 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
   result.costs.map = map_cost(result.dirty.size());
   phase_span("map", result.costs.map, Nanos{0});
 
-  // 5. Propagate dirty pages into the backup (Optimization 1 picks how).
+  // 5. Propagate dirty pages into the backup (Optimization 1 picks how;
+  // the resilience layer wraps it in verify + bounded retries).
   wall_start();
   {
     ForeignMapping src = hypervisor_->map_foreign(primary_->id());
     ForeignMapping dst = hypervisor_->map_foreign(backup_->id());
-    result.costs.copy = transport_->copy(src, dst, result.dirty);
-    if (config_.remote_backup) {
+    result.costs.copy = copy_with_retries(src, dst, result);
+    if (result.checkpoint_committed && config_.remote_backup) {
       // Remus releases the epoch only after the remote host acknowledges
       // the complete checkpoint.
       result.costs.copy += costs_->remote_ack_rtt;
@@ -249,11 +295,26 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
   }
   wall_stop();
   phase_span("copy", result.costs.copy, wall);
-  backup_vcpu_ = primary_->vcpu();
-  backup_->vcpu() = backup_vcpu_;
-  primary_->dirty_bitmap().clear_all();
-  ++checkpoints_taken_;
-  if (config_.history_capacity > 0) push_history();
+  if (result.checkpoint_committed) {
+    backup_vcpu_ = primary_->vcpu();
+    backup_->vcpu() = backup_vcpu_;
+    primary_->dirty_bitmap().clear_all();
+    ++checkpoints_taken_;
+    if (config_.history_capacity > 0) push_history();
+  } else {
+    // Copy failed for good this epoch: the backup was restored to the last
+    // clean checkpoint and the dirty bitmap is retained, so the next
+    // successful checkpoint carries this epoch's pages too. The primary
+    // resumes -- whether speculation may continue is the SafetyGovernor's
+    // call, one layer up.
+    if (metrics_.checkpoint_failures != nullptr) {
+      metrics_.checkpoint_failures->add();
+    }
+    CRIMES_LOG(Warn, "checkpointer")
+        << "checkpoint FAILED after " << result.copy_retries
+        << " retries; backup restored to last clean image ("
+        << result.dirty.size() << " dirty pages carried over)";
+  }
 
   // 6. Resume speculative execution.
   primary_->resume();
@@ -263,6 +324,75 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
   clock_->advance(result.costs.pause_total());
   if (traced) record_epoch_metrics(result);
   return result;
+}
+
+bool Checkpointer::backup_matches(ForeignMapping& primary,
+                                  ForeignMapping& backup,
+                                  std::span<const Pfn> dirty) const {
+  for (const Pfn pfn : dirty) {
+    if (fnv1a_page(primary.peek(pfn)) != fnv1a_page(backup.peek(pfn))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Nanos Checkpointer::copy_with_retries(ForeignMapping& src, ForeignMapping& dst,
+                                      EpochResult& result) {
+  if (faults_ == nullptr && !config_.verify_backup) {
+    return transport_->copy(src, dst, result.dirty);
+  }
+
+  // Undo log: the backup's current bytes -- the last clean checkpoint --
+  // of every page this copy will touch. peek() never materializes frames;
+  // a page with no backup frame snapshots as the shared zero page, which
+  // restores to equivalent bytes. This is what keeps the "backup is never
+  // left torn" invariant when every retry fails (Remus applies checkpoints
+  // atomically for the same reason).
+  std::vector<Page> undo;
+  undo.reserve(result.dirty.size());
+  for (const Pfn pfn : result.dirty) undo.push_back(dst.peek(pfn));
+
+  Nanos cost{0};
+  for (std::size_t attempt = 0;; ++attempt) {
+    bool ok = true;
+    try {
+      cost += transport_->copy(src, dst, result.dirty);
+    } catch (const fault::TransportFault& aborted) {
+      cost += aborted.wasted();
+      result.recovery_cost += aborted.wasted();
+      if (metrics_.transport_faults != nullptr) metrics_.transport_faults->add();
+      ok = false;
+    }
+    if (ok && config_.verify_backup) {
+      // Checksum both sides of every dirty page (really computed): an
+      // aborted stream is loud, but a torn write is only caught here.
+      cost += costs_->checksum_per_page * (2 * result.dirty.size());
+      if (!backup_matches(src, dst, result.dirty)) {
+        if (metrics_.torn_writes != nullptr) metrics_.torn_writes->add();
+        ok = false;
+      }
+    }
+    if (ok) return cost;
+
+    if (attempt >= config_.max_copy_retries) break;
+    const Nanos backoff = costs_->retry_backoff_base * (1LL << attempt);
+    cost += backoff;
+    result.recovery_cost += backoff;
+    ++result.copy_retries;
+    if (metrics_.copy_retries != nullptr) metrics_.copy_retries->add();
+  }
+
+  // Retries exhausted: put the last clean checkpoint back.
+  for (std::size_t i = 0; i < undo.size(); ++i) {
+    std::memcpy(dst.page(result.dirty[i]).data.data(), undo[i].data.data(),
+                kPageSize);
+  }
+  const Nanos repair = costs_->copy_memcpy_per_page * undo.size();
+  cost += repair;
+  result.recovery_cost += repair;
+  result.checkpoint_committed = false;
+  return cost;
 }
 
 void Checkpointer::record_epoch_metrics(const EpochResult& result) {
@@ -282,6 +412,9 @@ void Checkpointer::record_epoch_metrics(const EpochResult& result) {
   metrics_.copy->record(result.costs.copy.count());
   metrics_.resume->record(result.costs.resume.count());
   metrics_.pause_total->record(result.costs.pause_total().count());
+  if (result.recovery_cost.count() > 0) {
+    metrics_.recovery->record(result.recovery_cost.count());
+  }
 }
 
 Nanos Checkpointer::rollback() {

@@ -25,6 +25,10 @@ class Counter;
 class Histogram;
 }  // namespace crimes::telemetry
 
+namespace crimes::fault {
+class FaultInjector;
+}  // namespace crimes::fault
+
 #include <deque>
 #include <functional>
 #include <memory>
@@ -63,6 +67,15 @@ struct CheckpointConfig {
   std::size_t copy_threads = 0;
   bool parallel_scan = false;
   bool parallel_audit = false;
+  // Resilience layer (DESIGN.md section 9): after every copy, checksum the
+  // dirty pages on both sides (FNV-1a, really computed) and retry a
+  // mismatched or aborted copy with exponential backoff. Off by default --
+  // the checksum sweep costs pause time -- but forced on by Crimes
+  // whenever a FaultPlan is active.
+  bool verify_backup = false;
+  // Retries after the first failed attempt before the epoch's checkpoint
+  // is declared failed and the backup restored from the undo log.
+  std::size_t max_copy_retries = 3;
 
   [[nodiscard]] static CheckpointConfig no_opt(Nanos interval = millis(200)) {
     return {.epoch_interval = interval};
@@ -131,6 +144,17 @@ struct EpochResult {
   PhaseCosts costs;
   bool audit_passed = true;
   std::vector<Pfn> dirty;
+  // Resilience layer: false when the copy/verify loop exhausted its
+  // retries -- the backup was restored to the *previous* clean checkpoint
+  // (never left torn), the dirty bitmap was retained so the next epoch's
+  // checkpoint carries this epoch's pages, and the primary resumed
+  // speculating. Meaningful only when audit_passed.
+  bool checkpoint_committed = true;
+  std::size_t copy_retries = 0;
+  // Virtual time spent on failure handling this epoch (wasted copy
+  // attempts, backoff, undo-log restore, bitmap rereads, worker respawns)
+  // -- already included in `costs`, broken out for reporting.
+  Nanos recovery_cost{0};
 };
 
 // Extension (section 3.1: "CRIMES could be extended to include a history of
@@ -195,9 +219,23 @@ class Checkpointer {
   // pointers are resolved once here so the per-epoch path stays lock-free.
   void set_telemetry(telemetry::Telemetry* telemetry);
 
+  // Attaches (nullptr detaches) the fault injector, forwarding it to the
+  // transport. With an injector present every copy runs under the
+  // undo-log/retry discipline.
+  void set_fault_injector(fault::FaultInjector* faults);
+
  private:
   void full_sync();
   [[nodiscard]] Nanos map_cost(std::size_t dirty_pages) const;
+  // FNV-1a page checksums of primary vs backup over `dirty`; the
+  // virtual-time charge (2 sweeps) is added by the caller.
+  [[nodiscard]] bool backup_matches(ForeignMapping& primary,
+                                    ForeignMapping& backup,
+                                    std::span<const Pfn> dirty) const;
+  // The copy/verify/retry/undo loop behind checkpoint step 5. Returns the
+  // phase's virtual-time cost and fills the resilience fields of `result`.
+  Nanos copy_with_retries(ForeignMapping& src, ForeignMapping& dst,
+                          EpochResult& result);
   void push_history();
   void record_epoch_metrics(const EpochResult& result);
 
@@ -214,6 +252,7 @@ class Checkpointer {
   Nanos startup_cost_{0};
   std::uint64_t checkpoints_taken_ = 0;
   std::deque<Snapshot> history_;
+  fault::FaultInjector* faults_ = nullptr;
 
   telemetry::Telemetry* telemetry_ = nullptr;
   struct PhaseMetrics {
@@ -227,6 +266,13 @@ class Checkpointer {
     telemetry::Histogram* dirty_pages = nullptr;
     telemetry::Counter* epochs = nullptr;
     telemetry::Counter* audit_failures = nullptr;
+    telemetry::Counter* copy_retries = nullptr;
+    telemetry::Counter* checkpoint_failures = nullptr;
+    telemetry::Counter* transport_faults = nullptr;
+    telemetry::Counter* torn_writes = nullptr;
+    telemetry::Counter* bitmap_rereads = nullptr;
+    telemetry::Counter* worker_respawns = nullptr;
+    telemetry::Histogram* recovery = nullptr;
   } metrics_{};
 };
 

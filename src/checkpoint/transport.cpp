@@ -2,12 +2,29 @@
 
 #include "common/bytes.h"
 #include "common/thread_pool.h"
+#include "fault/fault_injector.h"
 #include "machine/page.h"
 
 #include <algorithm>
 #include <cstring>
 
 namespace crimes {
+
+bool Transport::copy_attempt_fails() const {
+  return faults_ != nullptr && faults_->transport_copy_fails();
+}
+
+void Transport::maybe_tear(ForeignMapping& backup,
+                           std::span<const Pfn> dirty) const {
+  if (faults_ == nullptr || dirty.empty()) return;
+  if (!faults_->tears_backup_write()) return;
+  const Pfn victim = dirty[faults_->torn_victim(dirty.size())];
+  Page& page = backup.page(victim);
+  const std::size_t offset = (victim.value() * 64) % (kPageSize - 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    page.data[offset + i] ^= std::byte{0x5A};
+  }
+}
 
 namespace {
 
@@ -39,12 +56,24 @@ std::size_t MemcpyTransport::effective_shards(std::size_t pages) const {
 
 Nanos MemcpyTransport::copy(ForeignMapping& primary, ForeignMapping& backup,
                             std::span<const Pfn> dirty) {
+  if (copy_attempt_fails()) {
+    // The attempt aborts mid-stream: half the pages really land in the
+    // backup (leaving it torn until the Checkpointer retries or restores
+    // its undo log), and the wasted work is billed via the exception.
+    const std::size_t done = dirty.size() / 2;
+    for (const Pfn pfn : dirty.subspan(0, done)) {
+      std::memcpy(backup.page(pfn).data.data(), primary.peek(pfn).data.data(),
+                  kPageSize);
+    }
+    throw fault::TransportFault(costs_->copy_memcpy_per_page * done);
+  }
   const std::size_t shards = effective_shards(dirty.size());
   if (shards <= 1) {
     for (const Pfn pfn : dirty) {
       std::memcpy(backup.page(pfn).data.data(), primary.peek(pfn).data.data(),
                   kPageSize);
     }
+    maybe_tear(backup, dirty);
     return costs_->copy_memcpy_per_page * dirty.size();
   }
 
@@ -68,6 +97,7 @@ Nanos MemcpyTransport::copy(ForeignMapping& primary, ForeignMapping& backup,
           std::memcpy(pages[i].first, pages[i].second, kPageSize);
         }
       });
+  maybe_tear(backup, dirty);
   return costs_->parallel_shard_cost(costs_->copy_memcpy_per_page,
                                      dirty.size(), shards);
 }
@@ -150,13 +180,21 @@ Nanos SocketTransport::copy(ForeignMapping& primary, ForeignMapping& backup,
 
   // Receiver (the Remus "Restore" process): decrypt and apply.
   xor_keystream(wire_, key);
+  const bool aborts = copy_attempt_fails();
+  const std::size_t applied = aborts ? dirty.size() / 2 : dirty.size();
   off = 0;
-  for (std::size_t i = 0; i < dirty.size(); ++i) {
+  for (std::size_t i = 0; i < applied; ++i) {
     const Pfn pfn{load_le<std::uint64_t>(wire_, off)};
     std::memcpy(backup.page(pfn).data.data(),
                 wire_.data() + off + sizeof(std::uint64_t), kPageSize);
     off += kRecordSize;
   }
+  if (aborts) {
+    // The stream broke mid-epoch: the records already applied leave the
+    // backup torn, as on a dropped Remus connection.
+    throw fault::TransportFault(costs_->copy_socket_per_page * applied);
+  }
+  maybe_tear(backup, dirty);
   return costs_->copy_socket_per_page * dirty.size();
 }
 
@@ -188,8 +226,10 @@ Nanos CompressedSocketTransport::copy(ForeignMapping& primary,
 
   // Receiver: decrypt, decode each delta, XOR into the backup page.
   xor_keystream(wire_, key);
+  const bool aborts = copy_attempt_fails();
+  const std::size_t applied = aborts ? dirty.size() / 2 : dirty.size();
   std::size_t off = 0;
-  for (std::size_t rec = 0; rec < dirty.size(); ++rec) {
+  for (std::size_t rec = 0; rec < applied; ++rec) {
     const Pfn pfn{load_le<std::uint64_t>(wire_, off)};
     const auto len = load_le<std::uint32_t>(wire_, off + 8);
     off += 12;
@@ -204,6 +244,10 @@ Nanos CompressedSocketTransport::copy(ForeignMapping& primary,
     }
     off += len;
   }
+  if (aborts) {
+    throw fault::TransportFault(costs_->copy_compress_per_page * applied);
+  }
+  maybe_tear(backup, dirty);
 
   // CPU to build/apply deltas plus wire time proportional to what was
   // actually sent.

@@ -31,6 +31,10 @@
 
 namespace crimes {
 
+namespace fault {
+class FaultInjector;
+}  // namespace fault
+
 class ThreadPool;
 
 class Transport {
@@ -39,10 +43,30 @@ class Transport {
 
   // Copies `dirty` pages from primary to backup. Returns the virtual-time
   // cost of the copy phase.
+  //
+  // Under fault injection a copy may abort mid-stream (throwing
+  // fault::TransportFault after really copying a prefix of the pages --
+  // the backup is left torn, exactly like an interrupted Remus epoch) or
+  // complete but corrupt one backup page (a torn write the caller only
+  // catches by verifying checksums). The Checkpointer owns the
+  // undo-log/retry machinery that restores the atomic-apply invariant.
   virtual Nanos copy(ForeignMapping& primary, ForeignMapping& backup,
                      std::span<const Pfn> dirty) = 0;
 
   [[nodiscard]] virtual const char* name() const = 0;
+
+  // Attaches (nullptr detaches) the fault injector. Decisions are drawn on
+  // the calling thread before any parallel fan-out.
+  void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
+
+ protected:
+  // True when the injector says this copy attempt aborts mid-stream.
+  [[nodiscard]] bool copy_attempt_fails() const;
+  // Applies a torn write when the plan says so: one already-copied backup
+  // page gets a 64-byte stripe of its fresh contents flipped.
+  void maybe_tear(ForeignMapping& backup, std::span<const Pfn> dirty) const;
+
+  fault::FaultInjector* faults_ = nullptr;
 };
 
 class MemcpyTransport final : public Transport {

@@ -31,6 +31,18 @@ void accumulate(RunSummary& into, const RunSummary& slice) {
   into.total_costs.resume += slice.total_costs.resume;
   into.total_costs.dirty_pages += slice.total_costs.dirty_pages;
   into.total_dirty_pages += slice.total_dirty_pages;
+  into.checkpoint_failures += slice.checkpoint_failures;
+  into.copy_retries += slice.copy_retries;
+  into.faults_injected += slice.faults_injected;  // per-slice deltas
+  into.governor_downgrades += slice.governor_downgrades;
+  into.governor_upgrades += slice.governor_upgrades;
+  into.degraded_epochs += slice.degraded_epochs;
+  into.frozen_by_governor = into.frozen_by_governor ||
+                            slice.frozen_by_governor;
+  into.recovery_time += slice.recovery_time;
+  // The quarantine list is cumulative within a Crimes instance; the latest
+  // slice's view is the complete one.
+  into.quarantined_modules = slice.quarantined_modules;
 }
 
 }  // namespace
@@ -101,6 +113,16 @@ CloudRunReport CloudHost::run(Nanos work_time) {
         report.attacked_tenants.push_back(t->name());
         CRIMES_LOG(Warn, "cloud")
             << "tenant " << t->name() << " frozen after attack";
+      } else if (slice.frozen_by_governor) {
+        // The tenant's checkpoint path is gone; its governor paused the
+        // VM. Drop it from scheduling -- the fault domain is the tenant,
+        // so its neighbours' epochs proceed untouched.
+        t->frozen_ = true;
+        ++report.tenants_fault_frozen;
+        report.fault_frozen_tenants.push_back(t->name());
+        CRIMES_LOG(Warn, "cloud")
+            << "tenant " << t->name()
+            << " frozen by its safety governor (checkpoint path lost)";
       }
     }
   }

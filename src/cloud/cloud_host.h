@@ -78,6 +78,12 @@ struct CloudRunReport {
   std::size_t epochs_scheduled = 0;
   std::size_t tenants_attacked = 0;
   std::vector<std::string> attacked_tenants;
+  // Resilience layer: tenants whose SafetyGovernor froze them (checkpoint
+  // path lost). Distinct from an attack freeze -- there is no AttackReport,
+  // just a tenant that can no longer be protected. Its neighbours keep
+  // running: fault isolation is per-tenant.
+  std::size_t tenants_fault_frozen = 0;
+  std::vector<std::string> fault_frozen_tenants;
 };
 
 class CloudHost {

@@ -114,6 +114,19 @@ struct CostModel {
   // large VMs", "100+ sec" for several full snapshots -> ~30 MB/s).
   Nanos disk_write_per_page = micros(130);
 
+  // --- Resilience layer (fault-injection extension, DESIGN.md section 9).
+  // Verifying the backup after a copy: FNV-1a sweep of one 4 KiB page
+  // (~20 GB/s), paid twice per dirty page (primary + backup side).
+  Nanos checksum_per_page = nanos(180);
+  // Exponential backoff before checkpoint copy retry k: base << k. The
+  // base approximates re-arming the Remus transport after an aborted
+  // stream (teardown + reconnect).
+  Nanos retry_backoff_base = micros(100);
+  // Re-issuing the log-dirty read hypercall after an EIO.
+  Nanos bitmap_reread = micros(30);
+  // pthread_create + warmup for a replacement pool worker.
+  Nanos worker_respawn = micros(250);
+
   // --- AddressSanitizer baseline: cost per instrumented memory access.
   // Calibrated so PARSEC access profiles yield the 1.4-2.6x range of
   // Figure 3 ("AS" bars).

@@ -49,13 +49,48 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      ready_.wait(lock, [this] {
+        return stop_ || !retiring_.empty() || !queue_.empty();
+      });
+      if (!retiring_.empty()) {
+        // This worker volunteers to die: hand replace_worker() our id
+        // (after unlocking -- it takes the mutex to find and swap us).
+        std::promise<std::thread::id>* retired = retiring_.front();
+        retiring_.pop_front();
+        lock.unlock();
+        retired->set_value(std::this_thread::get_id());
+        return;
+      }
       if (queue_.empty()) return;  // stop_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();  // packaged_task: exceptions land in the future
   }
+}
+
+void ThreadPool::replace_worker() {
+  std::promise<std::thread::id> retired;
+  std::future<std::thread::id> id_future = retired.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retiring_.push_back(&retired);
+  }
+  ready_.notify_all();
+  const std::thread::id id = id_future.get();
+
+  std::thread dead;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& worker : workers_) {
+      if (worker.get_id() == id) {
+        dead = std::move(worker);
+        worker = std::thread([this] { worker_loop(); });
+        break;
+      }
+    }
+  }
+  dead.join();  // the retiring thread has already left worker_loop
 }
 
 void ThreadPool::parallel_for_shards(

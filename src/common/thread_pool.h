@@ -68,6 +68,12 @@ class ThreadPool {
       const std::function<void(std::size_t shard, std::size_t begin,
                                std::size_t end)>& fn);
 
+  // Fault-injection support (worker-loss faults): retires one live worker
+  // -- the thread genuinely exits and is joined -- and spawns a fresh
+  // replacement, leaving size() unchanged. Blocks until the swap is done;
+  // callable only between parallel phases, never from a pool task.
+  void replace_worker();
+
  private:
   void enqueue(std::function<void()> task);
   void worker_loop();
@@ -75,6 +81,9 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable ready_;
   std::deque<std::function<void()>> queue_;
+  // Retirement handshake: a worker that pops a promise fulfills it with
+  // its own thread id and exits; replace_worker() joins that thread.
+  std::deque<std::promise<std::thread::id>*> retiring_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

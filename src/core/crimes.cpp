@@ -62,12 +62,10 @@ Checkpointer& Crimes::checkpointer() {
   return *checkpointer_;
 }
 
-void Crimes::initialize() {
-  if (initialized_) throw std::logic_error("Crimes: already initialized");
-
+void Crimes::apply_output_mode(SafetyMode mode) {
   // Output plumbing per SafetyMode: Synchronous holds everything in the
   // buffer until the audit passes; other modes ship immediately.
-  if (config_.mode == SafetyMode::Synchronous) {
+  if (mode == SafetyMode::Synchronous) {
     nic_.set_sink([this](Packet&& p) { buffer_.hold(std::move(p)); });
     disk_.set_buffering(true);
   } else {
@@ -76,6 +74,21 @@ void Crimes::initialize() {
       network_.deliver(std::move(p), at);
     });
     disk_.set_buffering(false);
+  }
+  active_mode_ = mode;
+}
+
+void Crimes::initialize() {
+  if (initialized_) throw std::logic_error("Crimes: already initialized");
+
+  apply_output_mode(config_.mode);
+
+  // Resilience layer: a non-empty fault plan means copies can abort or
+  // tear, so the backup must be verified -- force the checksum sweep on
+  // before the Checkpointer snapshots its config.
+  if (config_.faults.any()) {
+    injector_ = std::make_unique<fault::FaultInjector>(config_.faults);
+    config_.checkpoint.verify_backup = true;
   }
 
   vmi_ = std::make_unique<VmiSession>(*hypervisor_, kernel_->vm().id(),
@@ -89,6 +102,14 @@ void Crimes::initialize() {
     checkpointer_ = std::make_unique<Checkpointer>(
         *hypervisor_, kernel_->vm(), clock_, *costs_, config_.checkpoint);
     checkpointer_->initialize();
+    if (injector_) checkpointer_->set_fault_injector(injector_.get());
+    if (config_.governor.enabled) {
+      // Only Synchronous mode has a cheaper mode to fall back to; the
+      // governor still tracks failure streaks (and can freeze) elsewhere.
+      governor_.emplace(config_.governor,
+                        /*can_degrade=*/config_.mode ==
+                            SafetyMode::Synchronous);
+    }
     replay_ = std::make_unique<ReplayEngine>(*kernel_, *checkpointer_,
                                              clock_, *costs_);
     if (config_.record_execution) {
@@ -98,6 +119,8 @@ void Crimes::initialize() {
                  std::uint64_t instr) { recorder_.record(va, data, instr); });
     }
   }
+  detector_.set_audit_policy(config_.audit_policy);
+  if (injector_) detector_.set_fault_injector(injector_.get());
   if (config_.adaptive.enabled) {
     adaptive_.emplace(config_.adaptive, config_.checkpoint.epoch_interval);
   }
@@ -126,7 +149,7 @@ AuditResult Crimes::run_audit(std::span<const Pfn> dirty, Nanos audit_start) {
       .vmi = *vmi_,
       .dirty = dirty,
       .costs = *costs_,
-      .pending_packets = config_.mode == SafetyMode::Synchronous
+      .pending_packets = active_mode_ == SafetyMode::Synchronous
                              ? &buffer_.pending()
                              : nullptr,
       .plan = &plan,
@@ -158,9 +181,17 @@ RunSummary Crimes::run(Nanos max_work_time) {
   telemetry::Histogram pause_hist;
 
   while (!workload_->finished() && summary.work_time < max_work_time) {
+    // A frozen pipeline never runs another epoch: the checkpoint path is
+    // lost and the VM was paused by the governor.
+    if (governor_ && governor_->state() == fault::GovernorState::Frozen) {
+      summary.frozen_by_governor = true;
+      break;
+    }
     CRIMES_TRACE_SPAN(trace, "epoch");
     const Nanos interval = current_interval();
     const Nanos epoch_start = clock_.now();
+    if (injector_) injector_->begin_epoch(epoch_index_);
+    ++epoch_index_;
     recorder_.begin_epoch();
     workload_->run_epoch(epoch_start, interval);
     clock_.advance(interval);
@@ -188,20 +219,43 @@ RunSummary Crimes::run(Nanos max_work_time) {
                                  epoch.costs.pause_total());
     pause_hist.record(
         static_cast<std::uint64_t>(epoch.costs.pause_total().count()));
+    summary.copy_retries += epoch.copy_retries;
+    summary.recovery_time += epoch.recovery_cost;
     if (adaptive_) (void)adaptive_->observe(epoch.costs);
 
     if (epoch.audit_passed) {
-      ++summary.checkpoints;
-      // Commit the speculative epoch: outputs may now leave the host.
-      {
-        CRIMES_TRACE_SPAN(trace, "commit");
+      if (epoch.checkpoint_committed) {
+        ++summary.checkpoints;
+        // Commit the speculative epoch: outputs may now leave the host.
         {
-          CRIMES_TRACE_SPAN(trace, "buffer_release");
-          buffer_.release_all(network_, clock_.now());
+          CRIMES_TRACE_SPAN(trace, "commit");
+          {
+            CRIMES_TRACE_SPAN(trace, "buffer_release");
+            buffer_.release_all(network_, clock_.now());
+          }
+          disk_.commit_pending();
+          disk_checkpoint_ = disk_.snapshot_committed();
         }
-        disk_.commit_pending();
-        disk_checkpoint_ = disk_.snapshot_committed();
+      } else {
+        // The copy/verify loop exhausted its retries: the backup was
+        // restored to the previous clean checkpoint, the dirty bitmap was
+        // retained (the next epoch's checkpoint carries these pages), and
+        // -- in Synchronous mode -- the audited outputs stay held until a
+        // checkpoint actually covers them. Best Effort already shipped.
+        ++summary.checkpoint_failures;
       }
+
+      if (governor_ &&
+          apply_governor_action(governor_->on_epoch(epoch.checkpoint_committed),
+                                summary)) {
+        summary.frozen_by_governor = true;
+        break;
+      }
+      if (governor_ &&
+          governor_->state() == fault::GovernorState::Degraded) {
+        ++summary.degraded_epochs;
+      }
+      if (!epoch.checkpoint_committed) continue;
 
       // Async deep-scan extension: completed scans may surface evidence
       // the online modules missed; due scans are launched on the fresh
@@ -231,7 +285,67 @@ RunSummary Crimes::run(Nanos max_work_time) {
     }
   }
   summary.pause_histogram = pause_hist.snapshot();
+  if (injector_) {
+    // Report the delta since the last run(): CloudHost sums per-slice
+    // summaries, so a cumulative total would be counted repeatedly.
+    summary.faults_injected = injector_->total_injected() - faults_reported_;
+    faults_reported_ = injector_->total_injected();
+  }
+  summary.quarantined_modules = detector_.quarantined_modules();
   return summary;
+}
+
+bool Crimes::apply_governor_action(fault::SafetyGovernor::Action action,
+                                   RunSummary& summary) {
+  using Action = fault::SafetyGovernor::Action;
+  switch (action) {
+    case Action::None:
+      return false;
+    case Action::Downgrade:
+      // Sustained checkpoint failure: stop holding the tenant's outputs
+      // behind a checkpoint path that keeps failing. Everything currently
+      // held passed its audit -- releasing it is exactly Best Effort
+      // semantics (audited, not checkpoint-covered).
+      ++summary.governor_downgrades;
+      buffer_.release_all(network_, clock_.now());
+      disk_.commit_pending();
+      apply_output_mode(SafetyMode::BestEffort);
+      if (telemetry_) {
+        telemetry_->metrics.counter("governor.downgrades").add();
+        telemetry_->metrics.gauge("governor.degraded").set(1.0);
+      }
+      CRIMES_LOG(Warn, "governor")
+          << "sustained checkpoint failure ("
+          << governor_->consecutive_failures()
+          << " epochs): downgrading Synchronous -> Best Effort at "
+          << to_ms(clock_.now()) << " ms";
+      return false;
+    case Action::Upgrade:
+      ++summary.governor_upgrades;
+      apply_output_mode(SafetyMode::Synchronous);
+      if (telemetry_) {
+        telemetry_->metrics.counter("governor.upgrades").add();
+        telemetry_->metrics.gauge("governor.degraded").set(0.0);
+      }
+      CRIMES_LOG(Info, "governor")
+          << "checkpoint path healthy again: upgrading back to Synchronous "
+             "at "
+          << to_ms(clock_.now()) << " ms";
+      return false;
+    case Action::Freeze:
+      // The checkpoint path is gone for good. Running on without a
+      // recoverable backup voids every guarantee the tenant signed up
+      // for, so the VM stops here. Whatever the buffer still holds was
+      // never covered by a checkpoint and stays unreleased.
+      kernel_->vm().pause();
+      if (telemetry_) telemetry_->metrics.counter("governor.freezes").add();
+      CRIMES_LOG(Error, "governor")
+          << "checkpoint path lost (" << governor_->consecutive_failures()
+          << " consecutive failures): VM frozen at " << to_ms(clock_.now())
+          << " ms";
+      return true;
+  }
+  return false;
 }
 
 Nanos Crimes::current_interval() const {
@@ -314,11 +428,12 @@ void Crimes::respond(const EpochResult& epoch, Nanos epoch_start) {
   report.timeline.epoch_start = epoch_start;
   report.timeline.detected_at = clock_.now();
 
-  // Disk snapshot extension: in Best-Effort mode the failed epoch's
-  // writes already hit the committed image; revert to the last clean
-  // checkpoint's disk state. (Synchronous mode already dropped the
-  // pending overlay, so this is a no-op there.)
-  if (config_.mode == SafetyMode::BestEffort) {
+  // Disk snapshot extension: in Best-Effort mode (configured, or degraded
+  // into by the governor) the failed epoch's writes already hit the
+  // committed image; revert to the last clean checkpoint's disk state.
+  // (Synchronous mode already dropped the pending overlay, so this is a
+  // no-op there.)
+  if (active_mode_ == SafetyMode::BestEffort) {
     disk_.restore_committed(disk_checkpoint_);
   }
 

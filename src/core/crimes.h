@@ -23,6 +23,9 @@
 #include "common/sim_clock.h"
 #include "core/adaptive_interval.h"
 #include "detect/detector.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/safety_governor.h"
 #include "forensics/memory_dump.h"
 #include "forensics/report.h"
 #include "guestos/guest_kernel.h"
@@ -74,6 +77,17 @@ struct CrimesConfig {
   // as Chrome trace_event JSON / metrics JSONL (telemetry/export.h). Off by
   // default: the disabled path allocates nothing per epoch.
   bool telemetry = false;
+  // Resilience layer (src/fault, DESIGN.md section 9). `faults` is the
+  // deterministic fault plan to inject (empty = no injection; a non-empty
+  // plan also forces checkpoint.verify_backup on). `governor` tunes the
+  // SafetyGovernor that downgrades Synchronous -> Best Effort under
+  // sustained checkpoint failure, upgrades back after clean epochs, and
+  // freezes the VM when the checkpoint path is lost for good.
+  // `audit_policy` sets the per-module audit deadline behind scan-module
+  // quarantine.
+  fault::FaultPlan faults;
+  fault::GovernorConfig governor;
+  AuditPolicy audit_policy;
 };
 
 // Timeline of an attack response, in virtual time (Figure 8).
@@ -108,6 +122,19 @@ struct RunSummary {
   // Per-epoch pause distribution (nanoseconds), always collected: figure
   // benches report tail pause (p95/p99), not just the average.
   telemetry::HistogramSnapshot pause_histogram;
+
+  // --- Resilience layer (src/fault): all zero unless faults were injected.
+  std::size_t checkpoint_failures = 0;  // epochs whose copy exhausted retries
+  std::size_t copy_retries = 0;
+  std::uint64_t faults_injected = 0;    // injector decisions that fired
+  std::size_t governor_downgrades = 0;  // Synchronous -> Best Effort
+  std::size_t governor_upgrades = 0;    // back to Synchronous
+  std::size_t degraded_epochs = 0;      // epochs spent in degraded mode
+  bool frozen_by_governor = false;      // checkpoint path lost; VM paused
+  // Virtual time burnt on failure handling (wasted attempts, backoff,
+  // undo-log restores, rereads, respawns); a subset of total_pause.
+  Nanos recovery_time{0};
+  std::vector<std::string> quarantined_modules;
 
   [[nodiscard]] double normalized_runtime() const {
     if (work_time.count() == 0) return 1.0;
@@ -195,10 +222,29 @@ class Crimes {
   [[nodiscard]] const telemetry::Telemetry* telemetry() const {
     return telemetry_.get();
   }
+  // The fault injector, or nullptr when CrimesConfig::faults is empty.
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
+  // The governor's view of the pipeline; Normal when no governor runs.
+  [[nodiscard]] fault::GovernorState governor_state() const {
+    return governor_ ? governor_->state() : fault::GovernorState::Normal;
+  }
+  // The SafetyMode currently in force: differs from config().mode while
+  // the governor holds the pipeline in degraded Best Effort.
+  [[nodiscard]] SafetyMode active_mode() const { return active_mode_; }
 
  private:
   [[nodiscard]] AuditResult run_audit(std::span<const Pfn> dirty,
                                       Nanos audit_start);
+  // Wires the NIC sink and disk buffering for `mode`; the governor calls
+  // it again mid-run to downgrade/upgrade the output plumbing.
+  void apply_output_mode(SafetyMode mode);
+  // Applies a governor transition; returns true when the run must stop
+  // (Freeze).
+  [[nodiscard]] bool apply_governor_action(fault::SafetyGovernor::Action
+                                               action,
+                                           RunSummary& summary);
   void respond(const EpochResult& epoch, Nanos epoch_start);
   void analyze_malware(forensics::ForensicReport& report,
                        const MemoryDump& clean, const MemoryDump& bad,
@@ -223,6 +269,15 @@ class Crimes {
   std::unique_ptr<ReplayEngine> replay_;
   std::optional<AdaptiveIntervalController> adaptive_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+
+  // Resilience state. All of it persists across run() calls: CloudHost
+  // drives tenants one epoch-sized run() at a time, and the governor's
+  // failure streaks must survive those slice boundaries.
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::optional<fault::SafetyGovernor> governor_;
+  SafetyMode active_mode_ = SafetyMode::Synchronous;
+  std::size_t epoch_index_ = 0;
+  std::uint64_t faults_reported_ = 0;  // injector total already summarized
 
   Workload* workload_ = nullptr;
   bool initialized_ = false;

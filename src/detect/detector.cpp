@@ -1,6 +1,8 @@
 #include "detect/detector.h"
 
+#include "common/log.h"
 #include "common/thread_pool.h"
+#include "fault/fault_injector.h"
 #include "telemetry/telemetry.h"
 
 #include <chrono>
@@ -19,6 +21,43 @@ const char* to_string(Severity severity) {
 
 void Detector::add_module(std::unique_ptr<ScanModule> module) {
   modules_.push_back(std::move(module));
+  quarantined_.push_back(false);
+}
+
+Detector::ModuleFate Detector::draw_fate(const std::string& name) {
+  ModuleFate fate;
+  if (faults_ == nullptr) return fate;
+  // Crash beats hang: a dead module cannot also be slow.
+  fate.crash = faults_->scan_crashes(name);
+  if (!fate.crash && faults_->scan_times_out(name)) {
+    fate.hang = faults_->plan().scan_hang;
+  }
+  return fate;
+}
+
+void Detector::quarantine(std::size_t index, const std::string& reason,
+                          ScanResult& out) {
+  const std::string name = modules_[index]->name();
+  quarantined_[index] = true;
+  quarantined_names_.push_back(name);
+  // The event itself surfaces as a (non-fatal) finding: the audit verdict
+  // stays clean, but the lost coverage is visible to whoever reads the
+  // epoch's findings.
+  out.findings.push_back(Finding{
+      .module = "detector",
+      .severity = Severity::Warning,
+      .description = "scan module '" + name + "' quarantined: " + reason,
+      .location = Vaddr{0},
+      .pid = std::nullopt,
+      .object = std::nullopt,
+  });
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter("audit.quarantines").add();
+  }
+  CRIMES_LOG(Warn, "detector")
+      << "module '" << name << "' quarantined: " << reason << " ("
+      << active_module_count() << " of " << modules_.size()
+      << " modules still active)";
 }
 
 std::vector<std::string> Detector::module_names() const {
@@ -31,26 +70,80 @@ std::vector<std::string> Detector::module_names() const {
 ScanResult Detector::audit(ScanContext& ctx) {
   ++audits_run_;
   ScanResult total;
-  for (const auto& module : modules_) {
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    if (quarantined_[i]) {
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("audit.skipped_quarantined").add();
+      }
+      continue;
+    }
+    ScanModule& module = *modules_[i];
+    const ModuleFate fate = draw_fate(module.name());
     using WallClock = std::chrono::steady_clock;
     const auto wall_begin =
         telemetry_ != nullptr ? WallClock::now() : WallClock::time_point{};
-    ScanResult r = module->scan(ctx);
+    ScanResult r;
+    bool crashed = fate.crash;
+    std::string crash_reason = "injected scan fault";
+    if (!crashed) {
+      try {
+        r = module.scan(ctx);
+      } catch (const std::exception& e) {
+        crashed = true;
+        crash_reason = e.what();
+        r = ScanResult{};
+      }
+    }
+    r.cost += fate.hang;
+    const bool timed_out = !crashed && policy_.module_deadline.count() > 0 &&
+                           r.cost > policy_.module_deadline;
+    // A hung module is cut off at the deadline; its (possibly partial)
+    // findings are discarded along with a crashed module's.
+    const Nanos charged = timed_out ? policy_.module_deadline : r.cost;
     if (telemetry_ != nullptr) {
       // Serial audits run modules back to back inside the audit phase.
       telemetry_->trace.add_span(
-          "scan:" + module->name(), ctx.trace_start + total.cost, r.cost, 0,
+          "scan:" + module.name(), ctx.trace_start + total.cost, charged, 0,
           std::chrono::duration_cast<Nanos>(WallClock::now() - wall_begin));
-      telemetry_->metrics.counter("audit.findings").add(r.findings.size());
     }
-    total.cost += r.cost;
-    for (auto& f : r.findings) total.findings.push_back(std::move(f));
+    total.cost += charged;
+    if (crashed) {
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("audit.scan_crashes").add();
+      }
+      quarantine(i, "crashed (" + crash_reason + ")", total);
+    } else if (timed_out) {
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("audit.scan_timeouts").add();
+      }
+      quarantine(i,
+                 "audit deadline exceeded (" + std::to_string(to_ms(r.cost)) +
+                     " ms > " + std::to_string(to_ms(policy_.module_deadline)) +
+                     " ms)",
+                 total);
+    } else {
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("audit.findings").add(r.findings.size());
+      }
+      for (auto& f : r.findings) total.findings.push_back(std::move(f));
+    }
   }
   return total;
 }
 
 ScanResult Detector::audit_parallel(ScanContext& ctx, ThreadPool& pool) {
-  if (modules_.size() < 2) return audit(ctx);  // nothing to fork
+  std::vector<std::size_t> active;
+  active.reserve(modules_.size());
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    if (quarantined_[i]) {
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("audit.skipped_quarantined").add();
+      }
+      continue;
+    }
+    active.push_back(i);
+  }
+  if (active.size() < 2) return audit(ctx);  // nothing to fork
   ++audits_run_;
 
   ScanResult total;
@@ -58,38 +151,64 @@ ScanResult Detector::audit_parallel(ScanContext& ctx, ThreadPool& pool) {
   // not to any one fork.
   total.cost = ctx.vmi.take_cost();
 
+  // Fault decisions are drawn here, on the audit-driving thread, before
+  // any fan-out: injection must not depend on worker interleaving (and the
+  // injector's counters stay single-threaded).
+  std::vector<ModuleFate> fates;
+  fates.reserve(active.size());
+  for (const std::size_t i : active) {
+    fates.push_back(draw_fate(modules_[i]->name()));
+  }
+
   std::vector<VmiSession> sessions;
-  sessions.reserve(modules_.size());
-  for (std::size_t i = 0; i < modules_.size(); ++i) {
+  sessions.reserve(active.size());
+  for (std::size_t k = 0; k < active.size(); ++k) {
     sessions.push_back(ctx.vmi.fork());
   }
 
-  std::vector<ScanResult> results(modules_.size());
-  std::vector<Nanos> walls(modules_.size(), Nanos{0});
+  std::vector<ScanResult> results(active.size());
+  std::vector<Nanos> walls(active.size(), Nanos{0});
+  std::vector<std::uint8_t> crashed(active.size(), 0);
+  std::vector<std::string> crash_reasons(active.size());
   std::vector<std::future<void>> pending;
-  pending.reserve(modules_.size());
+  pending.reserve(active.size());
   const bool traced = telemetry_ != nullptr;
-  for (std::size_t i = 0; i < modules_.size(); ++i) {
-    pending.push_back(
-        pool.submit([this, i, traced, &ctx, &sessions, &results, &walls] {
-          using WallClock = std::chrono::steady_clock;
-          const auto wall_begin =
-              traced ? WallClock::now() : WallClock::time_point{};
-          ScanContext local{
-              .vmi = sessions[i],
-              .dirty = ctx.dirty,
-              .costs = ctx.costs,
-              .pending_packets = ctx.pending_packets,
-              .plan = ctx.plan,
-              .now = ctx.now,
-              .trace_start = ctx.trace_start,
-          };
-          results[i] = modules_[i]->scan(local);
-          if (traced) {
-            walls[i] = std::chrono::duration_cast<Nanos>(WallClock::now() -
-                                                         wall_begin);
-          }
-        }));
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    if (fates[k].crash) {
+      // A module fated to crash dies at scan start; it never reaches the
+      // pool.
+      crashed[k] = 1;
+      crash_reasons[k] = "injected scan fault";
+      continue;
+    }
+    pending.push_back(pool.submit([this, k, i = active[k], traced, &ctx,
+                                   &sessions, &results, &walls, &crashed,
+                                   &crash_reasons] {
+      using WallClock = std::chrono::steady_clock;
+      const auto wall_begin =
+          traced ? WallClock::now() : WallClock::time_point{};
+      ScanContext local{
+          .vmi = sessions[k],
+          .dirty = ctx.dirty,
+          .costs = ctx.costs,
+          .pending_packets = ctx.pending_packets,
+          .plan = ctx.plan,
+          .now = ctx.now,
+          .trace_start = ctx.trace_start,
+      };
+      try {
+        results[k] = modules_[i]->scan(local);
+      } catch (const std::exception& e) {
+        // Quarantine happens after the join, on the calling thread.
+        crashed[k] = 1;
+        crash_reasons[k] = e.what();
+        results[k] = ScanResult{};
+      }
+      if (traced) {
+        walls[k] =
+            std::chrono::duration_cast<Nanos>(WallClock::now() - wall_begin);
+      }
+    }));
   }
   // Join everything before surfacing an exception: the lambdas reference
   // this frame's vectors.
@@ -97,19 +216,38 @@ ScanResult Detector::audit_parallel(ScanContext& ctx, ThreadPool& pool) {
   for (auto& future : pending) future.get();
 
   std::vector<Nanos> module_costs;
-  module_costs.reserve(results.size());
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    ScanResult& r = results[i];
+  module_costs.reserve(active.size());
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    ScanResult& r = results[k];
+    r.cost += fates[k].hang;
+    const bool timed_out = !crashed[k] &&
+                           policy_.module_deadline.count() > 0 &&
+                           r.cost > policy_.module_deadline;
+    const Nanos charged = timed_out ? policy_.module_deadline : r.cost;
     if (traced) {
       // Concurrent modules all start when the audit does; one lane each,
       // so the viewer shows them side by side.
-      telemetry_->trace.add_span("scan:" + modules_[i]->name(),
-                                 ctx.trace_start, r.cost,
-                                 static_cast<std::uint32_t>(1 + i), walls[i]);
-      telemetry_->metrics.counter("audit.findings").add(r.findings.size());
+      telemetry_->trace.add_span("scan:" + modules_[active[k]]->name(),
+                                 ctx.trace_start, charged,
+                                 static_cast<std::uint32_t>(1 + k), walls[k]);
     }
-    module_costs.push_back(r.cost);
-    for (auto& f : r.findings) total.findings.push_back(std::move(f));
+    module_costs.push_back(charged);
+    if (crashed[k] != 0) {
+      if (traced) telemetry_->metrics.counter("audit.scan_crashes").add();
+      quarantine(active[k], "crashed (" + crash_reasons[k] + ")", total);
+    } else if (timed_out) {
+      if (traced) telemetry_->metrics.counter("audit.scan_timeouts").add();
+      quarantine(active[k],
+                 "audit deadline exceeded (" + std::to_string(to_ms(r.cost)) +
+                     " ms > " +
+                     std::to_string(to_ms(policy_.module_deadline)) + " ms)",
+                 total);
+    } else {
+      if (traced) {
+        telemetry_->metrics.counter("audit.findings").add(r.findings.size());
+      }
+      for (auto& f : r.findings) total.findings.push_back(std::move(f));
+    }
   }
   total.cost += ctx.costs.parallel_cost(module_costs);
   for (const VmiSession& session : sessions) ctx.vmi.absorb(session);

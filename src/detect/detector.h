@@ -25,6 +25,10 @@ namespace telemetry {
 struct Telemetry;
 }  // namespace telemetry
 
+namespace fault {
+class FaultInjector;
+}  // namespace fault
+
 enum class Severity { Info, Warning, Critical };
 
 [[nodiscard]] const char* to_string(Severity severity);
@@ -77,6 +81,19 @@ class ScanModule {
   [[nodiscard]] virtual ScanResult scan(ScanContext& ctx) = 0;
 };
 
+// Resilience layer (DESIGN.md section 9): per-module audit discipline. A
+// module whose scan exceeds the deadline, or that throws, is quarantined:
+// its findings for that epoch are discarded (partial evidence from a dying
+// scanner is untrustworthy), a Warning finding reports the event, and the
+// module is skipped on subsequent audits -- one wedged scanner must not
+// stall every epoch of the pipeline.
+struct AuditPolicy {
+  // Virtual-time budget per module per audit; 0 disables the deadline.
+  // A hung module is charged exactly the deadline (the audit gives up on
+  // it at that point), not its full hang time.
+  Nanos module_deadline{0};
+};
+
 class Detector {
  public:
   void add_module(std::unique_ptr<ScanModule> module);
@@ -105,10 +122,41 @@ class Detector {
     telemetry_ = telemetry;
   }
 
+  void set_audit_policy(AuditPolicy policy) { policy_ = policy; }
+  [[nodiscard]] const AuditPolicy& audit_policy() const { return policy_; }
+  // Attaches (nullptr detaches) the fault injector for scan-module
+  // timeout/crash faults. Decisions are drawn on the audit-driving thread
+  // even for parallel audits.
+  void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
+
+  // Names of modules knocked out so far, in quarantine order. Quarantined
+  // modules are skipped by audits but stay registered (module_count()
+  // still includes them).
+  [[nodiscard]] const std::vector<std::string>& quarantined_modules() const {
+    return quarantined_names_;
+  }
+  [[nodiscard]] std::size_t active_module_count() const {
+    return modules_.size() - quarantined_names_.size();
+  }
+
  private:
+  // Pre-drawn fate of one module's scan this audit (decided before any
+  // fan-out so parallel and serial audits agree bit for bit).
+  struct ModuleFate {
+    bool crash = false;
+    Nanos hang{0};
+  };
+  [[nodiscard]] ModuleFate draw_fate(const std::string& name);
+  void quarantine(std::size_t index, const std::string& reason,
+                  ScanResult& out);
+
   std::vector<std::unique_ptr<ScanModule>> modules_;
+  std::vector<bool> quarantined_;  // parallel to modules_
+  std::vector<std::string> quarantined_names_;
+  AuditPolicy policy_;
   std::uint64_t audits_run_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
+  fault::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace crimes

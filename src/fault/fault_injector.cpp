@@ -1,0 +1,117 @@
+#include "fault/fault_injector.h"
+
+namespace crimes::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::TransportCopy: return "transport-copy";
+    case FaultKind::TornWrite: return "torn-write";
+    case FaultKind::ScanTimeout: return "scan-timeout";
+    case FaultKind::ScanCrash: return "scan-crash";
+    case FaultKind::BitmapRead: return "bitmap-read";
+    case FaultKind::WorkerLoss: return "worker-loss";
+  }
+  return "?";
+}
+
+namespace {
+
+// SplitMix64 finalizer: a single avalanche step is enough to decorrelate
+// the (seed, kind, epoch, salt) tuples we feed it.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+double to_unit(std::uint64_t x) {
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultInjector::scheduled_hit(FaultKind kind,
+                                  const std::string& module) const {
+  for (const ScheduledFault& s : plan_.scheduled) {
+    if (s.epoch != epoch_ || s.kind != kind) continue;
+    if (s.module.empty() || s.module == module) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::decide(FaultKind kind, std::uint64_t salt) {
+  const bool in_window =
+      epoch_ >= plan_.from_epoch && epoch_ < plan_.until_epoch;
+  const double rate = plan_.rate(kind);
+  if (!in_window || rate <= 0.0) return false;
+  const std::uint64_t draw =
+      mix(plan_.seed ^ mix(static_cast<std::uint64_t>(kind) ^
+                           (static_cast<std::uint64_t>(epoch_) << 8) ^
+                           mix(salt)));
+  return to_unit(draw) < rate;
+}
+
+bool FaultInjector::transport_copy_fails() {
+  const bool hit = decide(FaultKind::TransportCopy, copy_attempt_++) ||
+                   (copy_attempt_ == 1 &&
+                    scheduled_hit(FaultKind::TransportCopy, ""));
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::TransportCopy)];
+  return hit;
+}
+
+bool FaultInjector::tears_backup_write() {
+  const bool hit =
+      decide(FaultKind::TornWrite, 0x7EA5 + tear_attempt_++) ||
+      (tear_attempt_ == 1 && scheduled_hit(FaultKind::TornWrite, ""));
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::TornWrite)];
+  return hit;
+}
+
+std::size_t FaultInjector::torn_victim(std::size_t n) const {
+  if (n == 0) return 0;
+  return static_cast<std::size_t>(
+      mix(plan_.seed ^ 0x1C7ED ^ (static_cast<std::uint64_t>(epoch_) << 8) ^
+          tear_attempt_) %
+      n);
+}
+
+bool FaultInjector::scan_times_out(const std::string& module) {
+  const bool hit = decide(FaultKind::ScanTimeout, fnv1a(module)) ||
+                   scheduled_hit(FaultKind::ScanTimeout, module);
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::ScanTimeout)];
+  return hit;
+}
+
+bool FaultInjector::scan_crashes(const std::string& module) {
+  const bool hit = decide(FaultKind::ScanCrash, fnv1a(module) ^ 0xDEAD) ||
+                   scheduled_hit(FaultKind::ScanCrash, module);
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::ScanCrash)];
+  return hit;
+}
+
+bool FaultInjector::bitmap_read_fails() {
+  const bool hit = decide(FaultKind::BitmapRead, 0xB17) ||
+                   scheduled_hit(FaultKind::BitmapRead, "");
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::BitmapRead)];
+  return hit;
+}
+
+bool FaultInjector::loses_worker() {
+  const bool hit = decide(FaultKind::WorkerLoss, 0x1057) ||
+                   scheduled_hit(FaultKind::WorkerLoss, "");
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::WorkerLoss)];
+  return hit;
+}
+
+}  // namespace crimes::fault

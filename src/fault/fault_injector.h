@@ -1,0 +1,83 @@
+// The FaultInjector turns a FaultPlan into concrete injection decisions.
+//
+// Determinism contract: every decision is a pure hash of
+// (plan.seed, kind, epoch, site-salt). Sites that can repeat within an
+// epoch (copy attempts) carry a per-epoch attempt counter as salt; sites
+// keyed by identity (scan modules) hash their name. Nothing depends on
+// wall time, thread scheduling, or the order different subsystems query
+// the injector -- so the same seed yields the same RunSummary even when
+// the checkpoint engine runs parallel phases, and the injector itself is
+// only ever called from the epoch-driving thread (queries are drawn
+// *before* work is fanned out to the pool).
+#pragma once
+
+#include "common/sim_clock.h"
+#include "fault/fault_plan.h"
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace crimes::fault {
+
+// Thrown by a transport whose page stream breaks mid-copy. `wasted` is the
+// virtual time the aborted attempt burnt before failing; the Checkpointer
+// charges it to the pause window on top of the retry backoff.
+class TransportFault : public std::runtime_error {
+ public:
+  explicit TransportFault(Nanos wasted)
+      : std::runtime_error("injected transport fault"), wasted_(wasted) {}
+  [[nodiscard]] Nanos wasted() const { return wasted_; }
+
+ private:
+  Nanos wasted_;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  // Must be called at the top of every epoch; resets the per-epoch attempt
+  // counters so decisions depend only on (epoch, site), not on history.
+  void begin_epoch(std::size_t epoch) {
+    epoch_ = epoch;
+    copy_attempt_ = 0;
+    tear_attempt_ = 0;
+  }
+  [[nodiscard]] std::size_t epoch() const { return epoch_; }
+
+  // --- Decision sites (each call consumes one draw) ---------------------
+  [[nodiscard]] bool transport_copy_fails();
+  [[nodiscard]] bool tears_backup_write();
+  // Deterministic victim selector for a torn write: an index in [0, n).
+  [[nodiscard]] std::size_t torn_victim(std::size_t n) const;
+  [[nodiscard]] bool scan_times_out(const std::string& module);
+  [[nodiscard]] bool scan_crashes(const std::string& module);
+  [[nodiscard]] bool bitmap_read_fails();
+  [[nodiscard]] bool loses_worker();
+
+  // --- Accounting -------------------------------------------------------
+  [[nodiscard]] std::uint64_t injected(FaultKind kind) const {
+    return injected_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t total_injected() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t n : injected_) total += n;
+    return total;
+  }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  [[nodiscard]] bool decide(FaultKind kind, std::uint64_t salt);
+  [[nodiscard]] bool scheduled_hit(FaultKind kind,
+                                   const std::string& module) const;
+
+  FaultPlan plan_;
+  std::size_t epoch_ = 0;
+  std::uint64_t copy_attempt_ = 0;
+  std::uint64_t tear_attempt_ = 0;
+  std::array<std::uint64_t, kFaultKindCount> injected_{};
+};
+
+}  // namespace crimes::fault

@@ -1,0 +1,112 @@
+// Deterministic fault plans for the resilience layer (DESIGN.md section 9).
+//
+// A FaultPlan describes *which* faults a run should experience: per-site
+// probabilities for each FaultKind, an epoch window the probabilistic
+// faults are confined to, and an optional list of exactly-scheduled
+// one-shot faults. The plan is pure data; FaultInjector turns it into
+// concrete injection decisions that are pure functions of
+// (seed, kind, epoch, site) -- never of wall time or thread interleaving --
+// so a given seed produces the identical fault sequence on every run.
+//
+// Each FaultKind maps to a real failure mode of the paper's Xen + Remus
+// deployment; the mapping table lives in DESIGN.md section 9.
+#pragma once
+
+#include "common/sim_clock.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace crimes::fault {
+
+enum class FaultKind : std::uint8_t {
+  TransportCopy,   // a checkpoint page-copy attempt aborts mid-stream
+  TornWrite,       // one backup page is corrupted by a torn/partial write
+  ScanTimeout,     // a scan module hangs past its audit deadline
+  ScanCrash,       // a scan module dies mid-scan
+  BitmapRead,      // the log-dirty bitmap read errors and must be retried
+  WorkerLoss,      // a thread-pool worker thread dies and must be respawned
+};
+inline constexpr std::size_t kFaultKindCount = 6;
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+// An exactly-placed fault: fires once at `epoch` regardless of the plan's
+// probabilities or epoch window. `module` targets a specific scan module
+// for ScanTimeout/ScanCrash (empty = any module queried that epoch).
+struct ScheduledFault {
+  std::size_t epoch = 0;
+  FaultKind kind = FaultKind::TransportCopy;
+  std::string module;
+};
+
+struct FaultPlan {
+  static constexpr std::size_t kNoLimit =
+      std::numeric_limits<std::size_t>::max();
+
+  std::uint64_t seed = 1;
+
+  // Per-site probabilities in [0, 1]. "Site" is one decision point: a copy
+  // attempt (so each retry redraws), a module per audit, or an epoch.
+  double transport_copy_fail = 0.0;  // per copy attempt
+  double torn_write = 0.0;           // per copy attempt that completes
+  double scan_timeout = 0.0;         // per module per audit
+  double scan_crash = 0.0;           // per module per audit
+  double bitmap_read_error = 0.0;    // per epoch
+  double worker_loss = 0.0;          // per epoch
+
+  // Probabilistic faults fire only in epochs [from_epoch, until_epoch).
+  // Bounding the window lets a faulty run drain its accumulated dirty
+  // pages through fault-free epochs and converge on the same final backup
+  // image as a clean run.
+  std::size_t from_epoch = 0;
+  std::size_t until_epoch = kNoLimit;
+
+  // Virtual time a hung module stalls before the audit deadline kills it.
+  Nanos scan_hang = millis(10);
+
+  std::vector<ScheduledFault> scheduled;
+
+  [[nodiscard]] double rate(FaultKind kind) const {
+    switch (kind) {
+      case FaultKind::TransportCopy: return transport_copy_fail;
+      case FaultKind::TornWrite: return torn_write;
+      case FaultKind::ScanTimeout: return scan_timeout;
+      case FaultKind::ScanCrash: return scan_crash;
+      case FaultKind::BitmapRead: return bitmap_read_error;
+      case FaultKind::WorkerLoss: return worker_loss;
+    }
+    return 0.0;
+  }
+
+  // True when this plan can inject anything at all -- Crimes only builds a
+  // FaultInjector (and turns on backup verification) in that case.
+  [[nodiscard]] bool any() const {
+    return transport_copy_fail > 0.0 || torn_write > 0.0 ||
+           scan_timeout > 0.0 || scan_crash > 0.0 ||
+           bitmap_read_error > 0.0 || worker_loss > 0.0 ||
+           !scheduled.empty();
+  }
+
+  // A mixed plan exercising every transport-side fault at `rate`, confined
+  // to [from, until) so runs still converge (the bench sweeps this).
+  [[nodiscard]] static FaultPlan transport_storm(double rate,
+                                                 std::size_t from,
+                                                 std::size_t until,
+                                                 std::uint64_t seed = 1) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.transport_copy_fail = rate;
+    plan.torn_write = rate / 2.0;
+    plan.bitmap_read_error = rate / 4.0;
+    plan.worker_loss = rate / 4.0;
+    plan.from_epoch = from;
+    plan.until_epoch = until;
+    return plan;
+  }
+};
+
+}  // namespace crimes::fault

@@ -1,0 +1,44 @@
+#include "fault/safety_governor.h"
+
+namespace crimes::fault {
+
+const char* to_string(GovernorState state) {
+  switch (state) {
+    case GovernorState::Normal: return "Normal";
+    case GovernorState::Degraded: return "Degraded";
+    case GovernorState::Frozen: return "Frozen";
+  }
+  return "?";
+}
+
+SafetyGovernor::Action SafetyGovernor::on_epoch(bool checkpoint_committed) {
+  if (state_ == GovernorState::Frozen) return Action::None;
+
+  if (checkpoint_committed) {
+    consecutive_failures_ = 0;
+    ++consecutive_clean_;
+    if (state_ == GovernorState::Degraded &&
+        consecutive_clean_ >= config_.upgrade_after) {
+      state_ = GovernorState::Normal;
+      ++upgrades_;
+      return Action::Upgrade;
+    }
+    return Action::None;
+  }
+
+  consecutive_clean_ = 0;
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= config_.freeze_after) {
+    state_ = GovernorState::Frozen;
+    return Action::Freeze;
+  }
+  if (state_ == GovernorState::Normal && can_degrade_ &&
+      consecutive_failures_ >= config_.downgrade_after) {
+    state_ = GovernorState::Degraded;
+    ++downgrades_;
+    return Action::Downgrade;
+  }
+  return Action::None;
+}
+
+}  // namespace crimes::fault

@@ -1,0 +1,76 @@
+// SafetyGovernor: the degradation state machine of the resilience layer.
+//
+// The degradation ladder (DESIGN.md section 9): individual failures are
+// first absorbed by retries (Checkpointer) and quarantine (Detector); the
+// governor watches what leaks past those -- whole-epoch checkpoint
+// failures -- and trades safety for availability:
+//
+//   Normal --[downgrade_after consecutive failures]--> Degraded
+//     (Synchronous Safety -> Best Effort: held outputs are released and
+//      buffering stops, so a broken checkpoint path no longer stalls the
+//      tenant's traffic; scans continue at the same cadence)
+//   Degraded --[upgrade_after consecutive committed epochs]--> Normal
+//   any --[freeze_after consecutive failures]--> Frozen
+//     (the checkpoint path is considered lost; the VM is paused rather
+//      than run indefinitely without a recoverable backup)
+//
+// The governor itself is mode-agnostic pure logic: Crimes::run feeds it
+// one observation per epoch and applies the returned Action (rewiring
+// output plumbing, pausing the VM, logging and counting transitions).
+#pragma once
+
+#include "common/sim_clock.h"
+
+#include <cstddef>
+
+namespace crimes::fault {
+
+struct GovernorConfig {
+  bool enabled = true;
+  // Consecutive checkpoint failures before Synchronous drops to Best
+  // Effort. Retries inside the Checkpointer have already been exhausted by
+  // the time a failure reaches the governor.
+  std::size_t downgrade_after = 3;
+  // Consecutive committed epochs (while Degraded) before upgrading back.
+  std::size_t upgrade_after = 5;
+  // Consecutive failures -- counted across the downgrade -- before the VM
+  // is frozen outright. Must exceed downgrade_after to give Best Effort a
+  // chance to ride out the fault burst.
+  std::size_t freeze_after = 10;
+};
+
+enum class GovernorState { Normal, Degraded, Frozen };
+
+[[nodiscard]] const char* to_string(GovernorState state);
+
+class SafetyGovernor {
+ public:
+  enum class Action { None, Downgrade, Upgrade, Freeze };
+
+  // `can_degrade` is false when the configured SafetyMode is already Best
+  // Effort -- then the only rung below Normal is Frozen.
+  SafetyGovernor(GovernorConfig config, bool can_degrade)
+      : config_(config), can_degrade_(can_degrade) {}
+
+  // One observation per epoch: did the checkpoint commit? Returns the
+  // transition the caller must apply (at most one per epoch).
+  [[nodiscard]] Action on_epoch(bool checkpoint_committed);
+
+  [[nodiscard]] GovernorState state() const { return state_; }
+  [[nodiscard]] std::size_t downgrades() const { return downgrades_; }
+  [[nodiscard]] std::size_t upgrades() const { return upgrades_; }
+  [[nodiscard]] std::size_t consecutive_failures() const {
+    return consecutive_failures_;
+  }
+
+ private:
+  GovernorConfig config_;
+  bool can_degrade_;
+  GovernorState state_ = GovernorState::Normal;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t consecutive_clean_ = 0;
+  std::size_t downgrades_ = 0;
+  std::size_t upgrades_ = 0;
+};
+
+}  // namespace crimes::fault
