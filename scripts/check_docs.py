@@ -13,6 +13,8 @@ navigates with a stale map. This script makes drift a test failure:
   3. Every benchmark listed in bench/CMakeLists.txt must have a source
      file -- and vice versa (a bench that exists but is not built is just
      as invisible as an undocumented one).
+  4. Every example binary `examples/<name>.cpp` must appear as `<name>`
+     in README.md's runnable-examples table.
 
 Exit status: 0 when the docs cover the tree, 1 otherwise.
 """
@@ -45,6 +47,10 @@ def bench_sources(repo: pathlib.Path) -> list[str]:
             continue  # google-benchmark micro-benches live outside the index
         out.append(src.stem)
     return out
+
+
+def example_sources(repo: pathlib.Path) -> list[str]:
+    return [src.stem for src in sorted((repo / "examples").glob("*.cpp"))]
 
 
 def cmake_benches(repo: pathlib.Path) -> list[str]:
@@ -86,8 +92,15 @@ def main() -> None:
         fail("bench/CMakeLists.txt lists benches with no source: "
              + ", ".join(sourceless))
 
+    readme = (repo / "README.md").read_text(encoding="utf-8")
+    examples = example_sources(repo)
+    unlisted = [e for e in examples if f"`{e}`" not in readme]
+    if unlisted:
+        fail("README.md examples table is missing: " + ", ".join(unlisted))
+
     print(f"check_docs: OK ({len(module_dirs(repo))} modules in DESIGN.md, "
-          f"{len(sources)} benches in EXPERIMENTS.md)")
+          f"{len(sources)} benches in EXPERIMENTS.md, "
+          f"{len(examples)} examples in README.md)")
 
 
 if __name__ == "__main__":

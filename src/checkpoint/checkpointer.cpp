@@ -1,7 +1,9 @@
 #include "checkpoint/checkpointer.h"
 
+#include "common/hash.h"
 #include "common/log.h"
 #include "fault/fault_injector.h"
+#include "store/checkpoint_store.h"
 #include "telemetry/telemetry.h"
 
 #include <chrono>
@@ -9,19 +11,6 @@
 #include <stdexcept>
 
 namespace crimes {
-
-namespace {
-
-std::uint64_t fnv1a_page(const Page& page) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const std::byte b : page.data) {
-    h ^= static_cast<std::uint8_t>(b);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
-}  // namespace
 
 const char* CheckpointConfig::label() const {
   if (opt_memcpy && opt_premap && opt_chunked_scan) {
@@ -60,6 +49,13 @@ void Checkpointer::set_telemetry(telemetry::Telemetry* telemetry) {
   metrics_.bitmap_rereads = &m.counter("fault.bitmap_reread");
   metrics_.worker_respawns = &m.counter("fault.worker_respawn");
   metrics_.recovery = &m.histogram("checkpoint.recovery_ns");
+  if (config_.store.enabled) {
+    metrics_.store_pages_unique = &m.gauge("store.pages_unique");
+    metrics_.store_bytes_logical = &m.gauge("store.bytes_logical");
+    metrics_.store_bytes_physical = &m.gauge("store.bytes_physical");
+    metrics_.store_generations = &m.gauge("store.generations");
+    update_store_gauges();
+  }
 }
 
 void Checkpointer::set_fault_injector(fault::FaultInjector* faults) {
@@ -137,6 +133,14 @@ void Checkpointer::initialize() {
     // 2). This inflates startup time but removes per-epoch map work.
     startup_cost_ += costs_->premap_startup_per_page *
                      (primary_->page_count() + backup_->page_count());
+  }
+  if (config_.store.enabled) {
+    // Generation 0 is the initial full synchronization -- the oldest
+    // rewind target until retention ages it out.
+    store_ = std::make_unique<store::CheckpointStore>(*costs_, config_.store);
+    ForeignMapping image = hypervisor_->map_foreign(backup_->id());
+    startup_cost_ +=
+        store_->seed(checkpoints_taken_, image, backup_vcpu_, clock_->now());
   }
   clock_->advance(startup_cost_);
 
@@ -270,6 +274,9 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
     primary_->pause();
     clock_->advance(result.costs.suspend + result.costs.bitscan +
                     result.costs.vmi);
+    // The newest generation is the forensic baseline for the incident;
+    // pin it (per policy) so GC cannot age it out mid-investigation.
+    if (store_ != nullptr) store_->note_audit_failure();
     if (traced) record_epoch_metrics(result);
     CRIMES_LOG(Warn, "checkpointer")
         << "audit FAILED at " << to_ms(clock_->now()) << " ms; VM paused";
@@ -323,14 +330,52 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
 
   clock_->advance(result.costs.pause_total());
   if (traced) record_epoch_metrics(result);
+  // Store work runs after resume: the primary is already speculating
+  // again, so the append/GC cost lengthens the epoch, not the pause
+  // (Remus drains checkpoints asynchronously for the same reason).
+  if (store_ != nullptr && result.checkpoint_committed) {
+    store_commit(result);
+  }
   return result;
+}
+
+void Checkpointer::store_commit(EpochResult& result) {
+  telemetry::TraceRecorder* trace =
+      telemetry_ != nullptr ? &telemetry_->trace : nullptr;
+  ForeignMapping image = hypervisor_->map_foreign(backup_->id());
+  const Nanos append_cost =
+      store_->append(checkpoints_taken_, result.dirty, image, backup_vcpu_,
+                     clock_->now(), pool_.get());
+  if (trace != nullptr) {
+    trace->add_span("store_append", clock_->now(), append_cost);
+  }
+  clock_->advance(append_cost);
+
+  const Nanos gc_cost = store_->collect();
+  if (trace != nullptr && gc_cost.count() > 0) {
+    trace->add_span("gc", clock_->now(), gc_cost);
+  }
+  clock_->advance(gc_cost);
+
+  result.store_cost = append_cost + gc_cost;
+  update_store_gauges();
+}
+
+void Checkpointer::update_store_gauges() {
+  if (store_ == nullptr || metrics_.store_generations == nullptr) return;
+  const store::StoreStats stats = store_->stats();
+  metrics_.store_pages_unique->set(static_cast<double>(stats.pages_unique));
+  metrics_.store_bytes_logical->set(static_cast<double>(stats.bytes_logical));
+  metrics_.store_bytes_physical->set(
+      static_cast<double>(stats.bytes_physical));
+  metrics_.store_generations->set(static_cast<double>(stats.generations));
 }
 
 bool Checkpointer::backup_matches(ForeignMapping& primary,
                                   ForeignMapping& backup,
                                   std::span<const Pfn> dirty) const {
   for (const Pfn pfn : dirty) {
-    if (fnv1a_page(primary.peek(pfn)) != fnv1a_page(backup.peek(pfn))) {
+    if (fnv1a(primary.peek(pfn).bytes()) != fnv1a(backup.peek(pfn).bytes())) {
       return false;
     }
   }
@@ -440,6 +485,69 @@ Nanos Checkpointer::rollback() {
   clock_->advance(cost);
   CRIMES_LOG(Info, "checkpointer")
       << "rolled back " << dirty.size() << " pages to last clean checkpoint";
+  return cost;
+}
+
+Nanos Checkpointer::rollback_to(std::uint64_t epoch) {
+  if (primary_->state() != VmState::Paused) {
+    throw std::logic_error(
+        "Checkpointer::rollback_to: primary must be Paused");
+  }
+  if (store_ == nullptr) {
+    throw std::logic_error(
+        "Checkpointer::rollback_to: checkpoint store not enabled");
+  }
+  if (!store_->has_generation(epoch)) {
+    throw std::invalid_argument(
+        "Checkpointer::rollback_to: generation not retained");
+  }
+  CRIMES_TRACE_SPAN(telemetry_ != nullptr ? &telemetry_->trace : nullptr,
+                    "rollback_to");
+
+  // 1. Rewind the backup image from the store. The backup holds the
+  // newest generation by invariant, so only the pages that differ between
+  // it and the target are rewritten -- O(changed), never O(image).
+  ForeignMapping backup_map = hypervisor_->map_foreign(backup_->id());
+  const store::CheckpointStore::Restored restored =
+      store_->rewind(epoch, backup_map);
+  backup_vcpu_ = restored.vcpu;
+  backup_->vcpu() = backup_vcpu_;
+
+  // 2. Restore the primary from the rewound backup: the pages the failed
+  // epoch dirtied, plus the pages the rewind itself changed.
+  const std::vector<Pfn> dirty = primary_->dirty_bitmap().scan_chunked();
+  ForeignMapping src = hypervisor_->map_foreign(backup_->id());
+  ForeignMapping dst = hypervisor_->map_foreign(primary_->id());
+  std::size_t copied = 0;
+  const auto copy_back = [&](Pfn pfn) {
+    if (!src.is_backed(pfn) && !dst.is_backed(pfn)) return;
+    std::memcpy(dst.page(pfn).data.data(), src.peek(pfn).data.data(),
+                kPageSize);
+    ++copied;
+  };
+  for (const Pfn pfn : dirty) copy_back(pfn);
+  for (const auto& entry :
+       store_->chain().diff(store_->chain().size() - 1,
+                            store_->chain().index_of(epoch))) {
+    copy_back(entry.first);
+  }
+  primary_->vcpu() = backup_vcpu_;
+  primary_->dirty_bitmap().clear_all();
+
+  // 3. The timeline forward of the rewind point is being rewritten:
+  // discard the newer generations so the chain's newest matches the
+  // backup again (the invariant every append and rewind relies on).
+  const Nanos truncate_cost = store_->truncate_to(epoch);
+  update_store_gauges();
+
+  const Nanos cost = costs_->rollback_prepare_base + restored.cost +
+                     costs_->rollback_per_dirty_page * copied +
+                     truncate_cost;
+  clock_->advance(cost);
+  CRIMES_LOG(Info, "checkpointer")
+      << "rolled back to generation " << epoch << " ("
+      << restored.pages_written << " backup pages rewound, " << copied
+      << " primary pages restored)";
   return cost;
 }
 

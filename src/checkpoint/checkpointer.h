@@ -18,16 +18,22 @@
 #include "common/sim_clock.h"
 #include "common/thread_pool.h"
 #include "hypervisor/hypervisor.h"
+#include "store/store_config.h"
 
 namespace crimes::telemetry {
 struct Telemetry;
 class Counter;
+class Gauge;
 class Histogram;
 }  // namespace crimes::telemetry
 
 namespace crimes::fault {
 class FaultInjector;
 }  // namespace crimes::fault
+
+namespace crimes::store {
+class CheckpointStore;
+}  // namespace crimes::store
 
 #include <deque>
 #include <functional>
@@ -76,6 +82,12 @@ struct CheckpointConfig {
   // Retries after the first failed attempt before the epoch's checkpoint
   // is declared failed and the backup restored from the undo log.
   std::size_t max_copy_retries = 3;
+  // Multi-generation checkpoint store (DESIGN.md section 10): every
+  // committed epoch also appends a deduplicated generation manifest, and
+  // rollback_to() can rewind to *any* retained generation, not just the
+  // last. Off by default -- the per-epoch path is then one null check and
+  // allocates nothing.
+  store::StoreConfig store = {};
 
   [[nodiscard]] static CheckpointConfig no_opt(Nanos interval = millis(200)) {
     return {.epoch_interval = interval};
@@ -103,7 +115,8 @@ struct CheckpointConfig {
   }
 
   [[nodiscard]] bool wants_pool() const {
-    return copy_threads > 1 || parallel_scan || parallel_audit;
+    return copy_threads > 1 || parallel_scan || parallel_audit ||
+           (store.enabled && store.parallel_hash);
   }
   // Worker count for the pool: an explicit copy_threads wins, otherwise
   // one worker per hardware thread.
@@ -155,6 +168,10 @@ struct EpochResult {
   // attempts, backoff, undo-log restore, bitmap rereads, worker respawns)
   // -- already included in `costs`, broken out for reporting.
   Nanos recovery_cost{0};
+  // Checkpoint-store work (generation append + incremental GC). Charged
+  // to the clock *after* resume -- it is not part of the pause -- and
+  // therefore not included in `costs`.
+  Nanos store_cost{0};
 };
 
 // Extension (section 3.1: "CRIMES could be extended to include a history of
@@ -193,6 +210,15 @@ class Checkpointer {
   // Paused. Returns the rollback preparation cost (charged to the clock).
   Nanos rollback();
 
+  // Time-travel rollback (requires the checkpoint store): rewinds the
+  // backup to retained generation `epoch` -- byte-identical to the
+  // primary's state when that epoch committed -- restores the primary
+  // from it, and discards the store generations newer than `epoch` (the
+  // timeline forward of the rewind point is being rewritten). Requires
+  // the primary to be Paused; leaves it Paused. Returns the total cost
+  // (charged to the clock).
+  Nanos rollback_to(std::uint64_t epoch);
+
   // Remus failover semantics (section 4: "should the primary host go
   // unresponsive Remus will failover to the backup"): destroys the primary
   // and promotes the backup -- the last committed checkpoint -- to a
@@ -213,6 +239,12 @@ class Checkpointer {
   // The worker pool behind the parallel knobs; nullptr when every phase is
   // serial. The Detector borrows it for parallel audits.
   [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
+  // The multi-generation checkpoint store; nullptr unless
+  // config().store.enabled.
+  [[nodiscard]] store::CheckpointStore* store() { return store_.get(); }
+  [[nodiscard]] const store::CheckpointStore* store() const {
+    return store_.get();
+  }
 
   // Attaches (or detaches, with nullptr) the telemetry layer: per-phase
   // spans on the trace and phase.* histograms in the registry. Metric
@@ -238,6 +270,10 @@ class Checkpointer {
                           EpochResult& result);
   void push_history();
   void record_epoch_metrics(const EpochResult& result);
+  // Post-commit store hook: append the generation, run incremental GC,
+  // refresh the store.* gauges. Advances the clock (after resume).
+  void store_commit(EpochResult& result);
+  void update_store_gauges();
 
   Hypervisor* hypervisor_;
   Vm* primary_;
@@ -252,6 +288,7 @@ class Checkpointer {
   Nanos startup_cost_{0};
   std::uint64_t checkpoints_taken_ = 0;
   std::deque<Snapshot> history_;
+  std::unique_ptr<store::CheckpointStore> store_;
   fault::FaultInjector* faults_ = nullptr;
 
   telemetry::Telemetry* telemetry_ = nullptr;
@@ -273,6 +310,11 @@ class Checkpointer {
     telemetry::Counter* bitmap_rereads = nullptr;
     telemetry::Counter* worker_respawns = nullptr;
     telemetry::Histogram* recovery = nullptr;
+    // Checkpoint-store gauges; resolved only when the store is enabled.
+    telemetry::Gauge* store_pages_unique = nullptr;
+    telemetry::Gauge* store_bytes_logical = nullptr;
+    telemetry::Gauge* store_bytes_physical = nullptr;
+    telemetry::Gauge* store_generations = nullptr;
   } metrics_{};
 };
 

@@ -127,6 +127,23 @@ struct CostModel {
   // pthread_create + warmup for a replacement pool worker.
   Nanos worker_respawn = micros(250);
 
+  // --- Checkpoint store (multi-generation snapshot history, DESIGN.md
+  // section 10). All store work runs after resume -- off the
+  // pause-critical path -- but is still charged to the clock.
+  // Digesting one 4 KiB page: the same FNV-1a sweep the resilience
+  // layer's backup verification pays (checksum_per_page).
+  Nanos store_hash_per_page = nanos(180);
+  // Interning one *new* page: XOR against the previous version, RLE-encode
+  // both candidates, keep the smaller (roughly the compressed transport's
+  // per-page CPU, minus the wire side).
+  Nanos store_encode_per_page = nanos(900);
+  // Restoring one page from the store: decode (raw, or base + delta) plus
+  // the copy into the target frame.
+  Nanos store_materialize_per_page = nanos(600);
+  // GC bookkeeping per manifest entry merged or released during a
+  // generation drop (sorted-merge step + refcount update).
+  Nanos store_gc_per_page = nanos(120);
+
   // --- AddressSanitizer baseline: cost per instrumented memory access.
   // Calibrated so PARSEC access profiles yield the 1.4-2.6x range of
   // Figure 3 ("AS" bars).

@@ -1,0 +1,50 @@
+// The repo's one FNV-1a implementation.
+//
+// Three subsystems hash bytes on hot paths -- the checkpointer's backup
+// verification sweep, the kernel-text integrity scanner, and now the
+// content-addressed checkpoint store -- and each had grown its own copy of
+// the same fold loop. This header is the single definition; the constants
+// and reference vectors are pinned by tests/test_common.cpp.
+//
+// FNV-1a is the right tool here: it is dependency-free, byte-order
+// independent, fast enough that the virtual-time charge (CostModel::
+// checksum_per_page / store_hash_per_page) dominates the real cost, and
+// its weaknesses (trivially forgeable) do not matter -- every digest in
+// this repo indexes or cross-checks data the same process wrote.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace crimes {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+// Folds `bytes` into `seed`. Passing a previous digest as the seed chains
+// blocks: fnv1a(b, fnv1a(a)) == fnv1a(a + b).
+[[nodiscard]] constexpr std::uint64_t fnv1a(
+    std::span<const std::byte> bytes,
+    std::uint64_t seed = kFnv1aOffsetBasis) {
+  std::uint64_t hash = seed;
+  for (const std::byte b : bytes) {
+    hash ^= static_cast<std::uint8_t>(b);
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+// String flavor (fault-site salts, module names).
+[[nodiscard]] constexpr std::uint64_t fnv1a(
+    std::string_view text, std::uint64_t seed = kFnv1aOffsetBasis) {
+  std::uint64_t hash = seed;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+}  // namespace crimes

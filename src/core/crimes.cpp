@@ -221,6 +221,7 @@ RunSummary Crimes::run(Nanos max_work_time) {
         static_cast<std::uint64_t>(epoch.costs.pause_total().count()));
     summary.copy_retries += epoch.copy_retries;
     summary.recovery_time += epoch.recovery_cost;
+    summary.store_time += epoch.store_cost;
     if (adaptive_) (void)adaptive_->observe(epoch.costs);
 
     if (epoch.audit_passed) {

@@ -135,6 +135,9 @@ struct RunSummary {
   // undo-log restores, rereads, respawns); a subset of total_pause.
   Nanos recovery_time{0};
   std::vector<std::string> quarantined_modules;
+  // Checkpoint-store work (generation append + GC), charged after resume
+  // -- lengthens epochs, not pauses. Zero unless checkpoint.store.enabled.
+  Nanos store_time{0};
 
   [[nodiscard]] double normalized_runtime() const {
     if (work_time.count() == 0) return 1.0;

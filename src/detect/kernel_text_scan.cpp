@@ -8,15 +8,6 @@
 
 namespace crimes {
 
-std::uint64_t fnv1a(std::span<const std::byte> bytes) {
-  std::uint64_t hash = 0xCBF29CE484222325ULL;
-  for (const std::byte b : bytes) {
-    hash ^= static_cast<std::uint64_t>(b);
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
-}
-
 namespace {
 
 // The text region spans 64 pages (GuestLayout::kernel_text_pages); walk it

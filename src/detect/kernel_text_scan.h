@@ -5,15 +5,13 @@
 // inline-hook rootkits that patch handler code rather than pointer tables.
 #pragma once
 
+#include "common/hash.h"  // fnv1a -- shared with tests
 #include "detect/detector.h"
 
 #include <cstdint>
 #include <vector>
 
 namespace crimes {
-
-// FNV-1a over a page; shared with tests.
-[[nodiscard]] std::uint64_t fnv1a(std::span<const std::byte> bytes);
 
 class KernelTextIntegrityModule final : public ScanModule {
  public:

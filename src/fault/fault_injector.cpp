@@ -1,5 +1,7 @@
 #include "fault/fault_injector.h"
 
+#include "common/hash.h"
+
 namespace crimes::fault {
 
 const char* to_string(FaultKind kind) {
@@ -23,15 +25,6 @@ std::uint64_t mix(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
-}
-
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (const char c : s) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 0x100000001B3ULL;
-  }
-  return h;
 }
 
 double to_unit(std::uint64_t x) {

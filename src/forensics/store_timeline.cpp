@@ -1,0 +1,68 @@
+#include "forensics/store_timeline.h"
+
+#include "common/sim_clock.h"
+
+#include <sstream>
+
+namespace crimes::forensics {
+
+DivergencePoint first_divergence(const store::GenerationChain& chain,
+                                 Pfn pfn) {
+  DivergencePoint out;
+  if (chain.empty()) return out;
+
+  const auto probe = [&](std::size_t index) {
+    ++out.generations_probed;
+    return chain.digest_at(index, pfn);
+  };
+
+  out.baseline_digest = probe(0);
+  const std::size_t newest = chain.size() - 1;
+  if (newest == 0 || probe(newest) == out.baseline_digest) {
+    return out;  // never diverged within the retained window
+  }
+
+  // Invariant: digest_at(lo) == baseline, digest_at(hi) != baseline.
+  // Monotonicity (corruption persists) makes the boundary unique.
+  std::size_t lo = 0;
+  std::size_t hi = newest;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (probe(mid) == out.baseline_digest) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  out.found = true;
+  out.chain_index = hi;
+  out.epoch = chain.at(hi).epoch;
+  out.diverged_digest = chain.digest_at(hi, pfn);
+  return out;
+}
+
+std::string render_page_timeline(const store::GenerationChain& chain,
+                                 Pfn pfn) {
+  const DivergencePoint div = first_divergence(chain, pfn);
+  std::ostringstream os;
+  os << "page " << pfn.value() << " across " << chain.size()
+     << " retained generations:\n";
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const store::Generation& gen = chain.at(i);
+    const std::uint64_t digest = chain.digest_at(i, pfn);
+    os << "  gen " << gen.epoch << " @" << to_ms(gen.taken_at) << " ms"
+       << "  digest " << std::hex << digest << std::dec
+       << (gen.pinned ? "  [pinned]" : "");
+    if (div.found && i == div.chain_index) os << "  <-- first divergence";
+    os << '\n';
+  }
+  if (div.found) {
+    os << "first divergence: generation " << div.epoch << " ("
+       << div.generations_probed << " digest probes)\n";
+  } else {
+    os << "no divergence within the retained window\n";
+  }
+  return os.str();
+}
+
+}  // namespace crimes::forensics

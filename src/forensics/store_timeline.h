@@ -1,0 +1,45 @@
+// Forensic timeline over the checkpoint store's generation chain.
+//
+// With only one backup, forensics can answer "what differs between now and
+// the last clean checkpoint?". With a retained chain it can also answer
+// *when*: the chain stores a digest per changed page per generation, so
+// locating the first generation at which a corrupted page diverged from
+// its clean baseline is a digest comparison -- no page decode -- and a
+// bisection over the retained history (section 3.1's "history of
+// checkpoints" extension, applied to investigation).
+#pragma once
+
+#include "store/generation_chain.h"
+
+#include <cstdint>
+#include <string>
+
+namespace crimes::forensics {
+
+struct DivergencePoint {
+  bool found = false;
+  // First retained generation whose content of the page differs from the
+  // oldest retained generation's (the investigation baseline).
+  std::uint64_t epoch = 0;
+  std::size_t chain_index = 0;
+  std::uint64_t baseline_digest = 0;
+  std::uint64_t diverged_digest = 0;
+  // digest_at probes spent -- O(log generations), pinned by test.
+  std::size_t generations_probed = 0;
+};
+
+// Bisects the chain for the first generation where `pfn` no longer
+// matches the oldest retained generation. Assumes the corruption persists
+// once introduced (true for the canary/kernel-text corruptions CRIMES
+// hunts: the attacker's write stays until rollback); a page that was
+// corrupted and later restored to baseline bytes can evade bisection,
+// which is exactly the blind spot the per-epoch online audit covers.
+[[nodiscard]] DivergencePoint first_divergence(
+    const store::GenerationChain& chain, Pfn pfn);
+
+// Human-readable per-generation digest timeline for `pfn` (one line per
+// retained generation, divergence marked) for forensic reports.
+[[nodiscard]] std::string render_page_timeline(
+    const store::GenerationChain& chain, Pfn pfn);
+
+}  // namespace crimes::forensics

@@ -24,7 +24,8 @@ bool overlaps(const PhysRange& a, const MemEvent& ev) {
 }  // namespace
 
 PinpointResult ReplayEngine::pinpoint_canary_corruption(
-    std::span<const WriteOp> ops, Vaddr canary_va, std::uint64_t expected) {
+    std::span<const WriteOp> ops, Vaddr canary_va, std::uint64_t expected,
+    std::optional<std::uint64_t> from_generation) {
   // Copy the log: replay re-enters the guest, and the caller's span may
   // alias the live recorder buffer.
   const std::vector<WriteOp> log(ops.begin(), ops.end());
@@ -33,7 +34,11 @@ PinpointResult ReplayEngine::pinpoint_canary_corruption(
   result.canary_va = canary_va;
   result.expected_value = expected;
 
-  checkpointer_->rollback();
+  if (from_generation) {
+    checkpointer_->rollback_to(*from_generation);
+  } else {
+    checkpointer_->rollback();
+  }
   Vm& vm = kernel_->vm();
   vm.unpause();
 

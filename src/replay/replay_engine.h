@@ -49,9 +49,15 @@ class ReplayEngine {
   // Rolls back and replays `ops`, watching `canary_va` whose intact value
   // must be `expected`. Leaves the VM Paused (at the attack instant when
   // found, at epoch end otherwise). Charges replay costs to the clock.
-  PinpointResult pinpoint_canary_corruption(std::span<const WriteOp> ops,
-                                            Vaddr canary_va,
-                                            std::uint64_t expected);
+  //
+  // By default the replay starts from the last clean checkpoint (the
+  // paper's pipeline). With the checkpoint store enabled,
+  // `from_generation` may name *any retained generation* instead --
+  // incubating attacks replay from a checkpoint that predates the
+  // infection, not merely the last epoch boundary.
+  PinpointResult pinpoint_canary_corruption(
+      std::span<const WriteOp> ops, Vaddr canary_va, std::uint64_t expected,
+      std::optional<std::uint64_t> from_generation = std::nullopt);
 
  private:
   GuestKernel* kernel_;

@@ -1,0 +1,211 @@
+#include "store/checkpoint_store.h"
+
+#include "common/log.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace crimes::store {
+
+Nanos CheckpointStore::hash_pages(std::span<const Pfn> dirty,
+                                  const ForeignMapping& image,
+                                  std::vector<std::uint64_t>& digests_out,
+                                  ThreadPool* pool) const {
+  digests_out.resize(dirty.size());
+  if (config_.parallel_hash && pool != nullptr && dirty.size() > 1) {
+    // Serial gather, parallel hash -- the same split the sharded copy
+    // uses: peek() never materializes frames, and each shard writes a
+    // disjoint slice of the output, so the workers share nothing.
+    std::vector<const Page*> frames(dirty.size());
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+      frames[i] = &image.peek(dirty[i]);
+    }
+    pool->parallel_for_shards(
+        dirty.size(), pool->size(),
+        [&frames, &digests_out](std::size_t, std::size_t begin,
+                                std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            digests_out[i] = page_digest(*frames[i]);
+          }
+        });
+    return costs_->parallel_shard_cost(costs_->store_hash_per_page,
+                                       dirty.size(), pool->size());
+  }
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    digests_out[i] = page_digest(image.peek(dirty[i]));
+  }
+  return costs_->store_hash_per_page * dirty.size();
+}
+
+Nanos CheckpointStore::seed(std::uint64_t epoch, ForeignMapping& image,
+                            const VcpuState& vcpu, Nanos now) {
+  if (!chain_.empty()) {
+    throw std::logic_error("CheckpointStore::seed: already seeded");
+  }
+  image_pages_ = image.page_count();
+
+  Generation gen;
+  gen.epoch = epoch;
+  gen.taken_at = now;
+  gen.vcpu = vcpu;
+  std::size_t backed = 0;
+  for (std::size_t i = 0; i < image_pages_; ++i) {
+    const Pfn pfn{i};
+    // Never-written pages are the manifest's kZeroDigest sentinel -- i.e.
+    // absent: digest_at() already defaults to it.
+    if (!image.is_backed(pfn)) continue;
+    const Page& page = image.peek(pfn);
+    gen.changed.emplace_back(pfn, pages_.intern(page, page_digest(page)));
+    ++backed;
+  }
+  chain_.append(std::move(gen));
+  return (costs_->store_hash_per_page + costs_->store_encode_per_page) *
+         backed;
+}
+
+Nanos CheckpointStore::append(std::uint64_t epoch, std::span<const Pfn> dirty,
+                              ForeignMapping& image, const VcpuState& vcpu,
+                              Nanos now, ThreadPool* pool) {
+  if (chain_.empty()) {
+    throw std::logic_error("CheckpointStore::append: seed() not called");
+  }
+  std::vector<std::uint64_t> digests;
+  Nanos cost = hash_pages(dirty, image, digests, pool);
+
+  const std::size_t newest = chain_.size() - 1;
+  Generation gen;
+  gen.epoch = epoch;
+  gen.taken_at = now;
+  gen.vcpu = vcpu;
+  gen.changed.reserve(dirty.size());
+  std::size_t encoded = 0;
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const Pfn pfn = dirty[i];
+    const std::uint64_t prev = chain_.digest_at(newest, pfn);
+    if (digests[i] == prev) continue;  // dirtied but rewritten identically
+    const std::uint64_t before = pages_.stats().dedup_hits;
+    pages_.intern(image.peek(pfn), digests[i], prev);
+    if (pages_.stats().dedup_hits == before) ++encoded;  // new unique page
+    gen.changed.emplace_back(pfn, digests[i]);
+  }
+  chain_.append(std::move(gen));
+  return cost + costs_->store_encode_per_page * encoded;
+}
+
+Nanos CheckpointStore::collect() {
+  std::size_t processed = 0;
+  std::size_t dropped = 0;
+  const std::size_t budget = config_.gc_generations_per_epoch == 0
+                                 ? chain_.size()
+                                 : config_.gc_generations_per_epoch;
+  const std::uint64_t newest_epoch = chain_.newest().epoch;
+  for (std::size_t i = 0; i + 1 < chain_.size() && dropped < budget;) {
+    const Generation& gen = chain_.at(i);
+    if (gen.pinned ||
+        config_.retention.retains(gen.epoch, newest_epoch)) {
+      ++i;
+      continue;
+    }
+    processed += chain_.drop(i, pages_);
+    ++dropped;  // the successor slid into slot i; re-examine it
+  }
+  generations_dropped_ += dropped;
+  entries_merged_ += processed;
+  const Nanos cost = costs_->store_gc_per_page * processed;
+  gc_pauses_.record(static_cast<std::uint64_t>(cost.count()));
+  return cost;
+}
+
+void CheckpointStore::note_audit_failure() {
+  if (!config_.retention.pin_on_audit_failure || chain_.empty()) return;
+  chain_.pin(chain_.size() - 1);
+  CRIMES_LOG(Info, "store") << "audit failure: pinned clean generation "
+                            << chain_.newest().epoch;
+}
+
+void CheckpointStore::pin(std::uint64_t epoch) {
+  const std::size_t index = chain_.index_of(epoch);
+  if (index == GenerationChain::npos) {
+    throw std::invalid_argument("CheckpointStore::pin: unknown generation");
+  }
+  chain_.pin(index);
+}
+
+CheckpointStore::Restored CheckpointStore::materialize(
+    std::uint64_t epoch, ForeignMapping& dst) const {
+  const std::size_t index = chain_.index_of(epoch);
+  if (index == GenerationChain::npos) {
+    throw std::invalid_argument(
+        "CheckpointStore::materialize: generation not retained");
+  }
+  Restored out;
+  out.vcpu = chain_.at(index).vcpu;
+  for (std::size_t i = 0; i < image_pages_; ++i) {
+    const Pfn pfn{i};
+    const std::uint64_t digest = chain_.digest_at(index, pfn);
+    if (digest == kZeroDigest) {
+      // Zero at this generation: only scrub frames that exist -- writing
+      // would materialize backing for a page the generation never had.
+      if (dst.is_backed(pfn)) {
+        dst.page(pfn).zero();
+        ++out.pages_written;
+      }
+      continue;
+    }
+    pages_.materialize(digest, dst.page(pfn));
+    ++out.pages_written;
+  }
+  out.cost = costs_->store_materialize_per_page * out.pages_written;
+  return out;
+}
+
+CheckpointStore::Restored CheckpointStore::rewind(std::uint64_t epoch,
+                                                  ForeignMapping& dst) const {
+  const std::size_t index = chain_.index_of(epoch);
+  if (index == GenerationChain::npos) {
+    throw std::invalid_argument(
+        "CheckpointStore::rewind: generation not retained");
+  }
+  Restored out;
+  out.vcpu = chain_.at(index).vcpu;
+  for (const auto& [pfn, digest] : chain_.diff(chain_.size() - 1, index)) {
+    if (digest == kZeroDigest && !dst.is_backed(pfn)) continue;
+    pages_.materialize(digest, dst.page(pfn));
+    ++out.pages_written;
+  }
+  out.cost = costs_->store_materialize_per_page * out.pages_written;
+  return out;
+}
+
+Nanos CheckpointStore::truncate_to(std::uint64_t epoch) {
+  const std::size_t index = chain_.index_of(epoch);
+  if (index == GenerationChain::npos) {
+    throw std::invalid_argument(
+        "CheckpointStore::truncate_to: generation not retained");
+  }
+  const std::size_t released = chain_.truncate_after(index, pages_);
+  return costs_->store_gc_per_page * released;
+}
+
+std::vector<std::uint64_t> CheckpointStore::retained_epochs() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(chain_.size());
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    out.push_back(chain_.at(i).epoch);
+  }
+  return out;
+}
+
+StoreStats CheckpointStore::stats() const {
+  StoreStats out;
+  out.generations = chain_.size();
+  out.pages_unique = pages_.stats().pages_unique;
+  out.bytes_logical = static_cast<std::uint64_t>(chain_.size()) *
+                      image_pages_ * kPageSize;
+  out.bytes_physical = pages_.stats().bytes_physical;
+  out.generations_dropped = generations_dropped_;
+  out.entries_merged = entries_merged_;
+  return out;
+}
+
+}  // namespace crimes::store

@@ -1,0 +1,122 @@
+// The checkpoint store: a content-addressed, multi-generation snapshot
+// history layered behind the Checkpointer (DESIGN.md section 10).
+//
+// CRIMES proper keeps exactly one backup VM -- the last clean checkpoint
+// -- so the Analyzer can roll back one epoch and forensics can only diff
+// "now vs. last clean". This store retains a *chain* of clean generations
+// at O(changed pages) append cost: at commit time the dirty list is
+// digested (optionally on the Checkpointer's pool), each changed page is
+// interned into a refcounted PageStore (deduplicated across generations,
+// delta-RLE packed), and a manifest joins the GenerationChain. A
+// RetentionPolicy plus incremental GC bound the physical footprint; every
+// retained generation materializes byte-identical, which is what makes
+// rollback_to(epoch) and multi-epoch forensics possible.
+//
+// All durations are virtual: the store does real hashing, encoding and
+// decoding, and charges CostModel::store_* for them. Nothing here touches
+// the SimClock directly -- methods return costs and the Checkpointer
+// advances the clock (store work happens after resume, off the
+// pause-critical path, like Remus' asynchronous checkpoint drain).
+#pragma once
+
+#include "common/cost_model.h"
+#include "common/thread_pool.h"
+#include "hypervisor/foreign_mapping.h"
+#include "store/generation_chain.h"
+#include "store/store_config.h"
+#include "telemetry/metrics.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crimes::store {
+
+struct StoreStats {
+  std::size_t generations = 0;
+  std::size_t pages_unique = 0;
+  // What naive full-image copies of every retained generation would cost.
+  std::uint64_t bytes_logical = 0;
+  // What the store actually holds (payloads + entry overhead).
+  std::uint64_t bytes_physical = 0;
+  std::uint64_t generations_dropped = 0;  // lifetime GC work
+  std::uint64_t entries_merged = 0;
+
+  [[nodiscard]] double dedup_ratio() const {
+    return bytes_physical == 0
+               ? 0.0
+               : static_cast<double>(bytes_logical) /
+                     static_cast<double>(bytes_physical);
+  }
+};
+
+class CheckpointStore {
+ public:
+  CheckpointStore(const CostModel& costs, StoreConfig config)
+      : costs_(&costs), config_(config), pages_(config.delta_compress) {}
+
+  // Seeds the chain with generation `epoch` from a full image (the
+  // Checkpointer's initial synchronization). Returns the virtual cost.
+  Nanos seed(std::uint64_t epoch, ForeignMapping& image,
+             const VcpuState& vcpu, Nanos now);
+
+  // Appends the generation committed at `epoch`: digests `dirty` (on
+  // `pool` when configured and available), interns the changed pages from
+  // `image` (the just-committed backup) and records the manifest.
+  Nanos append(std::uint64_t epoch, std::span<const Pfn> dirty,
+               ForeignMapping& image, const VcpuState& vcpu, Nanos now,
+               ThreadPool* pool);
+
+  // Incremental GC: drops aged-out generations (at most
+  // gc_generations_per_epoch per call), merging each into its successor.
+  // Returns the virtual cost; every call records into gc_pauses().
+  Nanos collect();
+
+  // Retention hooks.
+  void note_audit_failure();  // pin the last clean generation, per policy
+  void pin(std::uint64_t epoch);
+
+  // Writes generation `epoch`'s full image into `dst`, touching every
+  // tracked page (use on a scratch/unknown-content mapping).
+  struct Restored {
+    VcpuState vcpu;
+    std::size_t pages_written = 0;
+    Nanos cost{0};
+  };
+  Restored materialize(std::uint64_t epoch, ForeignMapping& dst) const;
+
+  // Same result in O(changed) when `dst` currently holds the *newest*
+  // generation's image -- the live backup: rewrites only differing pages.
+  Restored rewind(std::uint64_t epoch, ForeignMapping& dst) const;
+
+  // Time-travel commit: discards every generation newer than `epoch`
+  // (their refs are released). The next append must use a larger epoch id.
+  Nanos truncate_to(std::uint64_t epoch);
+
+  [[nodiscard]] bool has_generation(std::uint64_t epoch) const {
+    return chain_.index_of(epoch) != GenerationChain::npos;
+  }
+  [[nodiscard]] std::vector<std::uint64_t> retained_epochs() const;
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] const GenerationChain& chain() const { return chain_; }
+  [[nodiscard]] const telemetry::Histogram& gc_pauses() const {
+    return gc_pauses_;
+  }
+  [[nodiscard]] const StoreConfig& config() const { return config_; }
+
+ private:
+  Nanos hash_pages(std::span<const Pfn> dirty, const ForeignMapping& image,
+                   std::vector<std::uint64_t>& digests_out,
+                   ThreadPool* pool) const;
+
+  const CostModel* costs_;
+  StoreConfig config_;
+  PageStore pages_;
+  GenerationChain chain_;
+  std::size_t image_pages_ = 0;  // set by seed(); sizes bytes_logical
+  telemetry::Histogram gc_pauses_;
+  std::uint64_t generations_dropped_ = 0;
+  std::uint64_t entries_merged_ = 0;
+};
+
+}  // namespace crimes::store

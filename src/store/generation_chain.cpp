@@ -1,0 +1,123 @@
+#include "store/generation_chain.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crimes::store {
+
+namespace {
+
+// Binary search in a manifest's sorted changed-list.
+const std::pair<Pfn, std::uint64_t>* find_entry(
+    const std::vector<std::pair<Pfn, std::uint64_t>>& changed, Pfn pfn) {
+  const auto it = std::lower_bound(
+      changed.begin(), changed.end(), pfn,
+      [](const auto& entry, Pfn key) { return entry.first.value() < key.value(); });
+  if (it == changed.end() || it->first != pfn) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+void GenerationChain::append(Generation gen) {
+  if (!gens_.empty() && gen.epoch <= gens_.back().epoch) {
+    throw std::logic_error("GenerationChain::append: epochs must ascend");
+  }
+  gens_.push_back(std::move(gen));
+}
+
+std::size_t GenerationChain::index_of(std::uint64_t epoch) const {
+  // Epochs ascend but are not dense (GC leaves holes): binary search.
+  const auto it = std::lower_bound(
+      gens_.begin(), gens_.end(), epoch,
+      [](const Generation& g, std::uint64_t e) { return g.epoch < e; });
+  if (it == gens_.end() || it->epoch != epoch) return npos;
+  return static_cast<std::size_t>(it - gens_.begin());
+}
+
+std::uint64_t GenerationChain::digest_at(std::size_t index, Pfn pfn) const {
+  for (std::size_t i = index + 1; i-- > 0;) {
+    if (const auto* entry = find_entry(gens_[i].changed, pfn)) {
+      return entry->second;
+    }
+  }
+  return kZeroDigest;
+}
+
+std::vector<std::pair<Pfn, std::uint64_t>> GenerationChain::diff(
+    std::size_t a, std::size_t b) const {
+  const std::size_t lo = std::min(a, b);
+  const std::size_t hi = std::max(a, b);
+  // Candidate set: every page some generation in (lo, hi] touched. Pages
+  // outside it resolve identically from both endpoints.
+  std::vector<Pfn> candidates;
+  for (std::size_t i = lo + 1; i <= hi; ++i) {
+    for (const auto& entry : gens_[i].changed) {
+      candidates.push_back(entry.first);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](Pfn x, Pfn y) { return x.value() < y.value(); });
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<std::pair<Pfn, std::uint64_t>> out;
+  for (const Pfn pfn : candidates) {
+    const std::uint64_t at_b = digest_at(b, pfn);
+    if (digest_at(a, pfn) != at_b) out.emplace_back(pfn, at_b);
+  }
+  return out;
+}
+
+std::size_t GenerationChain::drop(std::size_t index, PageStore& pages) {
+  if (index + 1 >= gens_.size()) {
+    throw std::logic_error("GenerationChain::drop: cannot drop the newest");
+  }
+  Generation& dropped = gens_[index];
+  Generation& heir = gens_[index + 1];
+  const std::size_t processed = dropped.changed.size();
+
+  // Sorted two-pointer merge, successor winning ties: an entry the heir
+  // overrides is dead weight (release it); one it lacks migrates forward
+  // so every newer generation still resolves it.
+  std::vector<std::pair<Pfn, std::uint64_t>> merged;
+  merged.reserve(dropped.changed.size() + heir.changed.size());
+  std::size_t di = 0, hi = 0;
+  while (di < dropped.changed.size() && hi < heir.changed.size()) {
+    const auto& d = dropped.changed[di];
+    const auto& h = heir.changed[hi];
+    if (d.first.value() < h.first.value()) {
+      merged.push_back(d);
+      ++di;
+    } else if (h.first.value() < d.first.value()) {
+      merged.push_back(h);
+      ++hi;
+    } else {
+      pages.release(d.second);  // superseded by the heir
+      merged.push_back(h);
+      ++di;
+      ++hi;
+    }
+  }
+  for (; di < dropped.changed.size(); ++di) merged.push_back(dropped.changed[di]);
+  for (; hi < heir.changed.size(); ++hi) merged.push_back(heir.changed[hi]);
+
+  heir.changed = std::move(merged);
+  gens_.erase(gens_.begin() + static_cast<std::ptrdiff_t>(index));
+  return processed;
+}
+
+std::size_t GenerationChain::truncate_after(std::size_t index,
+                                            PageStore& pages) {
+  std::size_t released = 0;
+  while (gens_.size() > index + 1) {
+    for (const auto& entry : gens_.back().changed) {
+      pages.release(entry.second);
+      ++released;
+    }
+    gens_.pop_back();
+  }
+  return released;
+}
+
+}  // namespace crimes::store

@@ -1,0 +1,120 @@
+#include "store/page_store.h"
+
+#include "checkpoint/transport.h"  // crimes::rle -- the shared codec
+#include "common/hash.h"
+
+#include <stdexcept>
+
+namespace crimes::store {
+
+namespace {
+
+// Secondary hash for collision detection: same fold, different seed, so
+// two contents colliding on both is no longer a birthday problem but a
+// 128-bit accident.
+std::uint64_t check_digest(const Page& page) {
+  return fnv1a(page.bytes(), /*seed=*/0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+std::uint64_t page_digest(const Page& page) {
+  const std::uint64_t h = fnv1a(page.bytes());
+  // kZeroDigest is the manifest's "zero page" sentinel; remap the (absurdly
+  // unlikely) real page hashing to it onto an arbitrary fixed value.
+  return h == kZeroDigest ? 0x9E3779B97F4A7C15ULL : h;
+}
+
+std::uint64_t PageStore::intern(const Page& page, std::uint64_t digest,
+                                std::uint64_t prev_digest) {
+  ++stats_.interns;
+  if (auto it = entries_.find(digest); it != entries_.end()) {
+    if (it->second.check != check_digest(page)) {
+      // A genuine 64-bit digest collision. Refusing loudly beats silently
+      // deduplicating two different pages into one.
+      throw std::runtime_error("PageStore: FNV-1a digest collision");
+    }
+    ++it->second.refs;
+    ++stats_.dedup_hits;
+    return digest;
+  }
+
+  Entry entry;
+  entry.refs = 1;
+  entry.check = check_digest(page);
+  entry.payload = rle::encode(page.bytes());
+
+  // Delta candidate: XOR against the previous version of this PFN and keep
+  // whichever encoding is smaller. Only raw entries may serve as bases
+  // (depth-1 chains), and the base must still be live.
+  if (delta_compress_ && prev_digest != kZeroDigest &&
+      prev_digest != digest) {
+    if (auto base = entries_.find(prev_digest);
+        base != entries_.end() && base->second.base == kZeroDigest) {
+      Page prev;
+      materialize(prev_digest, prev);
+      Page delta;
+      for (std::size_t i = 0; i < kPageSize; ++i) {
+        delta.data[i] = page.data[i] ^ prev.data[i];
+      }
+      std::vector<std::byte> delta_rle = rle::encode(delta.bytes());
+      if (delta_rle.size() < entry.payload.size()) {
+        entry.base = prev_digest;
+        entry.payload = std::move(delta_rle);
+        ++base->second.refs;  // the delta pins its base
+        ++stats_.delta_entries;
+      }
+    }
+  }
+
+  stats_.bytes_physical += entry.payload.size() + kEntryOverhead;
+  ++stats_.pages_unique;
+  entries_.emplace(digest, std::move(entry));
+  return digest;
+}
+
+void PageStore::release(std::uint64_t digest) {
+  if (digest == kZeroDigest) return;
+  const auto it = entries_.find(digest);
+  if (it == entries_.end()) {
+    throw std::logic_error("PageStore::release: unknown digest");
+  }
+  if (--it->second.refs > 0) return;
+  const std::uint64_t base = it->second.base;
+  stats_.bytes_physical -= it->second.payload.size() + kEntryOverhead;
+  --stats_.pages_unique;
+  if (base != kZeroDigest) --stats_.delta_entries;
+  entries_.erase(it);
+  if (base != kZeroDigest) release(base);
+}
+
+void PageStore::materialize(std::uint64_t digest, Page& out) const {
+  if (digest == kZeroDigest) {
+    out.zero();
+    return;
+  }
+  const auto it = entries_.find(digest);
+  if (it == entries_.end()) {
+    throw std::logic_error("PageStore::materialize: unknown digest");
+  }
+  const Entry& entry = it->second;
+  if (entry.base == kZeroDigest) {
+    if (!rle::decode(entry.payload, out.bytes())) {
+      throw std::logic_error("PageStore::materialize: corrupt raw payload");
+    }
+    return;
+  }
+  materialize(entry.base, out);  // depth-1 chain: the base is raw
+  Page delta;
+  if (!rle::decode(entry.payload, delta.bytes())) {
+    throw std::logic_error("PageStore::materialize: corrupt delta payload");
+  }
+  for (std::size_t i = 0; i < kPageSize; ++i) out.data[i] ^= delta.data[i];
+}
+
+std::uint32_t PageStore::refs(std::uint64_t digest) const {
+  const auto it = entries_.find(digest);
+  return it == entries_.end() ? 0 : it->second.refs;
+}
+
+}  // namespace crimes::store

@@ -1,0 +1,85 @@
+// Content-addressed page storage for the checkpoint store.
+//
+// Every distinct page content is stored once, keyed by its 64-bit FNV-1a
+// digest, with a reference count of how many generation manifests point at
+// it. Payloads are never raw 4 KiB frames: a page is kept either as the
+// RLE encoding of its bytes or -- when smaller -- as the RLE encoding of
+// its XOR delta against the previous version of the same PFN (the same
+// codec CompressedSocketTransport puts on the wire). Delta chains are
+// capped at depth 1: a delta's base is always a raw entry, so restoring
+// any page decodes at most two payloads.
+//
+// Digest 0 is reserved as the "zero / never-backed page" sentinel and is
+// never produced by page_digest(); generation manifests use it instead of
+// interning the shared zero frame.
+#pragma once
+
+#include "machine/page.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace crimes::store {
+
+// Manifest sentinel: the page is all zeroes (or was never backed).
+inline constexpr std::uint64_t kZeroDigest = 0;
+
+// FNV-1a over the page bytes, remapped away from the reserved sentinel.
+[[nodiscard]] std::uint64_t page_digest(const Page& page);
+
+struct PageStoreStats {
+  std::size_t pages_unique = 0;      // live entries
+  std::uint64_t bytes_physical = 0;  // payload bytes + per-entry overhead
+  std::uint64_t interns = 0;         // intern() calls, lifetime
+  std::uint64_t dedup_hits = 0;      // interns satisfied by an existing entry
+  std::uint64_t delta_entries = 0;   // live entries stored as XOR deltas
+};
+
+class PageStore {
+ public:
+  explicit PageStore(bool delta_compress) : delta_compress_(delta_compress) {}
+
+  // Stores `page` (whose digest the caller computed via page_digest) and
+  // returns the digest with one reference held by the caller. When
+  // `prev_digest` names a live raw entry -- the previous version of the
+  // same PFN -- the page may be stored as an XOR delta against it, in
+  // which case the entry holds its own reference on the base.
+  std::uint64_t intern(const Page& page, std::uint64_t digest,
+                       std::uint64_t prev_digest = kZeroDigest);
+
+  // Drops one reference; at zero the entry is freed (cascading to its
+  // delta base). kZeroDigest is a no-op.
+  void release(std::uint64_t digest);
+
+  // Reconstructs the exact stored bytes into `out`. kZeroDigest zeroes the
+  // page. Throws std::logic_error on an unknown digest or a corrupt
+  // payload (both indicate a store bug, not a caller error).
+  void materialize(std::uint64_t digest, Page& out) const;
+
+  [[nodiscard]] bool contains(std::uint64_t digest) const {
+    return entries_.count(digest) != 0;
+  }
+  [[nodiscard]] std::uint32_t refs(std::uint64_t digest) const;
+  [[nodiscard]] const PageStoreStats& stats() const { return stats_; }
+
+ private:
+  // Accounting charge per entry beyond its payload (hash node, key,
+  // refcount, base digest, vector header) -- keeps bytes_physical honest
+  // about bookkeeping overhead, not just compressed payload bytes.
+  static constexpr std::uint64_t kEntryOverhead = 64;
+
+  struct Entry {
+    std::uint32_t refs = 0;
+    std::uint64_t check = 0;  // secondary hash: detects digest collisions
+    std::uint64_t base = kZeroDigest;  // delta base (kZeroDigest = raw)
+    std::vector<std::byte> payload;    // RLE of raw bytes or of XOR delta
+  };
+
+  bool delta_compress_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  PageStoreStats stats_;
+};
+
+}  // namespace crimes::store

@@ -1,0 +1,60 @@
+// Knobs for the multi-generation checkpoint store (DESIGN.md section 10).
+//
+// Deliberately dependency-light: CheckpointConfig embeds a StoreConfig by
+// value, so this header is pulled into checkpointer.h and everything above
+// it. The store machinery itself lives behind a pointer
+// (store/checkpoint_store.h) and is only compiled into the epoch path when
+// `enabled` is set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crimes::store {
+
+// Which generations survive GC. A generation is retained when ANY rule
+// claims it: recency (keep_last), the periodic archive lattice
+// (keep_every), or an explicit pin. The newest generation -- the live
+// backup image -- is always retained regardless of the rules.
+struct RetentionPolicy {
+  // Keep the newest N generations (the baseline seed counts as one).
+  std::size_t keep_last = 8;
+  // Additionally keep every generation whose epoch id is a multiple of K
+  // (0 disables the lattice). Gives a sparse long tail for forensics
+  // without retaining every epoch.
+  std::size_t keep_every = 0;
+  // When an audit fails, pin the newest generation -- the last *clean*
+  // checkpoint, i.e. the forensic baseline -- so it survives GC no matter
+  // how many epochs the investigation takes.
+  bool pin_on_audit_failure = true;
+
+  [[nodiscard]] bool retains(std::uint64_t epoch,
+                             std::uint64_t newest_epoch) const {
+    if (epoch == newest_epoch) return true;
+    if (keep_last > 0 && epoch + keep_last > newest_epoch) return true;
+    if (keep_every > 0 && epoch % keep_every == 0) return true;
+    return false;
+  }
+};
+
+struct StoreConfig {
+  // Off by default: the Checkpointer never constructs the store and the
+  // per-epoch path is a single null check (zero heap allocation, asserted
+  // by test).
+  bool enabled = false;
+  RetentionPolicy retention;
+  // Store a page as an XOR delta (RLE-packed) against the previous version
+  // of the same PFN when that is smaller than RLE of the raw bytes.
+  // Delta chains are capped at depth 1: a delta's base is always a raw
+  // entry, so materialization decodes at most two payloads.
+  bool delta_compress = true;
+  // Digest the changed pages on the Checkpointer's ThreadPool at append
+  // time (virtual-time charge becomes the sharded max + fork/join).
+  bool parallel_hash = false;
+  // GC drops at most this many aged-out generations per collect() call,
+  // bounding the per-epoch GC pause; in steady state exactly one
+  // generation ages out per epoch. 0 means drain everything due.
+  std::size_t gc_generations_per_epoch = 1;
+};
+
+}  // namespace crimes::store

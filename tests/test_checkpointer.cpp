@@ -250,6 +250,97 @@ TEST(Checkpointer, UninitializedUseRejected) {
   EXPECT_THROW(cp.initialize(), std::logic_error);
 }
 
+TEST(Checkpointer, RollbackAfterMultipleCommittedEpochs) {
+  TestGuest guest;
+  SimClock clock;
+  Checkpointer cp(guest.hypervisor, *guest.vm, clock, CostModel::defaults(),
+                  CheckpointConfig::full());
+  cp.initialize();
+
+  // Three committed epochs; rollback must land on the *third*, not the
+  // first.
+  Rng rng(23);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    scribble(*guest.kernel, rng, 80);
+    guest.vm->vcpu().gpr[5] = 0x100 + static_cast<std::uint64_t>(epoch);
+    ASSERT_TRUE(cp.run_checkpoint({}).checkpoint_committed);
+  }
+  std::vector<Page> clean(guest.vm->page_count());
+  const Vm& view = *guest.vm;
+  for (std::size_t i = 0; i < view.page_count(); ++i) {
+    clean[i] = view.page(Pfn{i});
+  }
+  const VcpuState clean_vcpu = guest.vm->vcpu();
+
+  scribble(*guest.kernel, rng, 150);
+  guest.vm->vcpu().gpr[5] = 0xBAD;
+  (void)cp.run_checkpoint([](std::span<const Pfn>, Nanos) {
+    return AuditResult{.passed = false, .cost = Nanos{0}};
+  });
+
+  (void)cp.rollback();
+  for (std::size_t i = 0; i < view.page_count(); ++i) {
+    ASSERT_EQ(view.page(Pfn{i}), clean[i]) << "page " << i;
+  }
+  EXPECT_EQ(guest.vm->vcpu(), clean_vcpu);
+  EXPECT_EQ(guest.vm->vcpu().gpr[5], 0x102u);
+
+  // The rolled-back VM checkpoints cleanly again and epochs stay
+  // monotonic.
+  guest.vm->unpause();
+  scribble(*guest.kernel, rng, 40);
+  ASSERT_TRUE(cp.run_checkpoint({}).checkpoint_committed);
+  EXPECT_EQ(cp.checkpoints_taken(), 4u);
+  EXPECT_TRUE(images_identical(*guest.vm, cp.backup()));
+}
+
+TEST(Checkpointer, FailoverPromotesLastCommittedCheckpoint) {
+  TestGuest guest;
+  SimClock clock;
+  Checkpointer cp(guest.hypervisor, *guest.vm, clock, CostModel::defaults(),
+                  CheckpointConfig::full());
+  cp.initialize();
+
+  Rng rng(29);
+  scribble(*guest.kernel, rng, 80);
+  guest.vm->vcpu().gpr[2] = 0x5EED;
+  ASSERT_TRUE(cp.run_checkpoint({}).checkpoint_committed);
+
+  // The committed image, captured from the backup before the "crash".
+  std::vector<Page> committed(cp.backup().page_count());
+  const Vm& backup_view = cp.backup();
+  for (std::size_t i = 0; i < backup_view.page_count(); ++i) {
+    committed[i] = backup_view.page(Pfn{i});
+  }
+  const VcpuState committed_vcpu = cp.backup_vcpu();
+
+  // Speculative work since the last checkpoint is lost by design.
+  scribble(*guest.kernel, rng, 100);
+  const DomainId primary_id = guest.vm->id();
+
+  Vm& promoted = cp.failover();
+  EXPECT_FALSE(guest.hypervisor.has_domain(primary_id));
+  EXPECT_EQ(promoted.state(), VmState::Running);
+  EXPECT_EQ(promoted.vcpu(), committed_vcpu);
+  const Vm& promoted_view = promoted;
+  for (std::size_t i = 0; i < promoted_view.page_count(); ++i) {
+    ASSERT_EQ(promoted_view.page(Pfn{i}), committed[i]) << "page " << i;
+  }
+
+  // The Checkpointer surrendered its backup: further epochs are rejected
+  // until a new pair is initialized.
+  EXPECT_THROW((void)cp.backup(), std::logic_error);
+  EXPECT_THROW((void)cp.run_checkpoint({}), std::logic_error);
+}
+
+TEST(Checkpointer, FailoverBeforeInitializeRejected) {
+  TestGuest guest;
+  SimClock clock;
+  Checkpointer cp(guest.hypervisor, *guest.vm, clock, CostModel::defaults(),
+                  CheckpointConfig::full());
+  EXPECT_THROW((void)cp.failover(), std::logic_error);
+}
+
 TEST(SocketTransport, StreamsBytesAndStillProducesIdenticalImage) {
   TestGuest guest;
   SimClock clock;

@@ -2,6 +2,7 @@
 // cost model).
 #include "common/bytes.h"
 #include "common/cost_model.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/sim_clock.h"
 #include "common/types.h"
@@ -113,6 +114,27 @@ TEST(Bytes, CstrRoundTripAndTruncation) {
   EXPECT_EQ(load_cstr(buf, 4, 16), "hello");
   store_cstr(buf, 4, "a-very-long-process-name", 8);
   EXPECT_EQ(load_cstr(buf, 4, 8), "a-very-");  // truncated, NUL-terminated
+}
+
+TEST(Fnv1a, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors (Fowler/Noll/Vo reference set).
+  EXPECT_EQ(fnv1a(std::string_view{}), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a(std::string_view{"a"}), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a(std::string_view{"foobar"}), 0x85944171F73967E8ULL);
+}
+
+TEST(Fnv1a, ByteAndStringOverloadsAgree) {
+  const char text[] = "checkpoint";
+  const auto* bytes = reinterpret_cast<const std::byte*>(text);
+  EXPECT_EQ(fnv1a(std::span<const std::byte>(bytes, sizeof(text) - 1)),
+            fnv1a(std::string_view{text}));
+}
+
+TEST(Fnv1a, SeedChainsBlocks) {
+  // fnv1a(b, fnv1a(a)) == fnv1a(a + b): the seed parameter continues the
+  // fold, which is how multi-block callers compose digests.
+  EXPECT_EQ(fnv1a(std::string_view{"bar"}, fnv1a(std::string_view{"foo"})),
+            fnv1a(std::string_view{"foobar"}));
 }
 
 TEST(CostModel, DerivedCostsScaleWithLoad) {

@@ -2,6 +2,7 @@
 #include "checkpoint/checkpointer.h"
 #include "replay/recorder.h"
 #include "replay/replay_engine.h"
+#include "store/checkpoint_store.h"
 #include "test_helpers.h"
 
 #include <gtest/gtest.h>
@@ -150,6 +151,53 @@ TEST(Replay, MonitorDisabledAfterReplay) {
       f.recorder.ops(), victim + 32, heap.expected_canary(victim + 32));
   EXPECT_FALSE(f.guest.vm->monitor().enabled())
       << "expensive event monitoring must not stay on (section 4.2)";
+}
+
+TEST(Replay, PinpointsFromAnOlderStoredGeneration) {
+  // With the checkpoint store enabled, replay can rebase on *any* retained
+  // generation, not just the newest backup: record across two epochs,
+  // rewind two generations back, and replay the whole log from there.
+  TestGuest guest;
+  SimClock clock;
+  CheckpointConfig config = CheckpointConfig::full();
+  config.store.enabled = true;
+  Checkpointer cp(guest.hypervisor, *guest.vm, clock, CostModel::defaults(),
+                  config);
+  ExecutionRecorder recorder;
+  ReplayEngine engine(*guest.kernel, cp, clock, CostModel::defaults());
+  cp.initialize();
+  guest.kernel->set_write_observer(
+      [&recorder](Vaddr va, std::span<const std::byte> data,
+                  std::uint64_t instr) { recorder.record(va, data, instr); });
+  recorder.enable();
+
+  HeapAllocator& heap = guest.kernel->heap();
+  const Vaddr victim = heap.malloc(128);
+  const Vaddr canary = victim + 128;
+  ASSERT_TRUE(cp.run_checkpoint({}).checkpoint_committed);  // generation 1
+
+  // Record across TWO epochs without resetting: the log spans everything
+  // since generation 1 committed.
+  recorder.begin_epoch();
+  guest.kernel->write_value<std::uint64_t>(victim, 1ULL);
+  ASSERT_TRUE(cp.run_checkpoint({}).checkpoint_committed);  // generation 2
+  guest.kernel->write_value<std::uint64_t>(victim + 8, 2ULL);
+  const std::uint64_t attack_instr =
+      guest.kernel->attack_heap_overflow(victim, 128, 16);
+  (void)cp.run_checkpoint([](std::span<const Pfn>, Nanos) {
+    return AuditResult{.passed = false, .cost = Nanos{0}};
+  });
+
+  recorder.disable();
+  const PinpointResult result = engine.pinpoint_canary_corruption(
+      recorder.ops(), canary, heap.expected_canary(canary),
+      /*from_generation=*/1);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.instr_index, attack_instr);
+  // The rewind rewrote the timeline: generation 2 is gone from the store.
+  ASSERT_NE(cp.store(), nullptr);
+  EXPECT_TRUE(cp.store()->has_generation(1));
+  EXPECT_FALSE(cp.store()->has_generation(2));
 }
 
 TEST(Replay, ReplayedStateMatchesFailedEpochState) {
