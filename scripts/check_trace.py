@@ -11,8 +11,12 @@ Checks, in order:
      open span -- no partial overlaps, no orphan half-open intervals.
   4. "epoch" spans exist, are monotonically increasing, and do not overlap
      one another; every non-epoch span on the pipeline lane (tid 0) is
-     contained in some epoch span.
-  5. If --metrics is given, every line parses as a JSON object with a
+     contained in some epoch span (the steady-state names, including the
+     replication-layer "replicate" and "journal" spans).
+  5. "failover" spans (if any) never overlap an epoch span, and epochs
+     stay monotonic across the promotion boundary: every epoch after a
+     failover starts at or after the failover's end.
+  6. If --metrics is given, every line parses as a JSON object with a
      "name" and "type" field.
 
 With --run BINARY, runs `BINARY --trace-out TRACE --metrics-out METRICS`
@@ -118,7 +122,7 @@ def check_epochs(spans):
     # epoch has been cut short, so only the steady-state names are held
     # to this.
     steady = {"suspend", "dirty_scan", "audit", "map", "copy", "resume",
-              "commit", "buffer_release"}
+              "commit", "buffer_release", "replicate", "journal"}
     for ev in spans:
         if ev["tid"] != 0 or ev["name"] == "epoch":
             continue
@@ -135,6 +139,37 @@ def check_epochs(spans):
             )
     print(f"check_trace: {len(epochs)} epochs, monotonic and "
           "non-overlapping, all phase spans contained")
+    return epochs
+
+
+def check_failover(spans, epochs):
+    """Failover sits *between* epochs: the old primary's last epoch has
+    ended before promotion starts, and every epoch that follows (the
+    fenced primary's, in a split-brain run) starts after promotion ends."""
+    failovers = sorted(
+        (e for e in spans if e["name"] == "failover"),
+        key=lambda e: e["ts"],
+    )
+    if not failovers:
+        return
+    if len(failovers) > 1:
+        fail(f"{len(failovers)} 'failover' spans; a standby promotes once")
+    fo = failovers[0]
+    fo_start, fo_end = fo["ts"], fo["ts"] + fo["dur"]
+    for ep in epochs:
+        ep_start, ep_end = ep["ts"], ep["ts"] + ep["dur"]
+        if ep_start < fo_end - EPS and fo_start < ep_end - EPS:
+            fail(
+                f"epoch [{ep_start}, {ep_end}) overlaps failover "
+                f"[{fo_start}, {fo_end})"
+            )
+        if ep_start >= fo_start - EPS and ep_start < fo_end - EPS:
+            fail(
+                f"epoch starting at {ep_start} begins inside the "
+                f"failover [{fo_start}, {fo_end})"
+            )
+    print("check_trace: failover span disjoint from epochs, epoch order "
+          "monotonic across the promotion boundary")
 
 
 def check_metrics(path):
@@ -180,7 +215,8 @@ def main():
     events = load_trace(args.trace)
     spans = check_events(events)
     check_nesting(spans)
-    check_epochs(spans)
+    epochs = check_epochs(spans)
+    check_failover(spans, epochs)
     if args.metrics:
         check_metrics(args.metrics)
     print("check_trace: PASS")

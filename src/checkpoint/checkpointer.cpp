@@ -3,6 +3,7 @@
 #include "common/hash.h"
 #include "common/log.h"
 #include "fault/fault_injector.h"
+#include "replication/store_journal.h"
 #include "store/checkpoint_store.h"
 #include "telemetry/telemetry.h"
 
@@ -61,6 +62,7 @@ void Checkpointer::set_telemetry(telemetry::Telemetry* telemetry) {
 void Checkpointer::set_fault_injector(fault::FaultInjector* faults) {
   faults_ = faults;
   transport_->set_fault_injector(faults);
+  if (journal_ != nullptr) journal_->set_fault_injector(faults);
 }
 
 Checkpointer::Checkpointer(Hypervisor& hypervisor, Vm& primary,
@@ -141,6 +143,14 @@ void Checkpointer::initialize() {
     ForeignMapping image = hypervisor_->map_foreign(backup_->id());
     startup_cost_ +=
         store_->seed(checkpoints_taken_, image, backup_vcpu_, clock_->now());
+    if (config_.store.journal) {
+      // The journal mirrors the store operation for operation from the
+      // seed on; recovery replays it against a fresh store.
+      journal_ = std::make_unique<replication::StoreJournal>(*costs_);
+      journal_->set_fault_injector(faults_);
+      startup_cost_ += journal_->log_seed(checkpoints_taken_, clock_->now(),
+                                          image, backup_vcpu_);
+    }
   }
   clock_->advance(startup_cost_);
 
@@ -277,6 +287,7 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
     // The newest generation is the forensic baseline for the incident;
     // pin it (per policy) so GC cannot age it out mid-investigation.
     if (store_ != nullptr) store_->note_audit_failure();
+    if (journal_ != nullptr) clock_->advance(journal_->log_audit_failure());
     if (traced) record_epoch_metrics(result);
     CRIMES_LOG(Warn, "checkpointer")
         << "audit FAILED at " << to_ms(clock_->now()) << " ms; VM paused";
@@ -357,7 +368,22 @@ void Checkpointer::store_commit(EpochResult& result) {
   }
   clock_->advance(gc_cost);
 
-  result.store_cost = append_cost + gc_cost;
+  Nanos journal_cost{0};
+  if (journal_ != nullptr) {
+    // Journal the append and the GC decision as separate statements: the
+    // device order must match store-operation order (append, then collect)
+    // so replay reproduces the retention machinery's choices exactly, and
+    // `a + b` would leave the two log calls unsequenced.
+    journal_cost = journal_->log_append(checkpoints_taken_, clock_->now(),
+                                        result.dirty, image, backup_vcpu_);
+    journal_cost += journal_->log_collect();
+    if (trace != nullptr) {
+      trace->add_span("journal", clock_->now(), journal_cost);
+    }
+    clock_->advance(journal_cost);
+  }
+
+  result.store_cost = append_cost + gc_cost + journal_cost;
   update_store_gauges();
 }
 
@@ -537,7 +563,8 @@ Nanos Checkpointer::rollback_to(std::uint64_t epoch) {
   // 3. The timeline forward of the rewind point is being rewritten:
   // discard the newer generations so the chain's newest matches the
   // backup again (the invariant every append and rewind relies on).
-  const Nanos truncate_cost = store_->truncate_to(epoch);
+  Nanos truncate_cost = store_->truncate_to(epoch);
+  if (journal_ != nullptr) truncate_cost += journal_->log_truncate(epoch);
   update_store_gauges();
 
   const Nanos cost = costs_->rollback_prepare_base + restored.cost +

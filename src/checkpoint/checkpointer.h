@@ -35,6 +35,10 @@ namespace crimes::store {
 class CheckpointStore;
 }  // namespace crimes::store
 
+namespace crimes::replication {
+class StoreJournal;
+}  // namespace crimes::replication
+
 #include <deque>
 #include <functional>
 #include <memory>
@@ -245,6 +249,11 @@ class Checkpointer {
   [[nodiscard]] const store::CheckpointStore* store() const {
     return store_.get();
   }
+  // The durable store journal; nullptr unless config().store.journal.
+  [[nodiscard]] replication::StoreJournal* journal() { return journal_.get(); }
+  [[nodiscard]] const replication::StoreJournal* journal() const {
+    return journal_.get();
+  }
 
   // Attaches (or detaches, with nullptr) the telemetry layer: per-phase
   // spans on the trace and phase.* histograms in the registry. Metric
@@ -289,6 +298,7 @@ class Checkpointer {
   std::uint64_t checkpoints_taken_ = 0;
   std::deque<Snapshot> history_;
   std::unique_ptr<store::CheckpointStore> store_;
+  std::unique_ptr<replication::StoreJournal> journal_;
   fault::FaultInjector* faults_ = nullptr;
 
   telemetry::Telemetry* telemetry_ = nullptr;

@@ -40,6 +40,19 @@ void accumulate(RunSummary& into, const RunSummary& slice) {
   into.frozen_by_governor = into.frozen_by_governor ||
                             slice.frozen_by_governor;
   into.recovery_time += slice.recovery_time;
+  into.store_time += slice.store_time;
+  into.replication_stall += slice.replication_stall;
+  into.replicated_generations += slice.replicated_generations;
+  into.replication_dropped += slice.replication_dropped;
+  into.primary_killed = into.primary_killed || slice.primary_killed;
+  into.failed_over = into.failed_over || slice.failed_over;
+  into.failover_time += slice.failover_time;
+  if (slice.failed_over) {
+    into.promoted_generation = slice.promoted_generation;
+  }
+  into.generations_rolled_back += slice.generations_rolled_back;
+  into.outputs_discarded += slice.outputs_discarded;
+  into.fenced_epochs += slice.fenced_epochs;
   // The quarantine list is cumulative within a Crimes instance; the latest
   // slice's view is the complete one.
   into.quarantined_modules = slice.quarantined_modules;
@@ -113,6 +126,16 @@ CloudRunReport CloudHost::run(Nanos work_time) {
         report.attacked_tenants.push_back(t->name());
         CRIMES_LOG(Warn, "cloud")
             << "tenant " << t->name() << " frozen after attack";
+      } else if (slice.primary_killed) {
+        // The tenant's primary host died; its standby host promoted (or
+        // there was none to promote). Either way this host schedules it
+        // no further.
+        t->frozen_ = true;
+        ++report.tenants_failed_over;
+        report.failed_over_tenants.push_back(t->name());
+        CRIMES_LOG(Warn, "cloud")
+            << "tenant " << t->name() << " primary killed"
+            << (slice.failed_over ? "; standby promoted" : "");
       } else if (slice.frozen_by_governor) {
         // The tenant's checkpoint path is gone; its governor paused the
         // VM. Drop it from scheduling -- the fault domain is the tenant,

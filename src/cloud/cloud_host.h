@@ -84,6 +84,11 @@ struct CloudRunReport {
   // running: fault isolation is per-tenant.
   std::size_t tenants_fault_frozen = 0;
   std::vector<std::string> fault_frozen_tenants;
+  // Replication layer: tenants whose primary host died and whose standby
+  // promoted. The tenant drops out of scheduling on this host (its
+  // workload now runs on the standby machine); neighbours keep running.
+  std::size_t tenants_failed_over = 0;
+  std::vector<std::string> failed_over_tenants;
 };
 
 class CloudHost {

@@ -144,6 +144,36 @@ struct CostModel {
   // generation drop (sorted-merge step + refcount update).
   Nanos store_gc_per_page = nanos(120);
 
+  // --- Standby replication & failover (DESIGN.md section 11). The
+  // replication link reuses the Remus socket path's per-page costs
+  // (copy_socket_per_page / copy_compress_per_page / copy_wire_per_byte);
+  // the constants below cover what the link adds on top.
+  // One-way propagation to the standby host (LAN hop; acks pay it again
+  // on the way back, so a generation's ack lags its send by transfer +
+  // 2 x this).
+  Nanos replication_one_way = micros(100);
+  // Fixed per-generation framing on the stream (manifest header, ack
+  // bookkeeping on both ends).
+  Nanos replication_frame = micros(20);
+  // Applying one received page into the standby image (decode + memcpy on
+  // the standby's core; also paid when promotion rolls a page back from
+  // its undo entry).
+  Nanos replication_apply_per_page = nanos(400);
+  // Standby-side failure detector: evaluating phi once, and the fixed
+  // promotion work (fencing-epoch bump, unpause, device reattach).
+  Nanos heartbeat_eval = micros(2);
+  Nanos promote_base = millis(3);
+  // Lease renewal round trip to the lease authority (piggybacks on the
+  // replication link: one-way out + one-way back plus arbiter work).
+  Nanos lease_renew_rtt = micros(220);
+
+  // --- Durable store journal (DESIGN.md section 11): sequential appends
+  // to a dedicated log device (~160 MB/s -> ~25 us per 4 KiB), a fixed
+  // per-record overhead, and per-record verification/replay costs.
+  Nanos journal_append_base = micros(5);
+  Nanos journal_write_per_page = micros(25);  // per 4 KiB of record payload
+  Nanos journal_scan_per_record = micros(2);  // fsck/recovery record walk
+
   // --- AddressSanitizer baseline: cost per instrumented memory access.
   // Calibrated so PARSEC access profiles yield the 1.4-2.6x range of
   // Figure 3 ("AS" bars).

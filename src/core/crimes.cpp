@@ -119,6 +119,23 @@ void Crimes::initialize() {
                  std::uint64_t instr) { recorder_.record(va, data, instr); });
     }
   }
+  if (config_.replication.enabled && checkpointer_) {
+    // The standby is a second simulated machine, seeded from the backup
+    // image (the last committed checkpoint -- the only replicated state).
+    standby_ = std::make_unique<replication::StandbyHost>(
+        *costs_, config_.replication, kernel_->vm().name(),
+        kernel_->vm().page_count());
+    clock_.advance(standby_->initialize(
+        checkpointer_->backup(), checkpointer_->backup_vcpu(),
+        checkpointer_->checkpoints_taken(), clock_.now()));
+    replicator_ = std::make_unique<replication::Replicator>(
+        *costs_, config_.replication, checkpointer_->backup(),
+        standby_->vm(), checkpointer_->checkpoints_taken());
+    // First heartbeat and the initial fencing lease arrive with the seed.
+    standby_->detector().record_heartbeat(clock_.now());
+    lease_ = standby_->authority().grant(clock_.now());
+    clock_.advance(costs_->lease_renew_rtt);
+  }
   detector_.set_audit_policy(config_.audit_policy);
   if (injector_) detector_.set_fault_injector(injector_.get());
   if (config_.adaptive.enabled) {
@@ -129,6 +146,7 @@ void Crimes::initialize() {
     detector_.set_telemetry(telemetry_.get());
     buffer_.set_telemetry(telemetry_.get());
     if (adaptive_) adaptive_->set_telemetry(telemetry_.get());
+    if (replicator_) replicator_->set_telemetry(telemetry_.get());
   }
   initialized_ = true;
   CRIMES_LOG(Info, "crimes") << "initialized: mode="
@@ -187,12 +205,44 @@ RunSummary Crimes::run(Nanos max_work_time) {
       summary.frozen_by_governor = true;
       break;
     }
+    if (primary_killed_) break;  // the host died in an earlier slice
+    // Fault decisions are drawn before the epoch opens: a primary kill is
+    // a *host* failure, and the failover span it triggers must sit between
+    // epochs on the trace, never inside one.
+    if (injector_) injector_->begin_epoch(epoch_index_);
+    if (replicator_ && injector_ && injector_->kills_primary()) {
+      primary_killed_ = true;
+      summary.primary_killed = true;
+      kernel_->vm().pause();  // the whole host powers off
+      if (!failed_over_) fail_over(summary, clock_.now());
+      break;
+    }
+    if (replicator_ && !failed_over_ &&
+        standby_->detector().suspects(clock_.now()) &&
+        clock_.now() >= standby_->authority().promotion_safe_at()) {
+      // The standby has not heard a heartbeat for long enough to promote,
+      // yet this primary is still running: the split-brain scenario.
+      // Fencing -- not coordination -- keeps it safe.
+      split_brain_promote(summary);
+    }
     CRIMES_TRACE_SPAN(trace, "epoch");
     const Nanos interval = current_interval();
     const Nanos epoch_start = clock_.now();
-    if (injector_) injector_->begin_epoch(epoch_index_);
     ++epoch_index_;
     recorder_.begin_epoch();
+    if (replicator_ && !standby_->promoted()) {
+      // Epoch heartbeat. A partitioned link (sticky) or an injected drop
+      // means the standby's detector simply sees a longer gap.
+      if (injector_ && injector_->partitions_link() &&
+          !replicator_->partitioned()) {
+        replicator_->partition(clock_.now());
+      }
+      if (!replicator_->partitioned() &&
+          !(injector_ && injector_->drops_heartbeat())) {
+        standby_->detector().record_heartbeat(epoch_start);
+        clock_.advance(costs_->heartbeat_eval);
+      }
+    }
     workload_->run_epoch(epoch_start, interval);
     clock_.advance(interval);
     summary.work_time += interval;
@@ -227,10 +277,14 @@ RunSummary Crimes::run(Nanos max_work_time) {
     if (epoch.audit_passed) {
       if (epoch.checkpoint_committed) {
         ++summary.checkpoints;
-        // Commit the speculative epoch: outputs may now leave the host.
+        // Commit the speculative epoch: outputs may now leave the host --
+        // immediately when unreplicated; once the standby acknowledges
+        // (and the fencing lease still holds) when replication is on.
         {
           CRIMES_TRACE_SPAN(trace, "commit");
-          {
+          if (replicator_) {
+            replicate_commit(epoch, summary);
+          } else {
             CRIMES_TRACE_SPAN(trace, "buffer_release");
             buffer_.release_all(network_, clock_.now());
           }
@@ -309,6 +363,20 @@ bool Crimes::apply_governor_action(fault::SafetyGovernor::Action action,
       // semantics (audited, not checkpoint-covered).
       ++summary.governor_downgrades;
       buffer_.release_all(network_, clock_.now());
+      if (replicator_ != nullptr) {
+        // Ack-gated outputs stop waiting too -- Best Effort semantics --
+        // but fencing still rules: an invalid lease discards, never ships.
+        if (lease_.valid(clock_.now())) {
+          for (auto& entry : pending_release_) {
+            for (auto& packet : entry.packets) {
+              network_.deliver(std::move(packet), clock_.now());
+            }
+          }
+          pending_release_.clear();
+        } else {
+          discard_pending_outputs(summary);
+        }
+      }
       disk_.commit_pending();
       apply_output_mode(SafetyMode::BestEffort);
       if (telemetry_) {
@@ -339,6 +407,12 @@ bool Crimes::apply_governor_action(fault::SafetyGovernor::Action action,
       // for, so the VM stops here. Whatever the buffer still holds was
       // never covered by a checkpoint and stays unreleased.
       kernel_->vm().pause();
+      if (replicator_ != nullptr) {
+        // Quiesce the replication stream: the primary will produce no
+        // more generations, so nothing in flight will ever be needed and
+        // the window must not stay pinned open across the freeze.
+        clock_.advance(replicator_->quiesce(clock_.now()));
+      }
       if (telemetry_) telemetry_->metrics.counter("governor.freezes").add();
       CRIMES_LOG(Error, "governor")
           << "checkpoint path lost (" << governor_->consecutive_failures()
@@ -347,6 +421,129 @@ bool Crimes::apply_governor_action(fault::SafetyGovernor::Action action,
       return true;
   }
   return false;
+}
+
+void Crimes::replicate_commit(const EpochResult& epoch, RunSummary& summary) {
+  telemetry::TraceRecorder* trace =
+      telemetry_ ? &telemetry_->trace : nullptr;
+  {
+    CRIMES_TRACE_SPAN(trace, "replicate");
+    const replication::Replicator::SendResult sent = replicator_->on_commit(
+        checkpointer_->checkpoints_taken(), epoch.dirty,
+        checkpointer_->backup_vcpu(), clock_.now());
+    clock_.advance(sent.stall + sent.charge);
+    summary.replication_stall += sent.stall;
+    if (sent.dropped) {
+      ++summary.replication_dropped;
+    } else {
+      ++summary.replicated_generations;
+    }
+  }
+  // Lease renewal rides the healthy link; a promoted standby refuses the
+  // old primary (its fencing epoch moved on), so the lease just runs out.
+  if (!replicator_->partitioned() && !standby_->promoted()) {
+    lease_ = standby_->authority().grant(clock_.now());
+    clock_.advance(costs_->lease_renew_rtt);
+  }
+  pending_release_.push_back(PendingRelease{
+      checkpointer_->checkpoints_taken(), buffer_.take_all()});
+  release_acked_outputs(summary);
+}
+
+void Crimes::release_acked_outputs(RunSummary& summary) {
+  telemetry::TraceRecorder* trace =
+      telemetry_ ? &telemetry_->trace : nullptr;
+  replicator_->advance(clock_.now());
+  const std::uint64_t acked = replicator_->acked_through();
+  while (!pending_release_.empty() &&
+         pending_release_.front().generation <= acked) {
+    PendingRelease entry = std::move(pending_release_.front());
+    pending_release_.pop_front();
+    // Self-fencing is local by design: the primary checks only its own
+    // lease's clock, never the (possibly unreachable) authority.
+    if (lease_.valid(clock_.now())) {
+      CRIMES_TRACE_SPAN(trace, "buffer_release");
+      for (auto& packet : entry.packets) {
+        network_.deliver(std::move(packet), clock_.now());
+      }
+    } else {
+      ++summary.fenced_epochs;
+      summary.outputs_discarded += entry.packets.size();
+    }
+  }
+}
+
+void Crimes::discard_pending_outputs(RunSummary& summary) {
+  for (const PendingRelease& entry : pending_release_) {
+    summary.outputs_discarded += entry.packets.size();
+  }
+  pending_release_.clear();
+}
+
+void Crimes::fail_over(RunSummary& summary, Nanos failed_at) {
+  telemetry::TraceRecorder* trace =
+      telemetry_ ? &telemetry_->trace : nullptr;
+  // The detector needs a heartbeat-free gap before it suspects, and every
+  // lease ever granted must expire; virtual time fast-forwards through
+  // both (nothing else can run -- the primary is dead).
+  const Nanos ready = standby_->promotion_ready_at(failed_at);
+  if (ready > clock_.now()) clock_.advance(ready - clock_.now());
+  const replication::StandbyHost::PromotionReport report =
+      standby_->promote(*replicator_, clock_.now());
+  clock_.advance(report.cost);
+  if (trace != nullptr) {
+    trace->add_span("failover", failed_at, clock_.now() - failed_at);
+  }
+  failed_over_ = true;
+  summary.failed_over = true;
+  summary.failover_time = clock_.now() - failed_at;
+  summary.promoted_generation = report.promoted_generation;
+  summary.generations_rolled_back += report.generations_rolled_back;
+  // Un-replicated epochs' outputs die with the primary: held, never
+  // released, now discarded.
+  discard_pending_outputs(summary);
+  buffer_.drop_all();
+  if (telemetry_) {
+    telemetry_->metrics.histogram("failover.time")
+        .record(static_cast<std::uint64_t>(summary.failover_time.count()));
+  }
+  CRIMES_LOG(Warn, "crimes")
+      << "primary killed at " << to_ms(failed_at) << " ms; standby running "
+      << "from generation " << report.promoted_generation << " after "
+      << to_ms(summary.failover_time) << " ms";
+}
+
+void Crimes::split_brain_promote(RunSummary& summary) {
+  telemetry::TraceRecorder* trace =
+      telemetry_ ? &telemetry_->trace : nullptr;
+  const Nanos onset = standby_->detector().last_arrival();
+  const Nanos start = clock_.now();
+  const replication::StandbyHost::PromotionReport report =
+      standby_->promote(*replicator_, clock_.now());
+  // The promoted standby closes the replication channel: this primary's
+  // future commits must never reach the now-running image.
+  replicator_->partition(clock_.now());
+  clock_.advance(report.cost);
+  if (trace != nullptr) {
+    trace->add_span("failover", start, clock_.now() - start);
+  }
+  failed_over_ = true;
+  summary.failed_over = true;
+  summary.failover_time = clock_.now() - onset;
+  summary.promoted_generation = report.promoted_generation;
+  summary.generations_rolled_back += report.generations_rolled_back;
+  // This primary is now permanently fenced: its lease has expired (the
+  // authority waited it out before promoting) and renewal is refused, so
+  // everything it holds -- and will hold -- can only be discarded.
+  discard_pending_outputs(summary);
+  if (telemetry_) {
+    telemetry_->metrics.histogram("failover.time")
+        .record(static_cast<std::uint64_t>(summary.failover_time.count()));
+  }
+  CRIMES_LOG(Warn, "crimes")
+      << "standby promoted behind a live primary (split brain) at "
+      << to_ms(clock_.now()) << " ms; primary fenced at generation "
+      << report.promoted_generation;
 }
 
 Nanos Crimes::current_interval() const {

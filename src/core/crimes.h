@@ -34,6 +34,8 @@
 #include "net/virtual_nic.h"
 #include "replay/recorder.h"
 #include "replay/replay_engine.h"
+#include "replication/replicator.h"
+#include "replication/standby.h"
 #include "telemetry/telemetry.h"
 #include "vmi/vmi_session.h"
 #include "workload/workload.h"
@@ -88,6 +90,13 @@ struct CrimesConfig {
   fault::FaultPlan faults;
   fault::GovernorConfig governor;
   AuditPolicy audit_policy;
+  // Standby replication & crash recovery (DESIGN.md section 11). When
+  // enabled, every committed generation streams to a simulated standby
+  // host; output release additionally waits for the standby's ack and a
+  // valid fencing lease, a heartbeat detector drives epoch-fenced
+  // failover, and -- if checkpoint.store.journal is also set -- the store
+  // journal makes the primary's snapshot history crash-recoverable.
+  replication::ReplicationConfig replication;
 };
 
 // Timeline of an attack response, in virtual time (Figure 8).
@@ -138,6 +147,21 @@ struct RunSummary {
   // Checkpoint-store work (generation append + GC), charged after resume
   // -- lengthens epochs, not pauses. Zero unless checkpoint.store.enabled.
   Nanos store_time{0};
+
+  // --- Replication & failover (src/replication): all zero/false unless
+  // CrimesConfig::replication.enabled.
+  Nanos replication_stall{0};  // backpressure waits (window full)
+  std::size_t replicated_generations = 0;
+  std::size_t replication_dropped = 0;  // commits lost to a partitioned link
+  bool primary_killed = false;          // injected host failure fired
+  bool failed_over = false;             // the standby promoted
+  Nanos failover_time{0};  // failure onset -> standby running
+  std::uint64_t promoted_generation = 0;
+  std::size_t generations_rolled_back = 0;  // partially replicated, undone
+  // Held outputs of un-replicated (or fenced) epochs, discarded unreleased.
+  std::size_t outputs_discarded = 0;
+  // Commits whose outputs were blocked by an expired/invalidated lease.
+  std::size_t fenced_epochs = 0;
 
   [[nodiscard]] double normalized_runtime() const {
     if (work_time.count() == 0) return 1.0;
@@ -237,6 +261,23 @@ class Crimes {
   // the governor holds the pipeline in degraded Best Effort.
   [[nodiscard]] SafetyMode active_mode() const { return active_mode_; }
 
+  // Replication layer; nullptr unless config().replication.enabled.
+  [[nodiscard]] replication::StandbyHost* standby() { return standby_.get(); }
+  [[nodiscard]] replication::Replicator* replicator() {
+    return replicator_.get();
+  }
+  // The primary's current fencing lease (held() false when replication is
+  // off or the lease was never granted).
+  [[nodiscard]] const replication::Lease& lease() const { return lease_; }
+  [[nodiscard]] bool failed_over() const { return failed_over_; }
+  [[nodiscard]] bool primary_killed() const { return primary_killed_; }
+  // Committed outputs waiting on the standby's acknowledgement.
+  [[nodiscard]] std::size_t pending_release_count() const {
+    std::size_t n = 0;
+    for (const auto& entry : pending_release_) n += entry.packets.size();
+    return n;
+  }
+
  private:
   [[nodiscard]] AuditResult run_audit(std::span<const Pfn> dirty,
                                       Nanos audit_start);
@@ -249,6 +290,16 @@ class Crimes {
                                                action,
                                            RunSummary& summary);
   void respond(const EpochResult& epoch, Nanos epoch_start);
+  // Replication helpers (all no-ops unless the replicator exists).
+  void replicate_commit(const EpochResult& epoch, RunSummary& summary);
+  void release_acked_outputs(RunSummary& summary);
+  void discard_pending_outputs(RunSummary& summary);
+  // Kill-path failover: the primary host died at clock_.now(); waits out
+  // suspicion + lease expiry, promotes the standby, records telemetry.
+  void fail_over(RunSummary& summary, Nanos failed_at);
+  // Split-brain-path promotion: the standby, unheard-from, promotes while
+  // the (fenced) primary keeps running.
+  void split_brain_promote(RunSummary& summary);
   void analyze_malware(forensics::ForensicReport& report,
                        const MemoryDump& clean, const MemoryDump& bad,
                        const Finding& finding);
@@ -281,6 +332,18 @@ class Crimes {
   SafetyMode active_mode_ = SafetyMode::Synchronous;
   std::size_t epoch_index_ = 0;
   std::uint64_t faults_reported_ = 0;  // injector total already summarized
+
+  // Replication state (persists across run() slices, like the governor's).
+  std::unique_ptr<replication::StandbyHost> standby_;
+  std::unique_ptr<replication::Replicator> replicator_;
+  replication::Lease lease_{};
+  struct PendingRelease {
+    std::uint64_t generation = 0;  // the checkpoint covering these outputs
+    std::vector<Packet> packets;
+  };
+  std::deque<PendingRelease> pending_release_;
+  bool failed_over_ = false;
+  bool primary_killed_ = false;
 
   Workload* workload_ = nullptr;
   bool initialized_ = false;

@@ -12,6 +12,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::ScanCrash: return "scan-crash";
     case FaultKind::BitmapRead: return "bitmap-read";
     case FaultKind::WorkerLoss: return "worker-loss";
+    case FaultKind::PrimaryKill: return "primary-kill";
+    case FaultKind::HeartbeatDrop: return "heartbeat-drop";
+    case FaultKind::LinkPartition: return "link-partition";
+    case FaultKind::JournalTornWrite: return "journal-torn-write";
   }
   return "?";
 }
@@ -104,6 +108,39 @@ bool FaultInjector::loses_worker() {
   const bool hit = decide(FaultKind::WorkerLoss, 0x1057) ||
                    scheduled_hit(FaultKind::WorkerLoss, "");
   if (hit) ++injected_[static_cast<std::size_t>(FaultKind::WorkerLoss)];
+  return hit;
+}
+
+bool FaultInjector::kills_primary() {
+  const bool hit = decide(FaultKind::PrimaryKill, 0xD1E) ||
+                   scheduled_hit(FaultKind::PrimaryKill, "");
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::PrimaryKill)];
+  return hit;
+}
+
+bool FaultInjector::drops_heartbeat() {
+  const bool hit =
+      decide(FaultKind::HeartbeatDrop, 0xBEA7 + heartbeat_attempt_++) ||
+      (heartbeat_attempt_ == 1 && scheduled_hit(FaultKind::HeartbeatDrop, ""));
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::HeartbeatDrop)];
+  return hit;
+}
+
+bool FaultInjector::partitions_link() {
+  const bool hit = decide(FaultKind::LinkPartition, 0x5117) ||
+                   scheduled_hit(FaultKind::LinkPartition, "");
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::LinkPartition)];
+  return hit;
+}
+
+bool FaultInjector::tears_journal_write() {
+  const bool hit =
+      decide(FaultKind::JournalTornWrite, 0x70AE + journal_attempt_++) ||
+      (journal_attempt_ == 1 &&
+       scheduled_hit(FaultKind::JournalTornWrite, ""));
+  if (hit) {
+    ++injected_[static_cast<std::size_t>(FaultKind::JournalTornWrite)];
+  }
   return hit;
 }
 

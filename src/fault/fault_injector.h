@@ -44,6 +44,8 @@ class FaultInjector {
     epoch_ = epoch;
     copy_attempt_ = 0;
     tear_attempt_ = 0;
+    heartbeat_attempt_ = 0;
+    journal_attempt_ = 0;
   }
   [[nodiscard]] std::size_t epoch() const { return epoch_; }
 
@@ -56,6 +58,13 @@ class FaultInjector {
   [[nodiscard]] bool scan_crashes(const std::string& module);
   [[nodiscard]] bool bitmap_read_fails();
   [[nodiscard]] bool loses_worker();
+  // Replication-layer sites (DESIGN.md section 11). kills_primary and
+  // partitions_link are drawn once per epoch; heartbeat/journal sites
+  // carry per-epoch attempt counters like the copy sites do.
+  [[nodiscard]] bool kills_primary();
+  [[nodiscard]] bool drops_heartbeat();
+  [[nodiscard]] bool partitions_link();
+  [[nodiscard]] bool tears_journal_write();
 
   // --- Accounting -------------------------------------------------------
   [[nodiscard]] std::uint64_t injected(FaultKind kind) const {
@@ -77,6 +86,8 @@ class FaultInjector {
   std::size_t epoch_ = 0;
   std::uint64_t copy_attempt_ = 0;
   std::uint64_t tear_attempt_ = 0;
+  std::uint64_t heartbeat_attempt_ = 0;
+  std::uint64_t journal_attempt_ = 0;
   std::array<std::uint64_t, kFaultKindCount> injected_{};
 };
 

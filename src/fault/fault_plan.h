@@ -29,8 +29,12 @@ enum class FaultKind : std::uint8_t {
   ScanCrash,       // a scan module dies mid-scan
   BitmapRead,      // the log-dirty bitmap read errors and must be retried
   WorkerLoss,      // a thread-pool worker thread dies and must be respawned
+  PrimaryKill,     // the whole primary host dies (power loss / kernel panic)
+  HeartbeatDrop,   // one epoch heartbeat to the standby is lost in flight
+  LinkPartition,   // the replication link partitions (and stays down)
+  JournalTornWrite,  // a store-journal record append is torn mid-record
 };
-inline constexpr std::size_t kFaultKindCount = 6;
+inline constexpr std::size_t kFaultKindCount = 10;
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -57,6 +61,11 @@ struct FaultPlan {
   double scan_crash = 0.0;           // per module per audit
   double bitmap_read_error = 0.0;    // per epoch
   double worker_loss = 0.0;          // per epoch
+  // Replication-layer sites (no-ops unless ReplicationConfig::enabled).
+  double primary_kill = 0.0;         // per epoch
+  double heartbeat_drop = 0.0;       // per heartbeat send
+  double link_partition = 0.0;       // per epoch; the partition is sticky
+  double journal_torn_write = 0.0;   // per journal record append
 
   // Probabilistic faults fire only in epochs [from_epoch, until_epoch).
   // Bounding the window lets a faulty run drain its accumulated dirty
@@ -78,6 +87,10 @@ struct FaultPlan {
       case FaultKind::ScanCrash: return scan_crash;
       case FaultKind::BitmapRead: return bitmap_read_error;
       case FaultKind::WorkerLoss: return worker_loss;
+      case FaultKind::PrimaryKill: return primary_kill;
+      case FaultKind::HeartbeatDrop: return heartbeat_drop;
+      case FaultKind::LinkPartition: return link_partition;
+      case FaultKind::JournalTornWrite: return journal_torn_write;
     }
     return 0.0;
   }
@@ -88,6 +101,8 @@ struct FaultPlan {
     return transport_copy_fail > 0.0 || torn_write > 0.0 ||
            scan_timeout > 0.0 || scan_crash > 0.0 ||
            bitmap_read_error > 0.0 || worker_loss > 0.0 ||
+           primary_kill > 0.0 || heartbeat_drop > 0.0 ||
+           link_partition > 0.0 || journal_torn_write > 0.0 ||
            !scheduled.empty();
   }
 
@@ -103,6 +118,24 @@ struct FaultPlan {
     plan.torn_write = rate / 2.0;
     plan.bitmap_read_error = rate / 4.0;
     plan.worker_loss = rate / 4.0;
+    plan.from_epoch = from;
+    plan.until_epoch = until;
+    return plan;
+  }
+
+  // A replication-side storm: lost heartbeats, torn journal records, the
+  // occasional sticky partition. Primary kills are left to `scheduled`
+  // one-shots -- a per-epoch kill probability would end most runs in the
+  // first few epochs of the window (the failover bench sweeps this).
+  [[nodiscard]] static FaultPlan failover_storm(double rate,
+                                                std::size_t from,
+                                                std::size_t until,
+                                                std::uint64_t seed = 1) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.heartbeat_drop = rate;
+    plan.journal_torn_write = rate / 2.0;
+    plan.link_partition = rate / 4.0;
     plan.from_epoch = from;
     plan.until_epoch = until;
     return plan;

@@ -57,6 +57,17 @@ class OutputBuffer {
   // Audit failed: the epoch's outputs never existed.
   void drop_all();
 
+  // Replication extension (DESIGN.md section 11): the audit passed but the
+  // outputs must additionally wait for the standby's acknowledgement.
+  // Empties the buffer into the caller's pending-release queue; the caller
+  // releases (or discards) them later, against its own counters.
+  [[nodiscard]] std::vector<Packet> take_all() {
+    std::vector<Packet> taken = std::move(pending_);
+    pending_.clear();
+    if (pending_gauge_ != nullptr) pending_gauge_->set(0.0);
+    return taken;
+  }
+
   // Attaches net.packets_released / net.packets_dropped counters and the
   // net.pending depth gauge (nullptr detaches).
   void set_telemetry(telemetry::Telemetry* telemetry);

@@ -1,0 +1,78 @@
+// Epoch-numbered fencing leases (DESIGN.md section 11).
+//
+// The lease authority is colocated with the standby host (in a real
+// deployment it would be an external arbiter; colocating it here keeps the
+// failure domains honest -- losing the standby loses the authority, and no
+// promotion can happen anyway). It hands out time-bounded leases stamped
+// with the current *fencing epoch*. Promotion advances the fencing epoch,
+// which invalidates every outstanding lease permanently; and promotion is
+// only legal once the last grant has expired, so at any virtual instant at
+// most one host holds a valid lease. That pair of rules is the whole
+// split-brain argument:
+//
+//   - a partitioned primary cannot renew (the renewal rides the broken
+//     link), so its lease dies of old age no later than grant + term;
+//   - the standby waits out that expiry before promoting, then bumps the
+//     fencing epoch -- the old primary's token can never validate again,
+//     even if the partition heals.
+//
+// The primary checks `Lease::valid(now)` before every commit/release; a
+// stale lease means self-fence: keep speculating if it likes, but nothing
+// escapes the host.
+#pragma once
+
+#include "common/sim_clock.h"
+
+#include <cstdint>
+
+namespace crimes::replication {
+
+struct Lease {
+  std::uint64_t token = 0;  // fencing epoch at grant time
+  Nanos expires_at{0};
+
+  [[nodiscard]] bool held() const { return expires_at.count() > 0; }
+  // Time-valid. Token staleness is the authority's side of the check;
+  // the holder can only see the clock.
+  [[nodiscard]] bool valid(Nanos now) const {
+    return held() && now < expires_at;
+  }
+};
+
+class LeaseAuthority {
+ public:
+  explicit LeaseAuthority(Nanos term) : term_(term) {}
+
+  // Grants (or renews) the primary's lease. Only callable while the link
+  // to the authority is up -- the caller models the partition.
+  [[nodiscard]] Lease grant(Nanos now) {
+    const Lease lease{.token = fencing_epoch_, .expires_at = now + term_};
+    if (lease.expires_at > last_expiry_) last_expiry_ = lease.expires_at;
+    return lease;
+  }
+
+  // Both sides of the fence: a token is good only while it matches the
+  // current fencing epoch AND its time bound holds.
+  [[nodiscard]] bool validates(const Lease& lease, Nanos now) const {
+    return lease.token == fencing_epoch_ && lease.valid(now);
+  }
+
+  // Earliest instant promotion is allowed: every lease ever granted has
+  // expired by then.
+  [[nodiscard]] Nanos promotion_safe_at() const { return last_expiry_; }
+
+  // Promotion: advance the fencing epoch. Returns the new token. Requires
+  // now >= promotion_safe_at() -- enforced by the caller (StandbyHost),
+  // which waits the old lease out on the virtual clock.
+  std::uint64_t advance_epoch() { return ++fencing_epoch_; }
+
+  [[nodiscard]] std::uint64_t fencing_epoch() const { return fencing_epoch_; }
+  [[nodiscard]] Nanos term() const { return term_; }
+
+ private:
+  Nanos term_;
+  std::uint64_t fencing_epoch_ = 1;
+  Nanos last_expiry_{0};
+};
+
+}  // namespace crimes::replication

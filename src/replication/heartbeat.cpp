@@ -1,0 +1,72 @@
+#include "replication/heartbeat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crimes::replication {
+
+void HeartbeatDetector::record_heartbeat(Nanos now) {
+  if (seen_ > 0) {
+    if (now <= last_) return;  // duplicate or reordered
+    intervals_.push_back(now - last_);
+    while (intervals_.size() > config_.window) intervals_.pop_front();
+  }
+  last_ = now;
+  ++seen_;
+}
+
+void HeartbeatDetector::model(double& mean_ns, double& stddev_ns) const {
+  if (intervals_.empty()) {
+    mean_ns = static_cast<double>(config_.interval.count());
+    stddev_ns = mean_ns * config_.min_stddev_fraction;
+    return;
+  }
+  double sum = 0.0;
+  for (const Nanos i : intervals_) sum += static_cast<double>(i.count());
+  mean_ns = sum / static_cast<double>(intervals_.size());
+  double var = 0.0;
+  for (const Nanos i : intervals_) {
+    const double d = static_cast<double>(i.count()) - mean_ns;
+    var += d * d;
+  }
+  var /= static_cast<double>(intervals_.size());
+  stddev_ns = std::max(std::sqrt(var), mean_ns * config_.min_stddev_fraction);
+}
+
+double HeartbeatDetector::phi(Nanos now) const {
+  if (seen_ == 0 || now <= last_) return 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  model(mean, stddev);
+  const double elapsed = static_cast<double>((now - last_).count());
+  // P(interval > elapsed) under N(mean, stddev), via the complementary
+  // error function; clamped away from zero so phi stays finite.
+  const double z = (elapsed - mean) / (stddev * std::sqrt(2.0));
+  const double p = std::max(0.5 * std::erfc(z), 1e-300);
+  return -std::log10(p);
+}
+
+Nanos HeartbeatDetector::suspicion_time(Nanos from) const {
+  if (seen_ == 0) return Nanos::max();  // never heard from the primary
+  if (suspects(from)) return from;
+  // phi is monotone in `now` past the last arrival; bisect to the nanosecond.
+  double mean = 0.0;
+  double stddev = 0.0;
+  model(mean, stddev);
+  Nanos lo = std::max(from, last_);
+  // Upper bound: mean + enough sigmas that erfc underflows past any
+  // reasonable threshold (40 sigma ~ phi 350).
+  Nanos hi = last_ + Nanos{static_cast<std::int64_t>(mean + 40.0 * stddev)};
+  if (!suspects(hi)) return Nanos::max();
+  while (lo + Nanos{1} < hi) {
+    const Nanos mid = lo + (hi - lo) / 2;
+    if (suspects(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace crimes::replication

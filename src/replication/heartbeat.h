@@ -1,0 +1,60 @@
+// Phi-accrual failure detector (Hayashibara et al., adapted): the standby
+// host's view of whether the primary is still alive.
+//
+// The primary sends one heartbeat per epoch; the detector keeps a sliding
+// window of inter-arrival intervals and models them as a normal
+// distribution. Suspicion is the continuous value
+//
+//   phi(now) = -log10( P(interval > now - last_arrival) )
+//
+// so a heartbeat that is merely late raises phi gradually while a dead
+// primary drives it past any threshold. Everything runs on the virtual
+// clock -- for a fixed fault seed the suspicion time is bit-reproducible.
+#pragma once
+
+#include "common/sim_clock.h"
+#include "replication/replication_config.h"
+
+#include <cstddef>
+#include <deque>
+
+namespace crimes::replication {
+
+class HeartbeatDetector {
+ public:
+  explicit HeartbeatDetector(HeartbeatConfig config) : config_(config) {}
+
+  // A heartbeat arrived at `now` (standby clock == primary clock in the
+  // simulator). Out-of-order arrivals are ignored.
+  void record_heartbeat(Nanos now);
+
+  // Current suspicion level. Zero before the first heartbeat (nothing to
+  // miss yet) and right after an arrival.
+  [[nodiscard]] double phi(Nanos now) const;
+
+  [[nodiscard]] bool suspects(Nanos now) const {
+    return phi(now) > config_.phi_threshold;
+  }
+
+  // Earliest time >= `from` at which phi crosses the threshold assuming no
+  // further heartbeat arrives. Used to fast-forward the virtual clock to
+  // the detection instant instead of polling it.
+  [[nodiscard]] Nanos suspicion_time(Nanos from) const;
+
+  [[nodiscard]] std::size_t heartbeats_seen() const { return seen_; }
+  [[nodiscard]] Nanos last_arrival() const { return last_; }
+  [[nodiscard]] const HeartbeatConfig& config() const { return config_; }
+
+ private:
+  // Modeled mean/stddev of the inter-arrival distribution, with the
+  // configured variance floor applied. Falls back to the configured
+  // interval until two heartbeats have arrived.
+  void model(double& mean_ns, double& stddev_ns) const;
+
+  HeartbeatConfig config_;
+  std::deque<Nanos> intervals_;
+  Nanos last_{0};
+  std::size_t seen_ = 0;
+};
+
+}  // namespace crimes::replication

@@ -1,0 +1,144 @@
+// The Replicator: streams every committed generation from the primary's
+// backup image to a standby host over the Remus socket path
+// (DESIGN.md section 11).
+//
+// The stream is asynchronous with a bounded in-flight window, like Remus'
+// checkpoint drain: at commit time the generation's dirty pages really move
+// (bytes are copied into the standby image through a SocketTransport or
+// CompressedSocketTransport immediately), but on the virtual timeline the
+// transfer occupies the link for its modeled duration, arrives one wire
+// hop later, and is acknowledged one hop after that. The primary charges
+// itself only the per-generation framing cost -- unless the window is
+// full, in which case it stalls until the oldest in-flight generation acks
+// (backpressure, charged to the virtual clock).
+//
+// Because bytes are applied eagerly but *arrive* later on the virtual
+// timeline, every in-flight generation carries an undo log (the standby's
+// prior bytes + vCPU). A link partition or a promotion rolls back exactly
+// the generations whose receive instant lies beyond the cut, restoring the
+// invariant that the standby image equals its last fully received
+// generation -- the only state failover may promote.
+#pragma once
+
+#include "checkpoint/transport.h"
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "hypervisor/vm.h"
+#include "replication/replication_config.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace crimes::telemetry {
+struct Telemetry;
+class Gauge;
+class Histogram;
+}  // namespace crimes::telemetry
+
+namespace crimes::replication {
+
+class Replicator {
+ public:
+  // `source` is the primary host's backup image (the last committed
+  // checkpoint -- the only state that is ever replicated); `standby` is
+  // the standby host's image, already seeded to `seed_generation`.
+  Replicator(const CostModel& costs, ReplicationConfig config, Vm& source,
+             Vm& standby, std::uint64_t seed_generation);
+
+  struct SendResult {
+    Nanos stall{0};    // backpressure wait (window was full)
+    Nanos charge{0};   // primary-side framing cost
+    bool dropped = false;  // link partitioned; nothing was sent
+  };
+  // Ships generation `generation` (the pages in `dirty`, plus the vCPU) at
+  // virtual time `now`. Caller advances the clock by stall + charge.
+  SendResult on_commit(std::uint64_t generation, std::span<const Pfn> dirty,
+                       const VcpuState& vcpu, Nanos now);
+
+  // Processes every acknowledgement due by `now`, freeing window slots and
+  // their undo logs.
+  void advance(Nanos now);
+
+  // Severs the link at `now`. Generations received after `now` are rolled
+  // back immediately (their bytes never arrive); generations received but
+  // not yet acknowledged stay applied on the standby -- their acks are
+  // lost, so the primary never releases the outputs they cover. The
+  // partition is sticky.
+  void partition(Nanos now);
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
+
+  // Governor freeze: the primary stops, so nothing in flight will ever be
+  // needed. Rolls back unreceived generations, releases the whole window
+  // (in_flight() == 0 afterwards) and returns the standby-side cost.
+  Nanos quiesce(Nanos now);
+
+  // Promotion support: rolls back every generation not fully received by
+  // `now` and reports what the standby may legally resume from.
+  struct DrainReport {
+    std::uint64_t received_through = 0;  // newest fully received generation
+    std::size_t rolled_back = 0;         // generations undone
+    std::size_t pages_rolled_back = 0;
+    Nanos cost{0};
+  };
+  DrainReport drain(Nanos now);
+
+  // --- Accounting -------------------------------------------------------
+  [[nodiscard]] std::uint64_t acked_through() const { return acked_through_; }
+  [[nodiscard]] std::uint64_t received_through(Nanos now) const;
+  [[nodiscard]] std::size_t in_flight() const { return window_.size(); }
+  [[nodiscard]] Nanos total_stall() const { return total_stall_; }
+  [[nodiscard]] std::uint64_t generations_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t generations_dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t max_in_flight() const { return max_in_flight_; }
+  [[nodiscard]] const Transport& transport() const { return *transport_; }
+  [[nodiscard]] const ReplicationConfig& config() const { return config_; }
+
+  // Attaches (nullptr detaches) the replication.lag gauge and the
+  // replication.ack_delay histogram.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
+ private:
+  struct InFlight {
+    std::uint64_t generation = 0;
+    Nanos sent_at{0};
+    Nanos recv_at{0};  // fully received (transfer + one-way wire + apply)
+    Nanos ack_at{0};   // ack back at the primary
+    bool ack_lost = false;  // partition cut the ack path
+    bool lost = false;      // partition cut the data path; must roll back
+    std::vector<std::pair<Pfn, Page>> undo;  // standby bytes before apply
+    VcpuState prior_vcpu;
+  };
+
+  // Rolls back the window's suffix whose recv_at > `now` (newest first).
+  // Returns the standby-side cost; fills the counters when given.
+  Nanos rollback_unreceived(Nanos now, std::size_t* generations,
+                            std::size_t* pages);
+  void update_lag_gauge();
+
+  const CostModel* costs_;
+  ReplicationConfig config_;
+  Vm* source_;
+  Vm* standby_;
+  std::unique_ptr<Transport> transport_;
+
+  std::deque<InFlight> window_;
+  std::uint64_t acked_through_;
+  std::uint64_t received_base_;  // newest generation applied & kept
+  Nanos link_busy_until_{0};
+  bool partitioned_ = false;
+  Nanos partitioned_at_{0};
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::size_t max_in_flight_ = 0;
+  Nanos total_stall_{0};
+
+  telemetry::Gauge* lag_gauge_ = nullptr;
+  telemetry::Histogram* ack_delay_ = nullptr;
+};
+
+}  // namespace crimes::replication

@@ -1,0 +1,81 @@
+#include "replication/standby.h"
+
+#include "common/log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace crimes::replication {
+
+StandbyHost::StandbyHost(const CostModel& costs,
+                         const ReplicationConfig& config,
+                         const std::string& primary_name,
+                         std::size_t page_count)
+    : costs_(&costs),
+      config_(config),
+      hypervisor_(page_count + 64),  // one image plus bookkeeping slack
+      detector_(config.heartbeat),
+      authority_(config.lease_term) {
+  vm_ = &hypervisor_.create_domain(primary_name + "-standby", page_count);
+  vm_->pause();  // the standby never executes until promoted
+}
+
+Vm& StandbyHost::vm() {
+  if (vm_ == nullptr) throw std::logic_error("StandbyHost: no VM");
+  return *vm_;
+}
+
+Nanos StandbyHost::initialize(Vm& source, const VcpuState& vcpu,
+                              std::uint64_t seed_generation, Nanos now) {
+  ForeignMapping src{source};
+  ForeignMapping dst{*vm_};
+  std::size_t backed = 0;
+  for (std::size_t i = 0; i < source.page_count(); ++i) {
+    const Pfn pfn{i};
+    if (!src.is_backed(pfn)) continue;
+    std::memcpy(dst.page(pfn).data.data(), src.peek(pfn).data.data(),
+                kPageSize);
+    ++backed;
+  }
+  vm_->vcpu() = vcpu;
+  seed_generation_ = seed_generation;
+  (void)now;
+  // The whole image crosses the wire once (Remus' initial synchronization),
+  // through the socket path plus one propagation hop.
+  return costs_->copy_socket_per_page * backed + costs_->replication_one_way;
+}
+
+Nanos StandbyHost::promotion_ready_at(Nanos from) const {
+  const Nanos suspicion = detector_.suspicion_time(from);
+  if (suspicion == Nanos::max()) return Nanos::max();
+  return std::max(suspicion, authority_.promotion_safe_at());
+}
+
+StandbyHost::PromotionReport StandbyHost::promote(Replicator& replicator,
+                                                  Nanos now) {
+  if (promoted_) throw std::logic_error("StandbyHost: already promoted");
+  if (now < authority_.promotion_safe_at()) {
+    // Promoting inside a live lease term is exactly the split-brain the
+    // fencing design exists to rule out.
+    throw std::logic_error(
+        "StandbyHost::promote: the old primary's lease has not expired");
+  }
+  const Replicator::DrainReport drained = replicator.drain(now);
+  PromotionReport report;
+  report.promoted_generation = drained.received_through;
+  report.generations_rolled_back = drained.rolled_back;
+  report.pages_rolled_back = drained.pages_rolled_back;
+  report.fencing_token = authority_.advance_epoch();
+  report.cost = drained.cost + costs_->promote_base;
+  vm_->unpause();
+  promoted_ = true;
+  CRIMES_LOG(Warn, "standby")
+      << "promoted at " << to_ms(now) << " ms from generation "
+      << report.promoted_generation << " (fencing epoch "
+      << report.fencing_token << ", " << report.generations_rolled_back
+      << " partially received generation(s) rolled back)";
+  return report;
+}
+
+}  // namespace crimes::replication

@@ -1,0 +1,84 @@
+// The standby host: a second simulated machine holding a warm copy of the
+// primary's last replicated checkpoint (DESIGN.md section 11).
+//
+// The standby owns its own Hypervisor (its frames do not compete with the
+// primary's machine), the phi-accrual heartbeat detector, and the lease
+// authority. Promotion is the only state transition: once the detector
+// suspects the primary AND every lease ever granted has expired, the
+// standby rolls back any partially received generations (Replicator::
+// drain), advances the fencing epoch -- permanently invalidating the old
+// primary's lease token -- and unpauses its VM at the last *fully
+// replicated* generation. Synchronous Safety holds across the boundary:
+// every output the promoted image has ever externalized was covered by a
+// replicated-and-acked checkpoint, and the un-replicated epochs' outputs
+// were never released by anyone.
+#pragma once
+
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "hypervisor/hypervisor.h"
+#include "replication/fencing.h"
+#include "replication/heartbeat.h"
+#include "replication/replication_config.h"
+#include "replication/replicator.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace crimes::replication {
+
+class StandbyHost {
+ public:
+  StandbyHost(const CostModel& costs, const ReplicationConfig& config,
+              const std::string& primary_name, std::size_t page_count);
+
+  // Initial full synchronization from the primary's backup image (over
+  // the wire: the standby is a different machine). Returns the cost.
+  Nanos initialize(Vm& source, const VcpuState& vcpu,
+                   std::uint64_t seed_generation, Nanos now);
+
+  [[nodiscard]] bool initialized() const { return vm_ != nullptr; }
+  [[nodiscard]] bool promoted() const { return promoted_; }
+  [[nodiscard]] Vm& vm();
+  [[nodiscard]] std::uint64_t seed_generation() const {
+    return seed_generation_;
+  }
+
+  [[nodiscard]] HeartbeatDetector& detector() { return detector_; }
+  [[nodiscard]] const HeartbeatDetector& detector() const {
+    return detector_;
+  }
+  [[nodiscard]] LeaseAuthority& authority() { return authority_; }
+  [[nodiscard]] const LeaseAuthority& authority() const { return authority_; }
+
+  // Earliest instant promotion is legal at/after `from`: the detector must
+  // suspect the primary (assuming no further heartbeat) and the last
+  // granted lease must have expired. Nanos::max() when the detector can
+  // never conclude anything (no heartbeat was ever seen).
+  [[nodiscard]] Nanos promotion_ready_at(Nanos from) const;
+
+  struct PromotionReport {
+    std::uint64_t promoted_generation = 0;  // what the standby resumes from
+    std::uint64_t fencing_token = 0;        // the new fencing epoch
+    std::size_t generations_rolled_back = 0;
+    std::size_t pages_rolled_back = 0;
+    Nanos cost{0};  // drain rollback + fixed promotion work
+  };
+  // Fails over: drains the replication stream, advances the fencing epoch
+  // and unpauses the standby VM. Requires now >= promotion_ready_at().
+  // The caller advances the clock by `cost`.
+  PromotionReport promote(Replicator& replicator, Nanos now);
+
+ private:
+  const CostModel* costs_;
+  ReplicationConfig config_;
+  Hypervisor hypervisor_;
+  Vm* vm_ = nullptr;
+  std::uint64_t seed_generation_ = 0;
+  HeartbeatDetector detector_;
+  LeaseAuthority authority_;
+  bool promoted_ = false;
+};
+
+}  // namespace crimes::replication

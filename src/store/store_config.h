@@ -55,6 +55,11 @@ struct StoreConfig {
   // bounding the per-epoch GC pause; in steady state exactly one
   // generation ages out per epoch. 0 means drain everything due.
   std::size_t gc_generations_per_epoch = 1;
+  // Durable store journal (DESIGN.md section 11): log every store
+  // operation (seed/append/collect/pin/truncate) to an append-only,
+  // checksummed device image so a crashed primary rebuilds the store
+  // byte-identically. Requires `enabled`.
+  bool journal = false;
 };
 
 }  // namespace crimes::store

@@ -1,9 +1,13 @@
 // Tests: checkpoint transports, including the Remus-style compressed
-// (XOR-delta + RLE) path and its codec.
+// (XOR-delta + RLE) path and its codec, and the fault paths of the two
+// socket transports (retry/backoff accounting under a transport storm).
 #include "checkpoint/checkpointer.h"
 #include "checkpoint/transport.h"
 #include "common/rng.h"
+#include "core/crimes.h"
+#include "fault/fault_plan.h"
 #include "test_helpers.h"
+#include "workload/parsec.h"
 
 #include <gtest/gtest.h>
 
@@ -173,6 +177,103 @@ TEST(Transports, NamesAreDistinct) {
   CompressedSocketTransport c(costs);
   EXPECT_STRNE(a.name(), b.name());
   EXPECT_STRNE(b.name(), c.name());
+}
+
+// ---------------------------------------------------------------------------
+// Socket-transport fault paths: the retry/backoff machinery was only ever
+// exercised end-to-end on MemcpyTransport; drive both socket transports
+// through a transport storm and hold them to the same contract.
+// ---------------------------------------------------------------------------
+
+std::uint64_t backup_fingerprint(Crimes& crimes) {
+  Vm& backup = crimes.checkpointer().backup();
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ull; };
+  for (std::size_t i = 0; i < backup.page_count(); ++i) {
+    const Pfn pfn{i};
+    if (!backup.is_backed(pfn)) {
+      mix(0x9E);
+      continue;
+    }
+    for (const std::byte b : backup.page(pfn).bytes()) {
+      mix(std::to_integer<std::uint64_t>(b));
+    }
+  }
+  return h;
+}
+
+struct SocketRun {
+  RunSummary summary;
+  std::uint64_t backup_hash = 0;
+};
+
+SocketRun run_socket_parsec(bool compress, fault::FaultPlan plan) {
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::no_opt(millis(50));
+  config.checkpoint.compress = compress;
+  config.mode = SafetyMode::Synchronous;
+  config.record_execution = false;
+  config.faults = std::move(plan);
+
+  TestGuest guest;
+  Crimes crimes(guest.hypervisor, *guest.kernel, config);
+  ParsecProfile profile = ParsecProfile::by_name("raytrace");
+  profile.working_set_pages = 256;
+  profile.touches_per_ms = 4.0;
+  profile.duration_ms = 500.0;
+  ParsecWorkload app(*guest.kernel, profile);
+  crimes.set_workload(&app);
+  crimes.initialize();
+  SocketRun out;
+  out.summary = crimes.run(millis(10000));
+  out.backup_hash = backup_fingerprint(crimes);
+  return out;
+}
+
+TEST(SocketTransportFaults, StormRetriesWithBackoffAndConverges) {
+  // Faults confined to the first four epochs: the socket path must retry,
+  // charge exponential backoff to the virtual clock, and still converge on
+  // the fault-free backup image once the storm passes.
+  const fault::FaultPlan plan = fault::FaultPlan::transport_storm(0.6, 0, 4, 11);
+  const SocketRun faulty = run_socket_parsec(/*compress=*/false, plan);
+  const SocketRun clean =
+      run_socket_parsec(/*compress=*/false, fault::FaultPlan{});
+
+  EXPECT_EQ(faulty.summary.epochs, clean.summary.epochs);
+  EXPECT_EQ(faulty.backup_hash, clean.backup_hash)
+      << "socket backup must converge on the clean image after the storm";
+  EXPECT_GT(faulty.summary.faults_injected, 0u);
+  EXPECT_GT(faulty.summary.copy_retries, 0u);
+  EXPECT_EQ(clean.summary.copy_retries, 0u);
+  // Backoff accounting: every retry charges at least the base backoff
+  // (retry k waits base << k), all of it booked as recovery time.
+  const Nanos floor =
+      CostModel::defaults().retry_backoff_base * faulty.summary.copy_retries;
+  EXPECT_GE(faulty.summary.recovery_time, floor);
+  EXPECT_GT(faulty.summary.total_pause, clean.summary.total_pause);
+}
+
+TEST(SocketTransportFaults, CompressedStormRetriesAndStaysDeterministic) {
+  const fault::FaultPlan plan = fault::FaultPlan::transport_storm(0.6, 0, 4, 5);
+  const SocketRun a = run_socket_parsec(/*compress=*/true, plan);
+  const SocketRun b = run_socket_parsec(/*compress=*/true, plan);
+  const SocketRun clean =
+      run_socket_parsec(/*compress=*/true, fault::FaultPlan{});
+
+  // Same seed, same run: fault decisions and backoff charges replay.
+  EXPECT_EQ(a.summary.faults_injected, b.summary.faults_injected);
+  EXPECT_EQ(a.summary.copy_retries, b.summary.copy_retries);
+  EXPECT_EQ(a.summary.checkpoint_failures, b.summary.checkpoint_failures);
+  EXPECT_EQ(a.summary.recovery_time, b.summary.recovery_time);
+  EXPECT_EQ(a.summary.total_pause, b.summary.total_pause);
+  EXPECT_EQ(a.backup_hash, b.backup_hash);
+
+  // The compressed path heals exactly like the plain one.
+  EXPECT_EQ(a.summary.epochs, clean.summary.epochs);
+  EXPECT_EQ(a.backup_hash, clean.backup_hash);
+  EXPECT_GT(a.summary.copy_retries, 0u);
+  EXPECT_GE(a.summary.recovery_time,
+            CostModel::defaults().retry_backoff_base * a.summary.copy_retries);
 }
 
 }  // namespace
