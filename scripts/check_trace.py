@@ -122,7 +122,8 @@ def check_epochs(spans):
     # epoch has been cut short, so only the steady-state names are held
     # to this.
     steady = {"suspend", "dirty_scan", "audit", "map", "copy", "resume",
-              "commit", "buffer_release", "replicate", "journal"}
+              "cow_protect", "commit", "buffer_release", "replicate",
+              "journal"}
     for ev in spans:
         if ev["tid"] != 0 or ev["name"] == "epoch":
             continue
@@ -172,6 +173,70 @@ def check_failover(spans, epochs):
           "monotonic across the promotion boundary")
 
 
+def check_cow(spans, epochs):
+    """Speculative-CoW traces put the background drain on its own track
+    (tid 1): each 'cow_drain' must overlap epoch execution (that overlap
+    is the whole point of resume-first checkpointing), every
+    'cow_first_touch' must nest inside a drain, and a drain belongs to a
+    trace that also shows 'cow_protect' pause phases."""
+    drains = sorted(
+        (e for e in spans if e["name"] == "cow_drain"), key=lambda e: e["ts"]
+    )
+    touches = [e for e in spans if e["name"] == "cow_first_touch"]
+    if not drains:
+        if touches:
+            fail("'cow_first_touch' spans without any 'cow_drain' span")
+        return
+    if not any(e["name"] == "cow_protect" for e in spans):
+        fail("'cow_drain' spans but no 'cow_protect' pause phase")
+    for d in drains:
+        if d["tid"] == 0:
+            fail(f"'cow_drain' at ts={d['ts']} is on the pipeline lane "
+                 "(tid 0); the drain must run on its own track")
+        d_start, d_end = d["ts"], d["ts"] + d["dur"]
+        if not any(
+            ep["ts"] < d_end - EPS and d_start < ep["ts"] + ep["dur"] - EPS
+            for ep in epochs
+        ) and d["dur"] > EPS:
+            fail(
+                f"'cow_drain' [{d_start}, {d_end}) overlaps no epoch: the "
+                "drain should run concurrently with guest execution"
+            )
+    for t in touches:
+        t_start, t_end = t["ts"], t["ts"] + t["dur"]
+        if not any(
+            d["ts"] - EPS <= t_start and t_end <= d["ts"] + d["dur"] + EPS
+            for d in drains
+        ):
+            fail(
+                f"'cow_first_touch' [{t_start}, {t_end}) lies outside "
+                "every 'cow_drain'"
+            )
+    print(f"check_trace: {len(drains)} cow_drain span(s) overlap epochs, "
+          f"{len(touches)} first-touch span(s) nested")
+
+
+def check_cow_metrics(path):
+    """The cow.pending_pages gauge must have drained to zero by the end of
+    the run: a nonzero final value means a drain never committed."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                if obj.get("name") == "cow.pending_pages":
+                    value = obj.get("value", 0)
+                    if abs(value) > EPS:
+                        fail(
+                            f"cow.pending_pages ended at {value}; every "
+                            "drain must complete by the final barrier"
+                        )
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+
+
 def check_metrics(path):
     n = 0
     try:
@@ -217,8 +282,10 @@ def main():
     check_nesting(spans)
     epochs = check_epochs(spans)
     check_failover(spans, epochs)
+    check_cow(spans, epochs)
     if args.metrics:
         check_metrics(args.metrics)
+        check_cow_metrics(args.metrics)
     print("check_trace: PASS")
 
 

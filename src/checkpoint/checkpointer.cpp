@@ -1,5 +1,6 @@
 #include "checkpoint/checkpointer.h"
 
+#include "checkpoint/cow_checkpointer.h"
 #include "common/hash.h"
 #include "common/log.h"
 #include "fault/fault_injector.h"
@@ -14,6 +15,7 @@
 namespace crimes {
 
 const char* CheckpointConfig::label() const {
+  if (speculative_cow) return "CoW";
   if (opt_memcpy && opt_premap && opt_chunked_scan) {
     return wants_pool() ? "Parallel" : "Full";
   }
@@ -50,6 +52,13 @@ void Checkpointer::set_telemetry(telemetry::Telemetry* telemetry) {
   metrics_.bitmap_rereads = &m.counter("fault.bitmap_reread");
   metrics_.worker_respawns = &m.counter("fault.worker_respawn");
   metrics_.recovery = &m.histogram("checkpoint.recovery_ns");
+  if (config_.speculative_cow) {
+    metrics_.cow_protect = &m.histogram("phase.protect");
+    metrics_.cow_drain = &m.histogram("cow.drain_ns");
+    metrics_.cow_stall = &m.histogram("cow.stall_ns");
+    metrics_.cow_first_touches = &m.counter("cow.first_touches");
+    metrics_.cow_pending_pages = &m.gauge("cow.pending_pages");
+  }
   if (config_.store.enabled) {
     metrics_.store_pages_unique = &m.gauge("store.pages_unique");
     metrics_.store_bytes_logical = &m.gauge("store.bytes_logical");
@@ -70,6 +79,7 @@ Checkpointer::Checkpointer(Hypervisor& hypervisor, Vm& primary,
                            CheckpointConfig config)
     : hypervisor_(&hypervisor),
       primary_(&primary),
+      primary_id_(primary.id()),
       clock_(&clock),
       costs_(&costs),
       config_(config) {
@@ -99,6 +109,16 @@ Checkpointer::Checkpointer(Hypervisor& hypervisor, Vm& primary,
   if (config_.parallel_scan && !config_.opt_chunked_scan) {
     throw std::invalid_argument(
         "CheckpointConfig: parallel_scan requires opt_chunked_scan");
+  }
+  if (config_.simd_scan && !config_.opt_chunked_scan) {
+    throw std::invalid_argument(
+        "CheckpointConfig: simd_scan requires opt_chunked_scan");
+  }
+  if (config_.speculative_cow && !config_.opt_memcpy) {
+    // The drain and the first-touch handler copy through local foreign
+    // mappings; a socket transport has no page to reference in place.
+    throw std::invalid_argument(
+        "CheckpointConfig: speculative_cow requires opt_memcpy");
   }
   if (config_.wants_pool()) {
     pool_ = std::make_unique<ThreadPool>(config_.pool_threads());
@@ -154,6 +174,12 @@ void Checkpointer::initialize() {
   }
   clock_->advance(startup_cost_);
 
+  if (config_.speculative_cow) {
+    cow_ = std::make_unique<CowCheckpointer>(*hypervisor_, *primary_,
+                                             *backup_, *costs_, config_,
+                                             pool_.get());
+  }
+
   primary_->enable_log_dirty();
   CRIMES_LOG(Info, "checkpointer")
       << "initialized (" << config_.label() << ", interval "
@@ -192,6 +218,11 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
   if (backup_ == nullptr) {
     throw std::logic_error("Checkpointer: initialize() not called");
   }
+  // Defensive barrier: a caller that never collected the previous epoch's
+  // speculative drain gets it completed here, without overlap credit, so
+  // "the backup holds the last clean checkpoint" is true for everything
+  // below (and for rollback/failover, which barrier the same way).
+  if (cow_ != nullptr && cow_->pending()) complete_cow_drain();
   EpochResult result;
   const DirtyBitmap& bitmap = primary_->dirty_bitmap();
   const std::size_t dirty_count = bitmap.dirty_count();
@@ -242,6 +273,10 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
         bitmap.scan_parallel(*pool_, pool_->size(), &shard_set_bits);
     result.costs.bitscan =
         costs_->bitscan_parallel_cost(bitmap.word_count(), shard_set_bits);
+  } else if (config_.opt_chunked_scan && config_.simd_scan) {
+    result.dirty = bitmap.scan_simd();
+    result.costs.bitscan =
+        costs_->bitscan_simd_cost(bitmap.word_count(), result.dirty.size());
   } else if (config_.opt_chunked_scan) {
     result.dirty = bitmap.scan_chunked();
     result.costs.bitscan = costs_->bitscan_chunked_cost(bitmap.word_count(),
@@ -291,6 +326,38 @@ EpochResult Checkpointer::run_checkpoint(const AuditFn& audit) {
     if (traced) record_epoch_metrics(result);
     CRIMES_LOG(Warn, "checkpointer")
         << "audit FAILED at " << to_ms(clock_->now()) << " ms; VM paused";
+    return result;
+  }
+
+  if (cow_ != nullptr) {
+    // 4'. Speculative CoW (DESIGN.md section 12): write-protect the dirty
+    // set and resume immediately. Map and copy move off-pause, onto the
+    // drain; the pause is suspend + scan + audit + protect + resume.
+    const bool capture_undo = faults_ != nullptr || config_.verify_backup;
+    const bool want_digests = store_ != nullptr || config_.verify_backup;
+    wall_start();
+    result.costs.protect = cow_->protect(result.dirty, primary_->vcpu(),
+                                         capture_undo, want_digests);
+    wall_stop();
+    phase_span("cow_protect", result.costs.protect, wall);
+    // The protected set is the checkpoint; any page written during the
+    // next epoch re-marks itself through the ordinary log-dirty path
+    // (first-touch copies the pre-write bytes out before the write lands).
+    primary_->dirty_bitmap().clear_all();
+    result.cow_pending = true;
+
+    primary_->resume();
+    // The dirty pages are not flushed through the resume path -- they are
+    // still live in the primary -- so only the base cost applies.
+    result.costs.resume = costs_->resume_base;
+    phase_span("resume", result.costs.resume, Nanos{0});
+
+    clock_->advance(result.costs.pause_total());
+    if (traced) record_epoch_metrics(result);
+    if (metrics_.cow_pending_pages != nullptr) {
+      metrics_.cow_pending_pages->set(
+          static_cast<double>(cow_->pending_pages()));
+    }
     return result;
   }
 
@@ -373,10 +440,14 @@ void Checkpointer::store_commit(EpochResult& result) {
     // Journal the append and the GC decision as separate statements: the
     // device order must match store-operation order (append, then collect)
     // so replay reproduces the retention machinery's choices exactly, and
-    // `a + b` would leave the two log calls unsequenced.
+    // `a + b` would leave the two log calls unsequenced. Both statements
+    // belong to one commit, so they share a batch -- one device flush,
+    // only the first record pays the append base cost.
+    journal_->begin_batch();
     journal_cost = journal_->log_append(checkpoints_taken_, clock_->now(),
                                         result.dirty, image, backup_vcpu_);
     journal_cost += journal_->log_collect();
+    journal_->end_batch();
     if (trace != nullptr) {
       trace->add_span("journal", clock_->now(), journal_cost);
     }
@@ -385,6 +456,107 @@ void Checkpointer::store_commit(EpochResult& result) {
 
   result.store_cost = append_cost + gc_cost + journal_cost;
   update_store_gauges();
+}
+
+bool Checkpointer::cow_drain_pending() const {
+  return cow_ != nullptr && cow_->pending();
+}
+
+CowCommit Checkpointer::complete_cow_drain(Nanos resume_at) {
+  if (!cow_drain_pending()) {
+    throw std::logic_error(
+        "Checkpointer::complete_cow_drain: no drain pending");
+  }
+  CowCommit commit = cow_->complete(faults_);
+
+  // Timeline: the drain ran on its own lane from the instant the VM
+  // resumed; the commit barrier charges the clock only the portion that
+  // outlived the overlap window. A negative resume_at is the no-overlap
+  // fallback (defensive barriers): the whole drain lands at `now`.
+  const Nanos now = clock_->now();
+  const Nanos drain_start = resume_at.count() < 0 ? now : resume_at;
+  const Nanos commit_at = drain_start + commit.drain_cost;
+  commit.stall = commit_at > now ? commit_at - now : Nanos{0};
+
+  if (telemetry_ != nullptr) {
+    // tid 1 is the drain lane: sequential drains never overlap there
+    // (epoch i's commit barrier precedes epoch i+1's resume). The epoch's
+    // first-touch traps render as one aggregated child span.
+    telemetry_->trace.add_span("cow_drain", drain_start, commit.drain_cost,
+                               1);
+    if (commit.first_touches > 0) {
+      telemetry_->trace.add_span("cow_first_touch", drain_start,
+                                 commit.first_touch_cost, 1, Nanos{0}, 1);
+    }
+  }
+  clock_->advance(commit.stall);
+
+  if (metrics_.cow_drain != nullptr) {
+    metrics_.cow_drain->record(
+        static_cast<std::uint64_t>(commit.drain_cost.count()));
+    metrics_.cow_stall->record(
+        static_cast<std::uint64_t>(commit.stall.count()));
+    metrics_.cow_first_touches->add(commit.first_touches);
+    metrics_.cow_pending_pages->set(0.0);
+  }
+  if (metrics_.copy_retries != nullptr && commit.copy_retries > 0) {
+    metrics_.copy_retries->add(commit.copy_retries);
+  }
+  if (metrics_.recovery != nullptr && commit.recovery_cost.count() > 0) {
+    metrics_.recovery->record(
+        static_cast<std::uint64_t>(commit.recovery_cost.count()));
+  }
+
+  if (commit.committed) {
+    backup_vcpu_ = cow_->vcpu_at_checkpoint();
+    backup_->vcpu() = backup_vcpu_;
+    ++checkpoints_taken_;
+    if (config_.history_capacity > 0) push_history();
+    if (store_ != nullptr) commit.store_cost = cow_store_commit();
+  } else if (metrics_.checkpoint_failures != nullptr) {
+    metrics_.checkpoint_failures->add();
+  }
+  return commit;
+}
+
+Nanos Checkpointer::cow_store_commit() {
+  telemetry::TraceRecorder* trace =
+      telemetry_ != nullptr ? &telemetry_->trace : nullptr;
+  ForeignMapping image = hypervisor_->map_foreign(backup_->id());
+  // The fused digests captured during the drain stand in for the store's
+  // hash pass -- the append prices encoding only.
+  const Nanos append_cost =
+      store_->append_with_digests(checkpoints_taken_, cow_->dirty(),
+                                  cow_->digests(), image, backup_vcpu_,
+                                  clock_->now());
+  if (trace != nullptr) {
+    trace->add_span("store_append", clock_->now(), append_cost);
+  }
+  clock_->advance(append_cost);
+
+  const Nanos gc_cost = store_->collect();
+  if (trace != nullptr && gc_cost.count() > 0) {
+    trace->add_span("gc", clock_->now(), gc_cost);
+  }
+  clock_->advance(gc_cost);
+
+  Nanos journal_cost{0};
+  if (journal_ != nullptr) {
+    // One commit, one device flush: the append and GC statements share a
+    // single journal batch, so only the first record pays the base cost.
+    journal_->begin_batch();
+    journal_cost = journal_->log_append(checkpoints_taken_, clock_->now(),
+                                        cow_->dirty(), image, backup_vcpu_);
+    journal_cost += journal_->log_collect();
+    journal_->end_batch();
+    if (trace != nullptr) {
+      trace->add_span("journal", clock_->now(), journal_cost);
+    }
+    clock_->advance(journal_cost);
+  }
+
+  update_store_gauges();
+  return append_cost + gc_cost + journal_cost;
 }
 
 void Checkpointer::update_store_gauges() {
@@ -481,6 +653,9 @@ void Checkpointer::record_epoch_metrics(const EpochResult& result) {
   }
   metrics_.map->record(result.costs.map.count());
   metrics_.copy->record(result.costs.copy.count());
+  if (metrics_.cow_protect != nullptr) {
+    metrics_.cow_protect->record(result.costs.protect.count());
+  }
   metrics_.resume->record(result.costs.resume.count());
   metrics_.pause_total->record(result.costs.pause_total().count());
   if (result.recovery_cost.count() > 0) {
@@ -492,6 +667,10 @@ Nanos Checkpointer::rollback() {
   if (primary_->state() != VmState::Paused) {
     throw std::logic_error("Checkpointer::rollback: primary must be Paused");
   }
+  // A pending speculative drain holds uncommitted pages in the backup;
+  // settle it (commit or untorn restore) before reading the backup as
+  // "the last clean checkpoint".
+  if (cow_drain_pending()) complete_cow_drain();
   CRIMES_TRACE_SPAN(telemetry_ != nullptr ? &telemetry_->trace : nullptr,
                     "rollback");
   const std::vector<Pfn> dirty = primary_->dirty_bitmap().scan_chunked();
@@ -527,6 +706,9 @@ Nanos Checkpointer::rollback_to(std::uint64_t epoch) {
     throw std::invalid_argument(
         "Checkpointer::rollback_to: generation not retained");
   }
+  // Same barrier as rollback(): the backup must hold a *committed*
+  // generation before the rewind diffs against it.
+  if (cow_drain_pending()) complete_cow_drain();
   CRIMES_TRACE_SPAN(telemetry_ != nullptr ? &telemetry_->trace : nullptr,
                     "rollback_to");
 
@@ -589,8 +771,20 @@ Vm& Checkpointer::failover() {
   if (backup_ == nullptr) {
     throw std::logic_error("Checkpointer::failover: no backup image");
   }
-  if (hypervisor_->has_domain(primary_->id())) {
-    hypervisor_->destroy_domain(primary_->id());
+  if (cow_drain_pending()) {
+    if (hypervisor_->has_domain(primary_id_)) {
+      // The primary's memory still exists, so the drain can finish: the
+      // promoted image then carries the in-flight checkpoint too.
+      complete_cow_drain();
+    } else {
+      // The drain's page sources died with the primary. Restore the
+      // backup from the undo log so the promoted image is the last
+      // *committed* checkpoint, never a half-drained one.
+      cow_->abandon();
+    }
+  }
+  if (hypervisor_->has_domain(primary_id_)) {
+    hypervisor_->destroy_domain(primary_id_);
   }
   Vm& promoted = *backup_;
   promoted.unpause();  // the backup becomes the live VM

@@ -48,6 +48,8 @@ class StoreJournal;
 
 namespace crimes {
 
+class CowCheckpointer;
+
 struct CheckpointConfig {
   Nanos epoch_interval = millis(200);
   bool opt_memcpy = false;        // Optimization 1: memcpy, not write
@@ -77,6 +79,21 @@ struct CheckpointConfig {
   std::size_t copy_threads = 0;
   bool parallel_scan = false;
   bool parallel_audit = false;
+  // SIMD fast path for the word-wise scan (requires opt_chunked_scan):
+  // four words tested per vector compare, clean blocks skipped after one
+  // load. parallel_scan wins when both are set -- sharding subsumes the
+  // vector win.
+  bool simd_scan = false;
+  // Speculative copy-on-write checkpointing (DESIGN.md section 12,
+  // requires opt_memcpy): after the bitmap scan + audit, the dirty set is
+  // write-protected via the mem-event machinery, the VM resumes
+  // immediately, and the copy drains asynchronously -- a guest
+  // first-touch of a still-pending page forces that page's copy before
+  // the write proceeds. The epoch's commit barriers on drain completion:
+  // run_checkpoint() returns with `cow_pending` set and the caller
+  // finishes the epoch via complete_cow_drain(). The committed backup is
+  // byte-identical to what the stop-copy path produces.
+  bool speculative_cow = false;
   // Resilience layer (DESIGN.md section 9): after every copy, checksum the
   // dirty pages on both sides (FNV-1a, really computed) and retry a
   // mismatched or aborted copy with exponential backoff. Off by default --
@@ -117,6 +134,14 @@ struct CheckpointConfig {
     config.parallel_audit = true;
     return config;
   }
+  // Full optimizations plus the speculative CoW drain and the SIMD scan:
+  // the pause shrinks to suspend + scan + audit + protect + resume.
+  [[nodiscard]] static CheckpointConfig cow(Nanos interval = millis(200)) {
+    CheckpointConfig config = full(interval);
+    config.speculative_cow = true;
+    config.simd_scan = true;
+    return config;
+  }
 
   [[nodiscard]] bool wants_pool() const {
     return copy_threads > 1 || parallel_scan || parallel_audit ||
@@ -136,11 +161,14 @@ struct PhaseCosts {
   Nanos bitscan{0};
   Nanos map{0};
   Nanos copy{0};
+  // Speculative CoW path only: write-protecting the dirty set before
+  // resume (the map and copy phases then run off-pause, on the drain).
+  Nanos protect{0};
   Nanos resume{0};
   std::size_t dirty_pages = 0;
 
   [[nodiscard]] Nanos pause_total() const {
-    return suspend + vmi + bitscan + map + copy + resume;
+    return suspend + vmi + bitscan + map + copy + protect + resume;
   }
 };
 
@@ -176,6 +204,27 @@ struct EpochResult {
   // to the clock *after* resume -- it is not part of the pause -- and
   // therefore not included in `costs`.
   Nanos store_cost{0};
+  // Speculative CoW path: true when the epoch's copy is still draining.
+  // The commit is decided by complete_cow_drain(); checkpoint_committed
+  // is meaningless until then.
+  bool cow_pending = false;
+};
+
+// What complete_cow_drain() reports back: whether the speculative epoch
+// committed, and where the drain's virtual time went. `drain_cost` runs
+// from the moment the VM resumed; the caller overlaps it with the next
+// epoch's execution and charges only `stall` (the portion that outlived
+// the overlap window handed to complete_cow_drain).
+struct CowCommit {
+  bool committed = true;
+  Nanos drain_cost{0};        // map + copy + first-touch + retries + verify
+  Nanos stall{0};             // barrier wait charged to the clock
+  Nanos store_cost{0};        // post-commit store append/GC/journal
+  Nanos recovery_cost{0};     // wasted attempts, backoff, undo restore
+  Nanos first_touch_cost{0};  // included in drain_cost, broken out
+  std::size_t first_touches = 0;
+  std::size_t drained_pages = 0;  // copied in the background (not touched)
+  std::size_t copy_retries = 0;
 };
 
 // Extension (section 3.1: "CRIMES could be extended to include a history of
@@ -206,8 +255,25 @@ class Checkpointer {
 
   // Runs the end-of-epoch pipeline. Advances the SimClock by the total
   // pause time. On audit failure the primary is left Paused and the backup
-  // untouched.
+  // untouched. With speculative_cow the returned result has cow_pending
+  // set: the copy is still draining and the caller must finish the epoch
+  // via complete_cow_drain() before the next run_checkpoint (which
+  // otherwise completes the drain itself, without overlap credit).
   EpochResult run_checkpoint(const AuditFn& audit);
+
+  // True while a speculative CoW drain is in flight.
+  [[nodiscard]] bool cow_drain_pending() const;
+  // Completes the in-flight drain: background-copies the pages the guest
+  // never touched (fusing the per-page FNV-1a digest into the copy loop),
+  // verifies/retries under fault injection, and either commits the epoch
+  // (backup advanced, store appended with the fused digests, journal
+  // batched) or restores the backup untorn and re-marks the dirty set.
+  // `resume_at` is the virtual instant the VM resumed (the drain's start);
+  // the clock is charged only the barrier stall beyond `resume_at +
+  // drain_cost`. Pass a negative resume_at (the default) to charge the
+  // full drain cost at the current instant -- the no-overlap fallback the
+  // defensive barriers use.
+  CowCommit complete_cow_drain(Nanos resume_at = Nanos{-1});
 
   // Restores every page dirtied since the last clean checkpoint (plus the
   // vCPU) from the backup. Requires the primary to be Paused; leaves it
@@ -282,10 +348,17 @@ class Checkpointer {
   // Post-commit store hook: append the generation, run incremental GC,
   // refresh the store.* gauges. Advances the clock (after resume).
   void store_commit(EpochResult& result);
+  // CoW twin of store_commit: appends with the drain's fused digests
+  // (no hash pass) and batches the journal statements. Returns the cost.
+  [[nodiscard]] Nanos cow_store_commit();
   void update_store_gauges();
 
   Hypervisor* hypervisor_;
   Vm* primary_;
+  // Cached at construction: failover() must be able to ask "does the
+  // primary domain still exist?" after an external destroy_domain has
+  // already freed the Vm behind `primary_`.
+  DomainId primary_id_{0};
   SimClock* clock_;
   const CostModel* costs_;
   CheckpointConfig config_;
@@ -299,6 +372,7 @@ class Checkpointer {
   std::deque<Snapshot> history_;
   std::unique_ptr<store::CheckpointStore> store_;
   std::unique_ptr<replication::StoreJournal> journal_;
+  std::unique_ptr<CowCheckpointer> cow_;  // speculative_cow only
   fault::FaultInjector* faults_ = nullptr;
 
   telemetry::Telemetry* telemetry_ = nullptr;
@@ -320,6 +394,12 @@ class Checkpointer {
     telemetry::Counter* bitmap_rereads = nullptr;
     telemetry::Counter* worker_respawns = nullptr;
     telemetry::Histogram* recovery = nullptr;
+    // Speculative CoW path; resolved only when speculative_cow is set.
+    telemetry::Histogram* cow_protect = nullptr;
+    telemetry::Histogram* cow_drain = nullptr;
+    telemetry::Histogram* cow_stall = nullptr;
+    telemetry::Counter* cow_first_touches = nullptr;
+    telemetry::Gauge* cow_pending_pages = nullptr;
     // Checkpoint-store gauges; resolved only when the store is enabled.
     telemetry::Gauge* store_pages_unique = nullptr;
     telemetry::Gauge* store_bytes_logical = nullptr;

@@ -59,6 +59,14 @@ class Transport {
   // the calling thread before any parallel fan-out.
   void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
 
+  // Scatter-gather zero-copy framing: records reference the source pages
+  // via iovecs instead of staging the whole epoch into a wire buffer, so
+  // the per-page cost drops by the staging memcpy and no epoch-sized
+  // allocation happens. MemcpyTransport ignores the flag (it never
+  // staged); the socket transports switch to per-record framing.
+  void set_zero_copy(bool on) { zero_copy_ = on; }
+  [[nodiscard]] bool zero_copy() const { return zero_copy_; }
+
  protected:
   // True when the injector says this copy attempt aborts mid-stream.
   [[nodiscard]] bool copy_attempt_fails() const;
@@ -67,6 +75,7 @@ class Transport {
   void maybe_tear(ForeignMapping& backup, std::span<const Pfn> dirty) const;
 
   fault::FaultInjector* faults_ = nullptr;
+  bool zero_copy_ = false;
 };
 
 class MemcpyTransport final : public Transport {
@@ -107,6 +116,9 @@ class SocketTransport final : public Transport {
   }
 
  private:
+  Nanos copy_gather(ForeignMapping& primary, ForeignMapping& backup,
+                    std::span<const Pfn> dirty);
+
   const CostModel* costs_;
   std::vector<std::byte> wire_;  // reused staging buffer ("the socket")
   std::uint64_t bytes_streamed_ = 0;
@@ -143,6 +155,9 @@ class CompressedSocketTransport final : public Transport {
   }
 
  private:
+  Nanos copy_gather(ForeignMapping& primary, ForeignMapping& backup,
+                    std::span<const Pfn> dirty);
+
   const CostModel* costs_;
   std::vector<std::byte> wire_;
   std::vector<std::byte> delta_;

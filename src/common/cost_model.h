@@ -41,6 +41,11 @@ struct CostModel {
   Nanos bitscan_per_bit = nanos(10);       // unoptimized: test every bit
   Nanos bitscan_per_word = nanos(25);      // optimized: one load per word
   Nanos bitscan_per_set_bit = nanos(5);    // optimized: extract dirty bits
+  // SIMD fast path: one 256-bit vector compare covers four words, so a
+  // clean block is skipped after a single load+test; the per-word charge
+  // drops to ~a third of the scalar load. Dirty words still decompose at
+  // bitscan_per_set_bit.
+  Nanos bitscan_simd_per_word = nanos(8);
 
   // --- Page mapping (Table 1: map 1.6-2.6 ms for 1.3k-2k dirty pages ->
   // ~1.3 us per page; dominated by the map_foreign_range hypercall and
@@ -63,6 +68,13 @@ struct CostModel {
   // plain socket cost; sparse deltas cost proportionally less.
   Nanos copy_compress_per_page = nanos(1500);
   Nanos copy_wire_per_byte = nanos(2);  // ~2.1 ns; stored integral
+  // Scatter-gather zero-copy framing (replication frames reference the
+  // store's pages via iovecs instead of staging the epoch into a wire
+  // buffer). Saves the staging memcpy and the epoch-sized allocation:
+  // socket records drop ~3 us of buffer assembly, compressed records the
+  // ~0.3 us delta-staging share of their CPU cost.
+  Nanos copy_socket_gather_per_page = nanos(7000);
+  Nanos copy_compress_gather_per_page = nanos(1200);
 
   // --- VMI (Table 3).
   Nanos vmi_init = micros(66500);          // one-time LibVMI initialization
@@ -174,6 +186,22 @@ struct CostModel {
   Nanos journal_write_per_page = micros(25);  // per 4 KiB of record payload
   Nanos journal_scan_per_record = micros(2);  // fsck/recovery record walk
 
+  // --- Speculative copy-on-write checkpointing (DESIGN.md section 12).
+  // Write-protecting the dirty set before resume: one batched EPT
+  // permission flip per 512-entry leaf block plus a TLB shootdown, in the
+  // style of Xen's SHADOW_OP_CLEAN bulk clear -- so the per-page share is
+  // tiny and the fixed hypercall/shootdown cost dominates.
+  Nanos cow_protect_base = micros(80);
+  Nanos cow_protect_per_page = nanos(15);
+  // A guest first-touch of a still-pending page: VM exit, synchronous
+  // handler copies the old bytes aside, unprotect, re-enter. Off the
+  // pause path but charged to the drain timeline.
+  Nanos cow_first_touch_per_page = micros(3);
+  // Folding the per-page FNV-1a digest into the copy loop: the bytes are
+  // already in cache from the memcpy, so fusing costs a third of the
+  // standalone checksum_per_page sweep.
+  Nanos cow_fused_hash_per_page = nanos(60);
+
   // --- AddressSanitizer baseline: cost per instrumented memory access.
   // Calibrated so PARSEC access profiles yield the 1.4-2.6x range of
   // Figure 3 ("AS" bars).
@@ -199,6 +227,14 @@ struct CostModel {
   [[nodiscard]] Nanos bitscan_chunked_cost(std::size_t total_words,
                                            std::size_t set_bits) const {
     return bitscan_per_word * total_words + bitscan_per_set_bit * set_bits;
+  }
+  [[nodiscard]] Nanos bitscan_simd_cost(std::size_t total_words,
+                                        std::size_t set_bits) const {
+    return bitscan_simd_per_word * total_words +
+           bitscan_per_set_bit * set_bits;
+  }
+  [[nodiscard]] Nanos cow_protect_cost(std::size_t dirty_pages) const {
+    return cow_protect_base + cow_protect_per_page * dirty_pages;
   }
 
   // Join rule for any forked phase: the slowest shard plus the fork/join

@@ -47,4 +47,32 @@ inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
   return hash;
 }
 
+// Fused copy+digest: copies `src` into `dst` and folds the bytes into the
+// FNV-1a state in the same pass, so the CoW drain pays one sweep per page
+// instead of memcpy-then-hash (the store's append re-reading the backup).
+// The fold is byte-serial -- FNV-1a has no wider formulation -- but the
+// copy moves word-at-a-time from the already-loaded data, so the result is
+// bit-identical to memcpy(dst, src) followed by fnv1a(src).
+[[nodiscard]] inline std::uint64_t copy_and_fnv1a(
+    std::byte* dst, const std::byte* src, std::size_t len,
+    std::uint64_t seed = kFnv1aOffsetBasis) {
+  std::uint64_t hash = seed;
+  std::size_t i = 0;
+  for (; i + sizeof(std::uint64_t) <= len; i += sizeof(std::uint64_t)) {
+    std::uint64_t word;
+    __builtin_memcpy(&word, src + i, sizeof(word));
+    __builtin_memcpy(dst + i, &word, sizeof(word));
+    for (std::size_t b = 0; b < sizeof(word); ++b) {
+      hash ^= (word >> (b * 8)) & 0xFFU;
+      hash *= kFnv1aPrime;
+    }
+  }
+  for (; i < len; ++i) {
+    dst[i] = src[i];
+    hash ^= static_cast<std::uint8_t>(src[i]);
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
 }  // namespace crimes

@@ -28,6 +28,7 @@ PhaseCosts RunSummary::avg_costs() const {
       .bitscan = total_costs.bitscan / n,
       .map = total_costs.map / n,
       .copy = total_costs.copy / n,
+      .protect = total_costs.protect / n,
       .resume = total_costs.resume / n,
       .dirty_pages = total_costs.dirty_pages / checkpoints,
   };
@@ -250,6 +251,14 @@ RunSummary Crimes::run(Nanos max_work_time) {
 
     if (config_.mode == SafetyMode::Disabled) continue;
 
+    // Commit barrier for the previous epoch's speculative CoW drain: it
+    // overlapped with the epoch that just executed, so by now it is
+    // usually done and the barrier stalls only on the remainder.
+    if (cow_stash_.active && !finish_cow_commit(summary)) {
+      summary.frozen_by_governor = true;
+      break;
+    }
+
     const EpochResult epoch =
         checkpointer_->run_checkpoint([this](std::span<const Pfn> dirty,
                                              Nanos audit_start) {
@@ -261,6 +270,7 @@ RunSummary Crimes::run(Nanos max_work_time) {
     summary.total_costs.bitscan += epoch.costs.bitscan;
     summary.total_costs.map += epoch.costs.map;
     summary.total_costs.copy += epoch.costs.copy;
+    summary.total_costs.protect += epoch.costs.protect;
     summary.total_costs.resume += epoch.costs.resume;
     summary.total_costs.dirty_pages += epoch.costs.dirty_pages;
     summary.total_pause += epoch.costs.pause_total();
@@ -274,6 +284,24 @@ RunSummary Crimes::run(Nanos max_work_time) {
     summary.store_time += epoch.store_cost;
     if (adaptive_) (void)adaptive_->observe(epoch.costs);
 
+    if (epoch.cow_pending) {
+      // Resume-first checkpoint: the copy is still draining and commits at
+      // the next barrier. Stash the epoch's outputs *now* -- the buffer
+      // holds exactly this (audited) epoch's packets; by barrier time the
+      // next epoch's would have mixed in. The disk overlay cannot split
+      // its pending writes the same way, so the (audited) disk state
+      // commits here; a later drain failure keeps the packets held but
+      // accepts this epoch's disk writes -- the documented tradeoff.
+      cow_stash_.active = true;
+      cow_stash_.epoch = epoch;
+      cow_stash_.held = buffer_.take_all();
+      cow_stash_.resume_at = clock_.now();
+      cow_stash_.epoch_start = epoch_start;
+      disk_.commit_pending();
+      disk_checkpoint_ = disk_.snapshot_committed();
+      continue;
+    }
+
     if (epoch.audit_passed) {
       if (epoch.checkpoint_committed) {
         ++summary.checkpoints;
@@ -283,7 +311,7 @@ RunSummary Crimes::run(Nanos max_work_time) {
         {
           CRIMES_TRACE_SPAN(trace, "commit");
           if (replicator_) {
-            replicate_commit(epoch, summary);
+            replicate_commit(epoch, summary, buffer_.take_all());
           } else {
             CRIMES_TRACE_SPAN(trace, "buffer_release");
             buffer_.release_all(network_, clock_.now());
@@ -338,6 +366,14 @@ RunSummary Crimes::run(Nanos max_work_time) {
       respond(epoch, epoch_start);
       break;
     }
+  }
+  if (cow_stash_.active && !primary_killed_) {
+    // The run ended with a drain still in flight (workload finished or the
+    // work-time budget ran out): settle it so the caller never observes a
+    // half-committed backup. The synthetic epoch span keeps the barrier's
+    // commit/release spans under an epoch, like every other one.
+    CRIMES_TRACE_SPAN(trace, "epoch");
+    if (!finish_cow_commit(summary)) summary.frozen_by_governor = true;
   }
   summary.pause_histogram = pause_hist.snapshot();
   if (injector_) {
@@ -423,7 +459,85 @@ bool Crimes::apply_governor_action(fault::SafetyGovernor::Action action,
   return false;
 }
 
-void Crimes::replicate_commit(const EpochResult& epoch, RunSummary& summary) {
+bool Crimes::finish_cow_commit(RunSummary& summary) {
+  telemetry::TraceRecorder* trace =
+      telemetry_ ? &telemetry_->trace : nullptr;
+  const CowCommit commit =
+      checkpointer_->complete_cow_drain(cow_stash_.resume_at);
+  EpochResult epoch = std::move(cow_stash_.epoch);
+  std::vector<Packet> held = std::move(cow_stash_.held);
+  const Nanos epoch_start = cow_stash_.epoch_start;
+  cow_stash_ = {};
+
+  summary.cow_first_touches += commit.first_touches;
+  summary.cow_drain_time += commit.drain_cost;
+  summary.cow_first_touch_time += commit.first_touch_cost;
+  summary.cow_commit_stall += commit.stall;
+  summary.copy_retries += commit.copy_retries;
+  summary.recovery_time += commit.recovery_cost;
+  summary.store_time += commit.store_cost;
+
+  // The buffer currently holds the *still unaudited* packets of the epoch
+  // that overlapped the drain. Set them aside: commit releases (and a
+  // governor downgrade would release) audited outputs only.
+  std::vector<Packet> unaudited = buffer_.take_all();
+
+  if (commit.committed) {
+    ++summary.checkpoints;
+    CRIMES_TRACE_SPAN(trace, "commit");
+    if (replicator_) {
+      replicate_commit(epoch, summary, std::move(held));
+    } else {
+      CRIMES_TRACE_SPAN(trace, "buffer_release");
+      for (auto& packet : held) {
+        network_.deliver(std::move(packet), clock_.now());
+      }
+    }
+    // Disk state was committed at protect time (see the stash site).
+  } else {
+    // The drain exhausted its retries: the backup was restored untorn and
+    // the dirty set re-marked. The epoch's outputs stay held -- into the
+    // (momentarily empty) buffer first, so they precede the overlapping
+    // epoch's packets when a later checkpoint finally covers them.
+    ++summary.checkpoint_failures;
+    for (auto& packet : held) buffer_.hold(std::move(packet));
+  }
+
+  bool frozen = false;
+  if (governor_ &&
+      apply_governor_action(governor_->on_epoch(commit.committed), summary)) {
+    frozen = true;
+  }
+  if (governor_ && governor_->state() == fault::GovernorState::Degraded) {
+    ++summary.degraded_epochs;
+  }
+  for (auto& packet : unaudited) buffer_.hold(std::move(packet));
+  if (frozen) return false;
+
+  // Async deep-scan extension rides committed epochs, like the stop-copy
+  // path.
+  if (commit.committed) {
+    if (async_scan_ && clock_.now() >= async_scan_->ready_at) {
+      if (!async_scan_->findings.empty()) {
+        last_findings_ = std::move(async_scan_->findings);
+        async_scan_.reset();
+        summary.attack_detected = true;
+        kernel_->vm().pause();
+        respond(epoch, epoch_start);
+        return false;
+      }
+      async_scan_.reset();
+    }
+    if (config_.async_deep_scan_every != 0 && !async_scan_ &&
+        summary.epochs % config_.async_deep_scan_every == 0) {
+      launch_async_deep_scan();
+    }
+  }
+  return true;
+}
+
+void Crimes::replicate_commit(const EpochResult& epoch, RunSummary& summary,
+                              std::vector<Packet> held) {
   telemetry::TraceRecorder* trace =
       telemetry_ ? &telemetry_->trace : nullptr;
   {
@@ -446,7 +560,7 @@ void Crimes::replicate_commit(const EpochResult& epoch, RunSummary& summary) {
     clock_.advance(costs_->lease_renew_rtt);
   }
   pending_release_.push_back(PendingRelease{
-      checkpointer_->checkpoints_taken(), buffer_.take_all()});
+      checkpointer_->checkpoints_taken(), std::move(held)});
   release_acked_outputs(summary);
 }
 
@@ -483,6 +597,13 @@ void Crimes::discard_pending_outputs(RunSummary& summary) {
 void Crimes::fail_over(RunSummary& summary, Nanos failed_at) {
   telemetry::TraceRecorder* trace =
       telemetry_ ? &telemetry_->trace : nullptr;
+  if (cow_stash_.active) {
+    // The in-flight drain died with the primary; its epoch never
+    // committed, so its held outputs are discarded like any other
+    // un-replicated epoch's.
+    summary.outputs_discarded += cow_stash_.held.size();
+    cow_stash_ = {};
+  }
   // The detector needs a heartbeat-free gap before it suspects, and every
   // lease ever granted must expire; virtual time fast-forwards through
   // both (nothing else can run -- the primary is dead).

@@ -148,6 +148,15 @@ struct RunSummary {
   // -- lengthens epochs, not pauses. Zero unless checkpoint.store.enabled.
   Nanos store_time{0};
 
+  // --- Speculative CoW (checkpoint.speculative_cow): all zero otherwise.
+  std::size_t cow_first_touches = 0;  // guest writes that forced a copy
+  Nanos cow_drain_time{0};        // background drain, overlapped with epochs
+  Nanos cow_first_touch_time{0};  // subset of drain: first-touch traps
+  // Drain time that outlived its overlap window and stalled the commit
+  // barrier. Not part of total_pause (the VM is running, only outputs
+  // wait); add it to total_pause for end-to-end overhead comparisons.
+  Nanos cow_commit_stall{0};
+
   // --- Replication & failover (src/replication): all zero/false unless
   // CrimesConfig::replication.enabled.
   Nanos replication_stall{0};  // backpressure waits (window full)
@@ -180,6 +189,9 @@ struct RunSummary {
   [[nodiscard]] double max_pause_ms() const { return to_ms(max_pause); }
   // Tail pause from the log2 histogram: accurate to a factor of 2,
   // clamped to the exact max.
+  [[nodiscard]] double p50_pause_ms() const {
+    return static_cast<double>(pause_histogram.p50()) / 1e6;
+  }
   [[nodiscard]] double p95_pause_ms() const {
     return static_cast<double>(pause_histogram.p95()) / 1e6;
   }
@@ -290,8 +302,17 @@ class Crimes {
                                                action,
                                            RunSummary& summary);
   void respond(const EpochResult& epoch, Nanos epoch_start);
-  // Replication helpers (all no-ops unless the replicator exists).
-  void replicate_commit(const EpochResult& epoch, RunSummary& summary);
+  // Commit barrier for the speculative CoW drain stashed by the previous
+  // epoch: completes the drain (overlapped with the epoch that just ran),
+  // releases or re-holds the stashed outputs, and feeds the governor.
+  // Returns false when the governor froze the pipeline.
+  [[nodiscard]] bool finish_cow_commit(RunSummary& summary);
+  // Replication helpers (all no-ops unless the replicator exists). `held`
+  // is the committed epoch's output set (captured at protect time on the
+  // CoW path, so the draining epoch's packets never mix with the next
+  // epoch's).
+  void replicate_commit(const EpochResult& epoch, RunSummary& summary,
+                        std::vector<Packet> held);
   void release_acked_outputs(RunSummary& summary);
   void discard_pending_outputs(RunSummary& summary);
   // Kill-path failover: the primary host died at clock_.now(); waits out
@@ -344,6 +365,19 @@ class Crimes {
   std::deque<PendingRelease> pending_release_;
   bool failed_over_ = false;
   bool primary_killed_ = false;
+
+  // Speculative CoW: everything stashed between the resume-first
+  // checkpoint (end of epoch i) and its commit barrier (after epoch i+1
+  // executes). `held` is epoch i's Synchronous output set, captured at
+  // protect time -- before epoch i+1's packets can mix into the buffer.
+  struct CowStash {
+    bool active = false;
+    EpochResult epoch;
+    std::vector<Packet> held;
+    Nanos resume_at{0};
+    Nanos epoch_start{0};
+  };
+  CowStash cow_stash_;
 
   Workload* workload_ = nullptr;
   bool initialized_ = false;

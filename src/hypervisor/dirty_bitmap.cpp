@@ -62,6 +62,37 @@ std::vector<Pfn> DirtyBitmap::scan_chunked() const {
   return dirty;
 }
 
+std::vector<Pfn> DirtyBitmap::scan_simd() const {
+  std::vector<Pfn> dirty;
+  dirty.reserve(dirty_count_);
+  constexpr std::size_t kBlock = 4;  // 4 x u64 = one 256-bit lane
+  const std::size_t words = words_.size();
+  const std::size_t blocked = words - words % kBlock;
+  std::size_t wi = 0;
+  auto decompose = [this, &dirty](std::size_t index, std::uint64_t word) {
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      const std::size_t pfn =
+          index * kBitsPerWord + static_cast<std::size_t>(bit);
+      if (pfn < page_count_) dirty.push_back(Pfn{pfn});
+      word &= word - 1;
+    }
+  };
+  for (; wi < blocked; wi += kBlock) {
+    const std::uint64_t w0 = words_[wi];
+    const std::uint64_t w1 = words_[wi + 1];
+    const std::uint64_t w2 = words_[wi + 2];
+    const std::uint64_t w3 = words_[wi + 3];
+    if ((w0 | w1 | w2 | w3) == 0) continue;
+    decompose(wi, w0);
+    decompose(wi + 1, w1);
+    decompose(wi + 2, w2);
+    decompose(wi + 3, w3);
+  }
+  for (; wi < words; ++wi) decompose(wi, words_[wi]);
+  return dirty;
+}
+
 std::vector<Pfn> DirtyBitmap::scan_parallel(
     ThreadPool& pool, std::size_t shards,
     std::vector<std::size_t>* shard_set_bits) const {

@@ -14,7 +14,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
+#include <span>
 #include <unordered_set>
 
 namespace crimes {
@@ -62,12 +64,45 @@ class MemoryEventMonitor {
   [[nodiscard]] std::size_t dropped() const { return dropped_; }
   [[nodiscard]] std::size_t delivered() const { return delivered_; }
 
+  // --- Copy-on-write protection (speculative checkpointing) -------------
+  // A second, lighter use of the same mem_access machinery: the CoW
+  // checkpointer write-protects the dirty set and handles the fault
+  // synchronously in dom0 (copy the page aside, unprotect, re-enter) --
+  // no ring, no vCPU hold, independent of the replay-only enabled_ flag
+  // above. The handler runs *before* the guest's bytes land, so it sees
+  // the page's pre-write (checkpoint-consistent) contents.
+  using CowHandler = std::function<void(Pfn)>;
+
+  void cow_protect(std::span<const Pfn> pfns, CowHandler handler) {
+    cow_handler_ = std::move(handler);
+    cow_protected_.insert(pfns.begin(), pfns.end());
+  }
+  void cow_unprotect(Pfn pfn) { cow_protected_.erase(pfn); }
+  void cow_unprotect_all() {
+    cow_protected_.clear();
+    cow_handler_ = nullptr;
+  }
+  [[nodiscard]] bool cow_protected(Pfn pfn) const {
+    return !cow_protected_.empty() && cow_protected_.contains(pfn);
+  }
+  [[nodiscard]] std::size_t cow_pending() const {
+    return cow_protected_.size();
+  }
+  // Fires the first-touch handler for `pfn` and drops its protection.
+  // Called by Vm::write_phys before the write's memcpy.
+  void cow_fault(Pfn pfn) {
+    cow_protected_.erase(pfn);
+    if (cow_handler_) cow_handler_(pfn);
+  }
+
  private:
   bool enabled_ = false;
   std::unordered_set<Pfn> watched_;
   std::deque<MemEvent> ring_;
   std::size_t dropped_ = 0;
   std::size_t delivered_ = 0;
+  std::unordered_set<Pfn> cow_protected_;
+  CowHandler cow_handler_;
 };
 
 }  // namespace crimes

@@ -98,6 +98,10 @@ void Vm::write_phys(Paddr addr, std::span<const std::byte> data,
     const std::size_t chunk =
         std::min(data.size() - done, kPageSize - offset);
 
+    // CoW first-touch trap: fire before the guest's bytes land, so the
+    // handler copies the page's pre-write (checkpoint-consistent) content.
+    if (monitor_.cow_protected(pfn)) monitor_.cow_fault(pfn);
+
     Page& pg = page(pfn);
     std::memcpy(pg.data.data() + offset, data.data() + done, chunk);
 

@@ -26,6 +26,7 @@ Replicator::Replicator(const CostModel& costs, ReplicationConfig config,
   } else {
     transport_ = std::make_unique<SocketTransport>(costs);
   }
+  transport_->set_zero_copy(config_.zero_copy);
 }
 
 void Replicator::set_telemetry(telemetry::Telemetry* telemetry) {

@@ -23,6 +23,7 @@ static_assert(std::is_trivially_copyable_v<VcpuState>,
               "VcpuState is serialized by memcpy");
 
 void put_bytes(std::vector<std::byte>& out, const void* src, std::size_t n) {
+  if (n == 0) return;  // empty payloads carry a null data() — UB for memcpy
   const std::size_t at = out.size();
   out.resize(at + n);
   std::memcpy(out.data() + at, src, n);
@@ -126,8 +127,12 @@ Nanos StoreJournal::append_record(RecordType type,
 
   const std::size_t pages =
       (record.size() + kPageSize - 1) / kPageSize;  // device blocks touched
-  Nanos cost = costs_->journal_append_base +
-               costs_->journal_write_per_page * pages;
+  Nanos base = costs_->journal_append_base;
+  if (batching_) {
+    if (batch_base_paid_) base = Nanos{0};  // rides the batch's submission
+    batch_base_paid_ = true;
+  }
+  Nanos cost = base + costs_->journal_write_per_page * pages;
 
   if (faults_ != nullptr && faults_->tears_journal_write()) {
     // The device acks a torn write: only a prefix of the record lands. The

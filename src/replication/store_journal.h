@@ -74,6 +74,19 @@ class StoreJournal {
   Nanos log_pin(std::uint64_t epoch);
   Nanos log_truncate(std::uint64_t epoch);
 
+  // --- Commit batching --------------------------------------------------
+  // A commit appends several records back to back (APPEND + COLLECT plus
+  // retention decisions); batching submits them as one vectored device
+  // write, so the fixed journal_append_base is paid once per batch.
+  // Record bytes and ordering are unchanged -- fsck/recover never see the
+  // difference.
+  void begin_batch() {
+    batching_ = true;
+    batch_base_paid_ = false;
+  }
+  void end_batch() { batching_ = false; }
+  [[nodiscard]] bool batching() const { return batching_; }
+
   // The raw device contents (what a crash leaves behind).
   [[nodiscard]] const std::vector<std::byte>& bytes() const { return log_; }
   [[nodiscard]] std::uint64_t records() const { return seq_; }
@@ -128,6 +141,8 @@ class StoreJournal {
   std::vector<std::byte> log_;
   std::uint64_t seq_ = 0;
   std::uint64_t torn_repaired_ = 0;
+  bool batching_ = false;
+  bool batch_base_paid_ = false;
 };
 
 }  // namespace crimes::replication

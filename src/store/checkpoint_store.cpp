@@ -92,6 +92,38 @@ Nanos CheckpointStore::append(std::uint64_t epoch, std::span<const Pfn> dirty,
   return cost + costs_->store_encode_per_page * encoded;
 }
 
+Nanos CheckpointStore::append_with_digests(
+    std::uint64_t epoch, std::span<const Pfn> dirty,
+    std::span<const std::uint64_t> digests, ForeignMapping& image,
+    const VcpuState& vcpu, Nanos now) {
+  if (chain_.empty()) {
+    throw std::logic_error(
+        "CheckpointStore::append_with_digests: seed() not called");
+  }
+  if (digests.size() != dirty.size()) {
+    throw std::invalid_argument(
+        "CheckpointStore::append_with_digests: digest count mismatch");
+  }
+  const std::size_t newest = chain_.size() - 1;
+  Generation gen;
+  gen.epoch = epoch;
+  gen.taken_at = now;
+  gen.vcpu = vcpu;
+  gen.changed.reserve(dirty.size());
+  std::size_t encoded = 0;
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const Pfn pfn = dirty[i];
+    const std::uint64_t prev = chain_.digest_at(newest, pfn);
+    if (digests[i] == prev) continue;
+    const std::uint64_t before = pages_.stats().dedup_hits;
+    pages_.intern(image.peek(pfn), digests[i], prev);
+    if (pages_.stats().dedup_hits == before) ++encoded;
+    gen.changed.emplace_back(pfn, digests[i]);
+  }
+  chain_.append(std::move(gen));
+  return costs_->store_encode_per_page * encoded;
+}
+
 Nanos CheckpointStore::collect() {
   std::size_t processed = 0;
   std::size_t dropped = 0;

@@ -67,6 +67,15 @@ class CheckpointStore {
                ForeignMapping& image, const VcpuState& vcpu, Nanos now,
                ThreadPool* pool);
 
+  // Append with precomputed digests (digests[i] is page_digest() of
+  // image's dirty[i] page): the CoW drain folds the FNV-1a sweep into its
+  // copy loop, so this path skips the hash pass entirely -- its cost was
+  // already charged as cow_fused_hash_per_page on the drain timeline.
+  Nanos append_with_digests(std::uint64_t epoch, std::span<const Pfn> dirty,
+                            std::span<const std::uint64_t> digests,
+                            ForeignMapping& image, const VcpuState& vcpu,
+                            Nanos now);
+
   // Incremental GC: drops aged-out generations (at most
   // gc_generations_per_epoch per call), merging each into its successor.
   // Returns the virtual cost; every call records into gc_pauses().

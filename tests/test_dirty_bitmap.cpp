@@ -43,6 +43,7 @@ TEST(DirtyBitmap, ScansAreSortedAndComplete) {
   const std::vector<Pfn> expect{Pfn{0}, Pfn{63}, Pfn{64}, Pfn{200}};
   EXPECT_EQ(bm.scan_naive(), expect);
   EXPECT_EQ(bm.scan_chunked(), expect);
+  EXPECT_EQ(bm.scan_simd(), expect);
   EXPECT_EQ(bm.scan_parallel(pool, 4), expect);
 }
 
@@ -51,10 +52,12 @@ TEST(DirtyBitmap, EmptyAndFullExtremes) {
   DirtyBitmap bm(130);  // deliberately not a multiple of 64
   EXPECT_TRUE(bm.scan_naive().empty());
   EXPECT_TRUE(bm.scan_chunked().empty());
+  EXPECT_TRUE(bm.scan_simd().empty());
   EXPECT_TRUE(bm.scan_parallel(pool, 4).empty());
   for (std::size_t i = 0; i < 130; ++i) bm.mark(Pfn{i});
   EXPECT_EQ(bm.scan_naive().size(), 130u);
   EXPECT_EQ(bm.scan_chunked().size(), 130u);
+  EXPECT_EQ(bm.scan_simd(), bm.scan_chunked());
   EXPECT_EQ(bm.scan_parallel(pool, 4), bm.scan_chunked());
 }
 
@@ -65,6 +68,7 @@ TEST(DirtyBitmap, SingleBitFoundByEveryScanAndShardCount) {
   const std::vector<Pfn> expect{Pfn{64123}};
   EXPECT_EQ(bm.scan_naive(), expect);
   EXPECT_EQ(bm.scan_chunked(), expect);
+  EXPECT_EQ(bm.scan_simd(), expect);
   for (const std::size_t shards : {1u, 2u, 3u, 4u, 8u}) {
     EXPECT_EQ(bm.scan_parallel(pool, shards), expect);
   }
@@ -80,6 +84,9 @@ TEST(DirtyBitmap, LastWordPartialBitsIgnoredByChunkedScan) {
   ASSERT_EQ(dirty.size(), 6u);  // only 64..69 are real pages
   EXPECT_EQ(dirty.front(), Pfn{64});
   EXPECT_EQ(dirty.back(), Pfn{69});
+  // The SIMD block scan sees the stray-bit word inside its tail; it must
+  // apply the same page_count guard.
+  EXPECT_EQ(bm.scan_simd(), dirty);
   // The parallel scan puts the stray-bit word in its final shard; it must
   // apply the same page_count guard.
   EXPECT_EQ(bm.scan_parallel(pool, 2), dirty);
@@ -104,12 +111,16 @@ TEST(DirtyBitmap, ParallelScanReportsPerShardSetBits) {
             bm.dirty_count());
 }
 
-// Property: all three scan algorithms agree on random bitmaps of many
-// sizes and densities, for every shard count.
+// Property: all four scan algorithms agree on random bitmaps of many
+// sizes and densities, for every shard count. The sizes cover every
+// alignment hazard: word boundaries (63/64/65) and the SIMD scan's
+// four-word block boundary (255/256/257 words via 16320/16384/16448
+// pages would be slow; 4096 = exactly 64 blocks and 4160 = 64 blocks + 1
+// word cover the same code paths).
 class ScanEquivalence
     : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
 
-TEST_P(ScanEquivalence, NaiveChunkedAndParallelAgree) {
+TEST_P(ScanEquivalence, NaiveChunkedSimdAndParallelAgree) {
   const auto [pages, density] = GetParam();
   Rng rng(pages * 7919 + static_cast<std::uint64_t>(density * 1000));
   DirtyBitmap bm(pages);
@@ -119,6 +130,7 @@ TEST_P(ScanEquivalence, NaiveChunkedAndParallelAgree) {
   const auto naive = bm.scan_naive();
   const auto chunked = bm.scan_chunked();
   EXPECT_EQ(naive, chunked);
+  EXPECT_EQ(bm.scan_simd(), chunked);
   EXPECT_EQ(naive.size(), bm.dirty_count());
 
   ThreadPool pool(4);
@@ -135,7 +147,8 @@ TEST_P(ScanEquivalence, NaiveChunkedAndParallelAgree) {
 INSTANTIATE_TEST_SUITE_P(
     SizesAndDensities, ScanEquivalence,
     ::testing::Combine(
-        ::testing::Values<std::size_t>(1, 63, 64, 65, 1000, 4096, 100000),
+        ::testing::Values<std::size_t>(1, 63, 64, 65, 255, 256, 257, 1000,
+                                       4096, 4160, 100000),
         ::testing::Values(0.0, 0.001, 0.01, 0.2, 0.9, 1.0)));
 
 }  // namespace

@@ -311,9 +311,10 @@ TEST(Replicator, WindowBackpressureStallsUntilTheOldestAck) {
   expect_images_equal(*twins.src, *twins.dst, "after first commit");
   EXPECT_EQ(twins.dst->vcpu(), vcpu);
 
-  // Generation 2's ack instant, from the cost model: serialized transfer,
-  // one wire hop, per-page apply, one hop back.
-  const Nanos transfer = costs.copy_socket_per_page * dirty.size();
+  // Generation 2's ack instant, from the cost model: zero-copy gather
+  // transfer (the replication stream's default framing), one wire hop,
+  // per-page apply, one hop back.
+  const Nanos transfer = costs.copy_socket_gather_per_page * dirty.size();
   const Nanos ack1 = transfer + costs.replication_one_way * 2 +
                      costs.replication_apply_per_page * dirty.size();
 
