@@ -172,17 +172,14 @@ int run_traced(const std::string& trace_out, const std::string& metrics_out) {
   EpochTalker app(kernel, crimes.nic(), kEpochs);
   crimes.set_workload(&app);
   crimes.initialize();
+  // Registered up front so the failover/freeze paths flush mid-run: even
+  // if the process died right after the promotion, the files on disk
+  // would parse.
+  crimes.telemetry()->set_export_paths(trace_out, metrics_out);
   (void)crimes.run(kInterval * static_cast<std::int64_t>(kEpochs));
 
-  const telemetry::Telemetry* tel = crimes.telemetry();
-  if (!trace_out.empty() &&
-      !telemetry::write_chrome_trace(tel->trace, trace_out)) {
-    std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
-    return 1;
-  }
-  if (!metrics_out.empty() &&
-      !telemetry::write_metrics_jsonl(tel->metrics, metrics_out)) {
-    std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+  if (!crimes.telemetry()->flush_exports()) {
+    std::fprintf(stderr, "failed to write telemetry exports\n");
     return 1;
   }
   if (!trace_out.empty()) {
@@ -214,8 +211,9 @@ int main(int argc, char** argv) {
       "(%zu epochs of %.0f ms; storm over the first %zu epochs; primary "
       "killed at epoch %zu)\n\n",
       kEpochs, to_ms(kInterval), kFaultEpochs, kKillEpoch);
-  std::printf("%6s %6s %5s %9s %4s %8s %4s %8s %7s\n", "rate", "repl", "drop",
-              "stall_ms", "lag", "fail_ms", "gen", "discard", "fenced");
+  std::printf("%6s %6s %5s %9s %4s %8s %4s %8s %7s %4s %4s %4s\n", "rate",
+              "repl", "drop", "stall_ms", "lag", "fail_ms", "gen", "discard",
+              "fenced", "warn", "crit", "pm");
 
   // The output-safety reference: no storm, no kill, every epoch's packet
   // eventually released.
@@ -226,12 +224,14 @@ int main(int argc, char** argv) {
     points.push_back(run_one(rate));
     const SweepPoint& p = points.back();
     std::printf(
-        "%6.2f %6zu %5zu %9.3f %4zu %8.3f %4llu %8zu %7zu\n", p.rate,
-        p.summary.replicated_generations, p.summary.replication_dropped,
-        to_ms(p.summary.replication_stall), p.max_in_flight,
-        to_ms(p.summary.failover_time),
+        "%6.2f %6zu %5zu %9.3f %4zu %8.3f %4llu %8zu %7zu %4zu %4zu %4zu\n",
+        p.rate, p.summary.replicated_generations,
+        p.summary.replication_dropped, to_ms(p.summary.replication_stall),
+        p.max_in_flight, to_ms(p.summary.failover_time),
         static_cast<unsigned long long>(p.summary.promoted_generation),
-        p.summary.outputs_discarded, p.summary.fenced_epochs);
+        p.summary.outputs_discarded, p.summary.fenced_epochs,
+        p.summary.slo_warn_epochs, p.summary.slo_critical_epochs,
+        p.summary.postmortems_dumped);
   }
 
   // Self-check 1: same seed, same run -- every observable must match,

@@ -89,26 +89,23 @@ inline RunSummary run_parsec_scheme_traced(const ParsecProfile& profile,
   ParsecWorkload app(kernel, profile);
   crimes.set_workload(&app);
   crimes.initialize();
+  // Register the destinations before running: any abnormal exit (governor
+  // freeze, retries-exhausted failure, failover) flushes both exporters,
+  // so a partial run still leaves parseable files behind.
+  crimes.telemetry()->set_export_paths(trace_out, metrics_out);
   const RunSummary summary = crimes.run(millis(profile.duration_ms * 2));
 
-  const telemetry::Telemetry* tel = crimes.telemetry();
+  telemetry::Telemetry* tel = crimes.telemetry();
   std::printf("%s", telemetry::format_phase_table(tel->metrics).c_str());
+  if (!tel->flush_exports()) {
+    std::fprintf(stderr, "failed to write telemetry exports\n");
+  }
   if (!trace_out.empty()) {
-    if (telemetry::write_chrome_trace(tel->trace, trace_out)) {
-      std::printf("wrote %zu spans to %s\n", tel->trace.span_count(),
-                  trace_out.c_str());
-    } else {
-      std::fprintf(stderr, "failed to write trace to %s\n",
-                   trace_out.c_str());
-    }
+    std::printf("wrote %zu spans to %s\n", tel->trace.span_count(),
+                trace_out.c_str());
   }
   if (!metrics_out.empty()) {
-    if (telemetry::write_metrics_jsonl(tel->metrics, metrics_out)) {
-      std::printf("wrote metrics to %s\n", metrics_out.c_str());
-    } else {
-      std::fprintf(stderr, "failed to write metrics to %s\n",
-                   metrics_out.c_str());
-    }
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
   }
   return summary;
 }

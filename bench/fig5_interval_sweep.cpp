@@ -49,6 +49,26 @@ int main() {
              [](const RunSummary& s) { return s.p95_pause_ms(); });
   print_grid("Figure 5b'': p99 paused time per epoch (ms)",
              [](const RunSummary& s) { return s.p99_pause_ms(); });
+
+  // SLO health across the sweep: longer intervals spend more pause-budget
+  // epochs. Healthy configs show zeros; the counts come from the always-on
+  // per-tenant monitor, not a separate instrumented run.
+  print_header("SLO health per configuration (warn/critical epochs, "
+               "postmortems)");
+  std::printf("%-10s", "interval");
+  for (const auto& n : names) std::printf(" %13s", n.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    std::printf("%-10d", intervals[i]);
+    for (std::size_t b = 0; b < names.size(); ++b) {
+      const RunSummary& s = grid[b][i];
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%zu/%zu/%zu", s.slo_warn_epochs,
+                    s.slo_critical_epochs, s.postmortems_dumped);
+      std::printf(" %13s", cell);
+    }
+    std::printf("\n");
+  }
   std::printf("\npaper: runtime falls, pause and dirty pages rise with the "
               "interval; dirty pages saturate toward the working set. Tail "
               "pause (p95/p99, log2-bucket accuracy) tracks the mean when "

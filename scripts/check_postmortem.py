@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Validate a CRIMES flight-recorder postmortem JSON.
+
+A postmortem is the self-contained evidence bundle the flight recorder
+freezes when something goes wrong (checkpoint retries exhausted, governor
+freeze, failover, journal fsck failure). For it to be trustworthy
+evidence it must be internally consistent, and this script holds it to
+that:
+
+  1. Schema: top level is a "crimes-postmortem-v1" object with reason,
+     tenant, at_ms, epoch, config, flight, series and slo sections.
+  2. Flight ring bounds: len(events) <= capacity, recorded >= len(events),
+     recorded == len(events) + dropped, event timestamps and epochs
+     non-decreasing (the ring is written in order), every kind from the
+     known set, and the final event is the postmortem trigger itself.
+  3. Series sanity (when present): samples_taken >= 1, every scalar series
+     kind is counter|gauge with timestamps non-decreasing and at most
+     samples_taken points, histogram percentiles ordered p50<=p95<=p99.
+  4. SLO verdict consistency (when present): input epochs strictly
+     increasing, verdicts from the known set, the monitor state equals the
+     last recorded verdict, and warn/critical counts in the inputs never
+     exceed the reported totals. When the input history covers the whole
+     run (len(inputs) == epochs, i.e. nothing fell off the ring), the
+     multi-window burn-rate state machine is replayed *in Python* from the
+     embedded config and must reproduce every recorded verdict exactly.
+
+With --run BINARY, runs `BINARY --postmortem-out JSON` first (the ctest
+entry drives bench/ablation_telemetry_overhead end to end).
+
+Exit status: 0 on success, 1 on any validation failure.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+KINDS = {"phase", "fault", "governor", "failover", "slo", "log", "postmortem"}
+STATES = ("Healthy", "Warn", "Critical")
+DIMENSIONS = ("pause_ms", "replication_lag", "vulnerability_ms", "audit_ms")
+BUDGET_KEYS = {
+    "pause_ms": "pause_ms",
+    "replication_lag": "replication_lag",
+    "vulnerability_ms": "vulnerability_ms",
+    "audit_ms": "audit_ms",
+}
+
+
+def fail(msg):
+    print(f"check_postmortem: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(doc, key, types, where="postmortem"):
+    if key not in doc:
+        fail(f"{where}: missing field {key!r}")
+    if not isinstance(doc[key], types):
+        fail(f"{where}: field {key!r} has type {type(doc[key]).__name__}")
+    return doc[key]
+
+
+def check_flight(flight):
+    capacity = require(flight, "capacity", int, "flight")
+    recorded = require(flight, "recorded", int, "flight")
+    dropped = require(flight, "dropped", int, "flight")
+    events = require(flight, "events", list, "flight")
+    if capacity <= 0:
+        fail(f"flight: capacity {capacity} must be positive")
+    if len(events) > capacity:
+        fail(f"flight: {len(events)} events exceed ring capacity {capacity}")
+    if recorded < len(events):
+        fail(f"flight: recorded {recorded} < {len(events)} events in ring")
+    if recorded != len(events) + dropped:
+        fail(
+            f"flight: recorded {recorded} != events {len(events)} + "
+            f"dropped {dropped}"
+        )
+    if not events:
+        fail("flight: ring is empty; the trigger itself should be recorded")
+    prev_at, prev_epoch = -1.0, -1
+    for i, ev in enumerate(events):
+        for key in ("at_ms", "epoch", "kind", "what", "detail", "value"):
+            if key not in ev:
+                fail(f"flight event {i}: missing field {key!r}")
+        if ev["kind"] not in KINDS:
+            fail(f"flight event {i}: unknown kind {ev['kind']!r}")
+        if ev["at_ms"] < prev_at:
+            fail(
+                f"flight event {i}: at_ms {ev['at_ms']} precedes previous "
+                f"{prev_at}; the ring must be in record order"
+            )
+        if ev["epoch"] < prev_epoch:
+            fail(
+                f"flight event {i}: epoch {ev['epoch']} precedes previous "
+                f"{prev_epoch}"
+            )
+        prev_at, prev_epoch = ev["at_ms"], ev["epoch"]
+    last = events[-1]
+    if last["kind"] != "postmortem":
+        fail(
+            f"flight: final ring event has kind {last['kind']!r}; the dump "
+            "trigger must be the last thing recorded"
+        )
+    print(
+        f"check_postmortem: flight ring OK ({len(events)} events, "
+        f"capacity {capacity}, {dropped} dropped)"
+    )
+    return last
+
+
+def check_series(series):
+    if series is None:
+        print("check_postmortem: no series section (telemetry off)")
+        return
+    samples = require(series, "samples_taken", int, "series")
+    scalars = require(series, "scalars", dict, "series")
+    histograms = require(series, "histograms", dict, "series")
+    if samples < 1:
+        fail("series: samples_taken must be >= 1 in a dumped run")
+    for name, s in scalars.items():
+        kind = require(s, "kind", str, f"series {name!r}")
+        if kind not in ("counter", "gauge"):
+            fail(f"series {name!r}: unknown kind {kind!r}")
+        points = require(s, "samples", list, f"series {name!r}")
+        if len(points) > samples:
+            fail(
+                f"series {name!r}: {len(points)} points exceed "
+                f"samples_taken {samples}"
+            )
+        prev_t = -1.0
+        for p in points:
+            if not isinstance(p, list) or len(p) != 2:
+                fail(f"series {name!r}: sample {p!r} is not a [t_ms, v] pair")
+            if p[0] < prev_t:
+                fail(f"series {name!r}: timestamps not monotonic at {p[0]}")
+            prev_t = p[0]
+    for name, h in histograms.items():
+        for key in ("count", "p50", "p95", "p99"):
+            require(h, key, (int, float), f"histogram {name!r}")
+        if not h["p50"] <= h["p95"] <= h["p99"]:
+            fail(
+                f"histogram {name!r}: percentiles out of order "
+                f"({h['p50']}, {h['p95']}, {h['p99']})"
+            )
+    print(
+        f"check_postmortem: series OK ({len(scalars)} scalars, "
+        f"{len(histograms)} histograms, {samples} samples)"
+    )
+
+
+def replay_slo(config, inputs):
+    """Mirror of SloMonitor::observe (src/telemetry/slo.cpp): per-dimension
+    violation-bit rings, burn over the full window with unseen epochs
+    counted clean, Critical when fast AND slow burn hot, Warn escalating
+    Healthy only, hysteretic step-down after clear_after clean epochs."""
+    budget = config["budget"]
+    fast_w = max(1, config["fast_window"])
+    slow_w = max(fast_w, config["slow_window"])
+    error_budget = config["error_budget"] or 0.05
+    rings = {d: [0] * slow_w for d in DIMENSIONS}
+    in_fast = {d: 0 for d in DIMENSIONS}
+    in_slow = {d: 0 for d in DIMENSIONS}
+    state, clean_streak, epochs = "Healthy", 0, 0
+    verdicts = []
+    for inp in inputs:
+        any_warn = any_crit = False
+        for d in DIMENSIONS:
+            violated = 1 if inp[d] > budget[BUDGET_KEYS[d]] else 0
+            slot = epochs % slow_w
+            if epochs >= slow_w:
+                in_slow[d] -= rings[d][slot]
+            if epochs >= fast_w:
+                in_fast[d] -= rings[d][(epochs - fast_w) % slow_w]
+            rings[d][slot] = violated
+            in_slow[d] += violated
+            in_fast[d] += violated
+            fast = in_fast[d] / fast_w / error_budget
+            slow = in_slow[d] / slow_w / error_budget
+            if fast >= config["critical_burn"] and slow >= config[
+                "critical_burn"
+            ]:
+                any_crit = True
+            elif fast >= config["warn_burn"]:
+                any_warn = True
+        if any_crit:
+            state, clean_streak = "Critical", 0
+        elif any_warn:
+            if state == "Healthy":
+                state = "Warn"
+            clean_streak = 0
+        else:
+            clean_streak += 1
+            if state != "Healthy" and clean_streak >= config["clear_after"]:
+                state = "Warn" if state == "Critical" else "Healthy"
+                clean_streak = 0
+        verdicts.append(state)
+        epochs += 1
+    return verdicts
+
+
+def check_slo(slo):
+    if slo is None:
+        print("check_postmortem: no slo section (monitor off)")
+        return
+    state = require(slo, "state", str, "slo")
+    epochs = require(slo, "epochs", int, "slo")
+    warn = require(slo, "warn_epochs", int, "slo")
+    crit = require(slo, "critical_epochs", int, "slo")
+    config = require(slo, "config", dict, "slo")
+    inputs = require(slo, "inputs", list, "slo")
+    require(config, "budget", dict, "slo config")
+    if state not in STATES:
+        fail(f"slo: unknown state {state!r}")
+    if len(inputs) > epochs:
+        fail(f"slo: {len(inputs)} inputs but only {epochs} epochs observed")
+    prev_epoch = -1
+    for i, inp in enumerate(inputs):
+        for key in ("epoch", "verdict", *DIMENSIONS):
+            if key not in inp:
+                fail(f"slo input {i}: missing field {key!r}")
+        if inp["verdict"] not in STATES:
+            fail(f"slo input {i}: unknown verdict {inp['verdict']!r}")
+        if inp["epoch"] <= prev_epoch:
+            fail(
+                f"slo input {i}: epoch {inp['epoch']} not strictly "
+                f"increasing after {prev_epoch}"
+            )
+        prev_epoch = inp["epoch"]
+    if not inputs:
+        fail("slo: input history is empty; nothing to replay")
+    if inputs[-1]["verdict"] != state:
+        fail(
+            f"slo: monitor state {state!r} disagrees with last recorded "
+            f"verdict {inputs[-1]['verdict']!r}"
+        )
+    warn_in = sum(1 for i in inputs if i["verdict"] == "Warn")
+    crit_in = sum(1 for i in inputs if i["verdict"] == "Critical")
+    if warn_in > warn or crit_in > crit:
+        fail(
+            f"slo: verdict counts in inputs (warn {warn_in}, crit {crit_in}) "
+            f"exceed reported totals (warn {warn}, crit {crit})"
+        )
+    if len(inputs) == epochs:
+        # Nothing fell off the history ring: the whole run is replayable
+        # from epoch zero, so the replay must match verdict for verdict.
+        verdicts = replay_slo(config, inputs)
+        for i, (got, want) in enumerate(
+            zip(verdicts, (inp["verdict"] for inp in inputs))
+        ):
+            if got != want:
+                fail(
+                    f"slo replay diverges at input {i}: replayed {got!r}, "
+                    f"recorded {want!r}"
+                )
+        if warn_in != warn or crit_in != crit:
+            fail(
+                f"slo: full history but input verdict counts (warn {warn_in},"
+                f" crit {crit_in}) != totals (warn {warn}, crit {crit})"
+            )
+        print(
+            f"check_postmortem: slo replay reproduces all "
+            f"{len(inputs)} verdicts (state {state})"
+        )
+    else:
+        print(
+            f"check_postmortem: slo counts consistent "
+            f"({len(inputs)}/{epochs} epochs in ring; replay skipped)"
+        )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--run", help="binary to run first (emits the postmortem)")
+    ap.add_argument("--json", required=True, help="postmortem JSON path")
+    args = ap.parse_args()
+
+    if args.run:
+        cmd = [args.run, "--postmortem-out", args.json]
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            fail(f"{' '.join(cmd)} exited with {proc.returncode}")
+
+    try:
+        with open(args.json, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.json}: {e}")
+
+    if require(doc, "schema", str) != "crimes-postmortem-v1":
+        fail(f"unknown schema {doc['schema']!r}")
+    reason = require(doc, "reason", str)
+    if not reason:
+        fail("reason must be non-empty")
+    require(doc, "tenant", str)
+    require(doc, "config", str)
+    at_ms = require(doc, "at_ms", (int, float))
+    epoch = require(doc, "epoch", int)
+    if at_ms < 0 or epoch < 0:
+        fail(f"at_ms {at_ms} / epoch {epoch} must be non-negative")
+
+    trigger = check_flight(require(doc, "flight", dict))
+    if trigger["what"] != reason:
+        fail(
+            f"trigger event names {trigger['what']!r} but the dump's reason "
+            f"is {reason!r}"
+        )
+    check_series(doc.get("series"))
+    check_slo(doc.get("slo"))
+    print(f"check_postmortem: PASS ({reason} at epoch {epoch})")
+
+
+if __name__ == "__main__":
+    main()

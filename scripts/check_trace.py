@@ -16,7 +16,10 @@ Checks, in order:
   5. "failover" spans (if any) never overlap an epoch span, and epochs
      stay monotonic across the promotion boundary: every epoch after a
      failover starts at or after the failover's end.
-  6. If --metrics is given, every line parses as a JSON object with a
+  6. "postmortem_dump" spans (the flight recorder freezing its evidence)
+     sit on their own dedicated lane -- never the pipeline lane (tid 0)
+     nor a CoW drain track -- and that lane carries nothing else.
+  7. If --metrics is given, every line parses as a JSON object with a
      "name" and "type" field.
 
 With --run BINARY, runs `BINARY --trace-out TRACE --metrics-out METRICS`
@@ -216,6 +219,38 @@ def check_cow(spans, epochs):
           f"{len(touches)} first-touch span(s) nested")
 
 
+def check_flight_dumps(spans):
+    """Postmortem dumps are bookkeeping, not pipeline work: the recorder
+    puts them on a dedicated lane so the pipeline's nesting and epoch
+    containment invariants never see them. Hold it to that: every
+    'postmortem_dump' is off lanes 0/1 (pipeline, CoW drain track), all
+    dumps share one lane, and that lane carries nothing else."""
+    dumps = [e for e in spans if e["name"] == "postmortem_dump"]
+    if not dumps:
+        return
+    lanes = {d["tid"] for d in dumps}
+    if len(lanes) != 1:
+        fail(f"'postmortem_dump' spans spread across lanes {sorted(lanes)}")
+    lane = lanes.pop()
+    if lane in (0, 1):
+        fail(
+            f"'postmortem_dump' at ts={dumps[0]['ts']} is on lane {lane}; "
+            "the flight recorder must dump on its own lane"
+        )
+    intruders = {
+        e["name"] for e in spans
+        if e["tid"] == lane and e["name"] != "postmortem_dump"
+    }
+    if intruders:
+        fail(
+            f"flight-recorder lane {lane} also carries {sorted(intruders)}"
+        )
+    print(
+        f"check_trace: {len(dumps)} postmortem dump(s) isolated on "
+        f"lane {lane}"
+    )
+
+
 def check_cow_metrics(path):
     """The cow.pending_pages gauge must have drained to zero by the end of
     the run: a nonzero final value means a drain never committed."""
@@ -283,6 +318,7 @@ def main():
     epochs = check_epochs(spans)
     check_failover(spans, epochs)
     check_cow(spans, epochs)
+    check_flight_dumps(spans)
     if args.metrics:
         check_metrics(args.metrics)
         check_cow_metrics(args.metrics)

@@ -165,10 +165,15 @@ struct PhaseCosts {
   // resume (the map and copy phases then run off-pause, on the drain).
   Nanos protect{0};
   Nanos resume{0};
+  // Epoch-boundary observability (flight-recorder events, time-series
+  // sample, SLO evaluation). Charged by Crimes, not the checkpointer: the
+  // work happens while the tenant is still waiting on the epoch boundary,
+  // so it belongs in the pause the tenant experiences.
+  Nanos observe{0};
   std::size_t dirty_pages = 0;
 
   [[nodiscard]] Nanos pause_total() const {
-    return suspend + vmi + bitscan + map + copy + protect + resume;
+    return suspend + vmi + bitscan + map + copy + protect + resume + observe;
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace crimes {
@@ -20,6 +21,11 @@ void accumulate(RunSummary& into, const RunSummary& slice) {
   into.scheme = slice.scheme;
   into.work_time += slice.work_time;
   into.total_pause += slice.total_pause;
+  into.max_pause = std::max(into.max_pause, slice.max_pause);
+  // Histogram merge is exact: log2 buckets from disjoint slices sum to
+  // the histogram of the union (tests/test_observability.cpp holds the
+  // cloud host to this).
+  into.pause_histogram.merge_from(slice.pause_histogram);
   into.epochs += slice.epochs;
   into.checkpoints += slice.checkpoints;
   into.attack_detected = into.attack_detected || slice.attack_detected;
@@ -28,7 +34,9 @@ void accumulate(RunSummary& into, const RunSummary& slice) {
   into.total_costs.bitscan += slice.total_costs.bitscan;
   into.total_costs.map += slice.total_costs.map;
   into.total_costs.copy += slice.total_costs.copy;
+  into.total_costs.protect += slice.total_costs.protect;
   into.total_costs.resume += slice.total_costs.resume;
+  into.total_costs.observe += slice.total_costs.observe;
   into.total_costs.dirty_pages += slice.total_costs.dirty_pages;
   into.total_dirty_pages += slice.total_dirty_pages;
   into.checkpoint_failures += slice.checkpoint_failures;
@@ -53,6 +61,9 @@ void accumulate(RunSummary& into, const RunSummary& slice) {
   into.generations_rolled_back += slice.generations_rolled_back;
   into.outputs_discarded += slice.outputs_discarded;
   into.fenced_epochs += slice.fenced_epochs;
+  into.slo_warn_epochs += slice.slo_warn_epochs;
+  into.slo_critical_epochs += slice.slo_critical_epochs;
+  into.postmortems_dumped += slice.postmortems_dumped;
   // The quarantine list is cumulative within a Crimes instance; the latest
   // slice's view is the complete one.
   into.quarantined_modules = slice.quarantined_modules;
@@ -150,6 +161,20 @@ CloudRunReport CloudHost::run(Nanos work_time) {
     }
   }
   return report;
+}
+
+std::vector<telemetry::SloReport> CloudHost::slo_reports() const {
+  std::vector<telemetry::SloReport> reports;
+  for (const auto& t : tenants_) {
+    const telemetry::SloMonitor* monitor = t->crimes_->slo_monitor();
+    if (monitor == nullptr) continue;
+    reports.push_back(monitor->report(t->name()));
+  }
+  return reports;
+}
+
+std::string CloudHost::health_table() const {
+  return telemetry::format_health_table(slo_reports());
 }
 
 CloudMemoryReport CloudHost::memory_report() const {

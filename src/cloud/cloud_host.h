@@ -115,6 +115,13 @@ class CloudHost {
   CloudRunReport run(Nanos work_time);
 
   [[nodiscard]] CloudMemoryReport memory_report() const;
+
+  // Per-tenant SLO health, one report per tenant whose monitor is on.
+  // The provider's dashboard: which tenants are inside their protection
+  // contract, which are burning error budget, which have gone Critical.
+  [[nodiscard]] std::vector<telemetry::SloReport> slo_reports() const;
+  [[nodiscard]] std::string health_table() const;
+
   [[nodiscard]] Hypervisor& hypervisor() { return hypervisor_; }
 
  private:

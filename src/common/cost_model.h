@@ -202,6 +202,29 @@ struct CostModel {
   // standalone checksum_per_page sweep.
   Nanos cow_fused_hash_per_page = nanos(60);
 
+  // --- Observability layer (DESIGN.md section 13). The flight recorder
+  // and time-series engine are always-on, so their work is charged into
+  // the pause window like any other pipeline step -- the
+  // ablation_telemetry_overhead bench proves the total stays under 1% of
+  // p95 pause at parsec dirty rates.
+  // One flight-recorder slot write: a ticket fetch_add plus ~128 bytes of
+  // stores into a cache-resident slot.
+  Nanos flight_record_event = nanos(40);
+  // Per-epoch time-series sample: registry snapshot bookkeeping...
+  Nanos telemetry_sample_base = micros(2);
+  // ...plus per-metric ring append / EWMA / fold work.
+  Nanos telemetry_sample_per_metric = nanos(80);
+  // One SLO evaluation: four budget compares, window ring updates, state
+  // machine step.
+  Nanos slo_eval = nanos(200);
+  // Freezing a postmortem: walk the ring + series tails and serialize.
+  // Off the pause path (dumps happen on abnormal exits, between epochs).
+  Nanos postmortem_dump = micros(500);
+
+  [[nodiscard]] Nanos telemetry_sample_cost(std::size_t metrics) const {
+    return telemetry_sample_base + telemetry_sample_per_metric * metrics;
+  }
+
   // --- AddressSanitizer baseline: cost per instrumented memory access.
   // Calibrated so PARSEC access profiles yield the 1.4-2.6x range of
   // Figure 3 ("AS" bars).

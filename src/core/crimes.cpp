@@ -3,6 +3,8 @@
 #include "common/bytes.h"
 #include "common/log.h"
 #include "forensics/plugins.h"
+#include "replication/store_journal.h"
+#include "telemetry/export.h"
 
 #include <algorithm>
 #include <stdexcept>
@@ -30,6 +32,7 @@ PhaseCosts RunSummary::avg_costs() const {
       .copy = total_costs.copy / n,
       .protect = total_costs.protect / n,
       .resume = total_costs.resume / n,
+      .observe = total_costs.observe / n,
       .dirty_pages = total_costs.dirty_pages / checkpoints,
   };
 }
@@ -148,6 +151,17 @@ void Crimes::initialize() {
     buffer_.set_telemetry(telemetry_.get());
     if (adaptive_) adaptive_->set_telemetry(telemetry_.get());
     if (replicator_) replicator_->set_telemetry(telemetry_.get());
+    telemetry_->enable_series(config_.timeseries);
+  }
+  // Observability layer: both preallocate here so the per-epoch path
+  // stays allocation-free. The SLO monitor needs a pipeline to judge, so
+  // Disabled mode runs without one.
+  if (config_.flight_recorder) {
+    flight_ = std::make_unique<telemetry::FlightRecorder>(
+        config_.flight_capacity);
+  }
+  if (config_.slo.enabled && config_.mode != SafetyMode::Disabled) {
+    slo_ = std::make_unique<telemetry::SloMonitor>(config_.slo);
   }
   initialized_ = true;
   CRIMES_LOG(Info, "crimes") << "initialized: mode="
@@ -214,6 +228,10 @@ RunSummary Crimes::run(Nanos max_work_time) {
     if (replicator_ && injector_ && injector_->kills_primary()) {
       primary_killed_ = true;
       summary.primary_killed = true;
+      if (flight_) {
+        flight_->record(clock_.now(), epoch_index_,
+                        telemetry::FlightEventKind::Fault, "kills_primary");
+      }
       kernel_->vm().pause();  // the whole host powers off
       if (!failed_over_) fail_over(summary, clock_.now());
       break;
@@ -237,11 +255,19 @@ RunSummary Crimes::run(Nanos max_work_time) {
       if (injector_ && injector_->partitions_link() &&
           !replicator_->partitioned()) {
         replicator_->partition(clock_.now());
+        if (flight_) {
+          flight_->record(clock_.now(), epoch_index_,
+                          telemetry::FlightEventKind::Fault,
+                          "partitions_link");
+        }
       }
       if (!replicator_->partitioned() &&
           !(injector_ && injector_->drops_heartbeat())) {
         standby_->detector().record_heartbeat(epoch_start);
         clock_.advance(costs_->heartbeat_eval);
+      } else if (flight_ && !replicator_->partitioned()) {
+        flight_->record(clock_.now(), epoch_index_,
+                        telemetry::FlightEventKind::Fault, "drops_heartbeat");
       }
     }
     workload_->run_epoch(epoch_start, interval);
@@ -273,16 +299,22 @@ RunSummary Crimes::run(Nanos max_work_time) {
     summary.total_costs.protect += epoch.costs.protect;
     summary.total_costs.resume += epoch.costs.resume;
     summary.total_costs.dirty_pages += epoch.costs.dirty_pages;
-    summary.total_pause += epoch.costs.pause_total();
     summary.total_dirty_pages += epoch.costs.dirty_pages;
-    summary.max_pause = std::max(summary.max_pause,
-                                 epoch.costs.pause_total());
-    pause_hist.record(
-        static_cast<std::uint64_t>(epoch.costs.pause_total().count()));
     summary.copy_retries += epoch.copy_retries;
     summary.recovery_time += epoch.recovery_cost;
     summary.store_time += epoch.store_cost;
     if (adaptive_) (void)adaptive_->observe(epoch.costs);
+
+    // Epoch-boundary observability: flight-recorder events, time-series
+    // sample, SLO evaluation. The (small) virtual cost lands inside the
+    // pause accounting -- it is work done while the tenant waits -- which
+    // is exactly what ablation_telemetry_overhead budgets at <1%.
+    const Nanos observe_cost = observe_epoch(epoch, interval, summary);
+    summary.total_costs.observe += observe_cost;
+    const Nanos pause = epoch.costs.pause_total() + observe_cost;
+    summary.total_pause += pause;
+    summary.max_pause = std::max(summary.max_pause, pause);
+    pause_hist.record(static_cast<std::uint64_t>(pause.count()));
 
     if (epoch.cow_pending) {
       // Resume-first checkpoint: the copy is still draining and commits at
@@ -326,6 +358,7 @@ RunSummary Crimes::run(Nanos max_work_time) {
         // -- in Synchronous mode -- the audited outputs stay held until a
         // checkpoint actually covers them. Best Effort already shipped.
         ++summary.checkpoint_failures;
+        dump_postmortem("checkpoint-retries-exhausted", summary);
       }
 
       if (governor_ &&
@@ -383,6 +416,7 @@ RunSummary Crimes::run(Nanos max_work_time) {
     faults_reported_ = injector_->total_injected();
   }
   summary.quarantined_modules = detector_.quarantined_modules();
+  verify_journal(summary);
   return summary;
 }
 
@@ -419,6 +453,11 @@ bool Crimes::apply_governor_action(fault::SafetyGovernor::Action action,
         telemetry_->metrics.counter("governor.downgrades").add();
         telemetry_->metrics.gauge("governor.degraded").set(1.0);
       }
+      if (flight_) {
+        flight_->record(clock_.now(), epoch_index_,
+                        telemetry::FlightEventKind::Governor, "downgrade",
+                        "Synchronous -> BestEffort");
+      }
       CRIMES_LOG(Warn, "governor")
           << "sustained checkpoint failure ("
           << governor_->consecutive_failures()
@@ -431,6 +470,11 @@ bool Crimes::apply_governor_action(fault::SafetyGovernor::Action action,
       if (telemetry_) {
         telemetry_->metrics.counter("governor.upgrades").add();
         telemetry_->metrics.gauge("governor.degraded").set(0.0);
+      }
+      if (flight_) {
+        flight_->record(clock_.now(), epoch_index_,
+                        telemetry::FlightEventKind::Governor, "upgrade",
+                        "BestEffort -> Synchronous");
       }
       CRIMES_LOG(Info, "governor")
           << "checkpoint path healthy again: upgrading back to Synchronous "
@@ -450,10 +494,18 @@ bool Crimes::apply_governor_action(fault::SafetyGovernor::Action action,
         clock_.advance(replicator_->quiesce(clock_.now()));
       }
       if (telemetry_) telemetry_->metrics.counter("governor.freezes").add();
+      if (flight_) {
+        flight_->record(clock_.now(), epoch_index_,
+                        telemetry::FlightEventKind::Governor, "freeze",
+                        "checkpoint path lost; VM paused",
+                        static_cast<double>(
+                            governor_->consecutive_failures()));
+      }
       CRIMES_LOG(Error, "governor")
           << "checkpoint path lost (" << governor_->consecutive_failures()
           << " consecutive failures): VM frozen at " << to_ms(clock_.now())
           << " ms";
+      dump_postmortem("governor-freeze", summary);
       return true;
   }
   return false;
@@ -501,6 +553,7 @@ bool Crimes::finish_cow_commit(RunSummary& summary) {
     // epoch's packets when a later checkpoint finally covers them.
     ++summary.checkpoint_failures;
     for (auto& packet : held) buffer_.hold(std::move(packet));
+    dump_postmortem("checkpoint-retries-exhausted", summary);
   }
 
   bool frozen = false;
@@ -628,10 +681,17 @@ void Crimes::fail_over(RunSummary& summary, Nanos failed_at) {
     telemetry_->metrics.histogram("failover.time")
         .record(static_cast<std::uint64_t>(summary.failover_time.count()));
   }
+  if (flight_) {
+    flight_->record(clock_.now(), epoch_index_,
+                    telemetry::FlightEventKind::Failover, "promote",
+                    "primary killed; standby promoted",
+                    static_cast<double>(report.promoted_generation));
+  }
   CRIMES_LOG(Warn, "crimes")
       << "primary killed at " << to_ms(failed_at) << " ms; standby running "
       << "from generation " << report.promoted_generation << " after "
       << to_ms(summary.failover_time) << " ms";
+  dump_postmortem("failover", summary);
 }
 
 void Crimes::split_brain_promote(RunSummary& summary) {
@@ -661,10 +721,166 @@ void Crimes::split_brain_promote(RunSummary& summary) {
     telemetry_->metrics.histogram("failover.time")
         .record(static_cast<std::uint64_t>(summary.failover_time.count()));
   }
+  if (flight_) {
+    flight_->record(clock_.now(), epoch_index_,
+                    telemetry::FlightEventKind::Failover,
+                    "split_brain_promote", "primary fenced",
+                    static_cast<double>(report.promoted_generation));
+  }
   CRIMES_LOG(Warn, "crimes")
       << "standby promoted behind a live primary (split brain) at "
       << to_ms(clock_.now()) << " ms; primary fenced at generation "
       << report.promoted_generation;
+  dump_postmortem("failover", summary);
+}
+
+Nanos Crimes::observe_epoch(const EpochResult& epoch, Nanos interval,
+                            RunSummary& summary) {
+  Nanos cost{0};
+  if (flight_) {
+    const char* outcome = epoch.cow_pending           ? "cow-pending"
+                          : !epoch.audit_passed       ? "audit-failed"
+                          : epoch.checkpoint_committed ? "committed"
+                                                       : "retries-exhausted";
+    flight_->record(clock_.now(), epoch_index_,
+                    telemetry::FlightEventKind::Phase, "epoch", outcome,
+                    to_ms(epoch.costs.pause_total()));
+    cost += costs_->flight_record_event;
+    if (epoch.copy_retries > 0) {
+      flight_->record(clock_.now(), epoch_index_,
+                      telemetry::FlightEventKind::Fault, "transport_copy",
+                      "copy retried",
+                      static_cast<double>(epoch.copy_retries));
+      cost += costs_->flight_record_event;
+    }
+  }
+  if (telemetry_ && telemetry_->series) {
+    telemetry_->series->sample(clock_.now());
+    cost += costs_->telemetry_sample_cost(
+        telemetry_->series->last_sample_metrics());
+  }
+  if (slo_) {
+    telemetry::SloInput input;
+    input.epoch = epoch_index_;
+    input.pause_ms = to_ms(epoch.costs.pause_total());
+    input.audit_ms = to_ms(epoch.costs.vmi);
+    input.replication_lag =
+        replicator_ ? static_cast<double>(replicator_->in_flight()) : 0.0;
+    // Vulnerability window: Synchronous holds outputs until the commit
+    // covers them (zero exposure); a released-before-covered mode
+    // (configured Best Effort, or degraded into it) exposes roughly the
+    // epoch that just ran plus its pause.
+    input.vulnerability_ms =
+        active_mode_ == SafetyMode::Synchronous
+            ? 0.0
+            : to_ms(interval + epoch.costs.pause_total());
+    const telemetry::SloState before = slo_->state();
+    const telemetry::SloState after = slo_->observe(input);
+    cost += costs_->slo_eval;
+    if (after == telemetry::SloState::Warn) ++summary.slo_warn_epochs;
+    if (after == telemetry::SloState::Critical) {
+      ++summary.slo_critical_epochs;
+    }
+    if (after != before && flight_) {
+      flight_->record(clock_.now(), epoch_index_,
+                      telemetry::FlightEventKind::Slo, to_string(after),
+                      to_string(before));
+    }
+  }
+  clock_.advance(cost);
+  return cost;
+}
+
+void Crimes::dump_postmortem(std::string_view reason, RunSummary& summary) {
+  // Every abnormal path lands here, so flush the registered exporters
+  // first: even with the recorder off (or the dump budget spent), a
+  // partial run must leave complete, parseable trace/metrics files.
+  if (!flight_ || postmortems_.size() >= config_.postmortem_limit) {
+    if (telemetry_) (void)telemetry_->flush_exports();
+    return;
+  }
+  // The trigger itself is evidence -- recorded first, so the dump's last
+  // ring entry names the reason it exists.
+  flight_->record(clock_.now(), epoch_index_,
+                  telemetry::FlightEventKind::Postmortem, reason);
+  telemetry::PostmortemContext ctx;
+  ctx.reason = std::string(reason);
+  ctx.tenant = kernel_->vm().name();
+  ctx.at = clock_.now();
+  ctx.epoch = epoch_index_;
+  ctx.config_summary = config_summary();
+  ctx.flight = flight_.get();
+  ctx.series =
+      telemetry_ && telemetry_->series ? telemetry_->series.get() : nullptr;
+  ctx.slo = slo_.get();
+  PostmortemRecord record{ctx.reason, epoch_index_,
+                          telemetry::render_postmortem(ctx)};
+  if (!config_.postmortem_dir.empty()) {
+    const std::string path = config_.postmortem_dir + "/" + ctx.tenant + "-" +
+                             ctx.reason + "-" +
+                             std::to_string(epoch_index_) +
+                             ".postmortem.json";
+    telemetry::FileSink sink(path);
+    if (sink.ok()) {
+      sink.write(record.json);
+    } else {
+      CRIMES_LOG(Warn, "flight") << "postmortem not written: " << path;
+    }
+  }
+  if (telemetry_) {
+    // Dump marker on the flight recorder's own trace lane (the pipeline's
+    // nesting invariants never see it), and a full exporter flush so even
+    // an aborted run leaves parseable trace/metrics files behind.
+    telemetry_->trace.add_span("postmortem_dump", clock_.now(),
+                               costs_->postmortem_dump,
+                               telemetry::kFlightRecorderLane);
+    (void)telemetry_->flush_exports();
+  }
+  clock_.advance(costs_->postmortem_dump);
+  ++summary.postmortems_dumped;
+  CRIMES_LOG(Warn, "flight")
+      << "postmortem dumped (" << ctx.reason << ") at epoch " << epoch_index_
+      << ", " << to_ms(clock_.now()) << " ms";
+  postmortems_.push_back(std::move(record));
+}
+
+void Crimes::verify_journal(RunSummary& summary) {
+  if (!checkpointer_ || checkpointer_->journal() == nullptr) return;
+  // fsck only after a slice with a failure signature: CloudHost calls
+  // run() once per epoch, and a clean slice has nothing to verify.
+  if (summary.checkpoint_failures == 0 && !summary.frozen_by_governor &&
+      !summary.failed_over && !summary.primary_killed) {
+    return;
+  }
+  const replication::StoreJournal::FsckReport report =
+      checkpointer_->journal()->fsck();
+  clock_.advance(costs_->journal_scan_per_record * report.records);
+  if (report.ok) return;
+  if (flight_) {
+    flight_->record(clock_.now(), epoch_index_,
+                    telemetry::FlightEventKind::Phase, "journal_fsck",
+                    report.error, static_cast<double>(report.torn_bytes));
+  }
+  CRIMES_LOG(Error, "journal")
+      << "fsck failed after " << report.records << " records: "
+      << report.error;
+  dump_postmortem("journal-fsck", summary);
+}
+
+std::string Crimes::config_summary() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "scheme=%s mode=%s interval_ms=%.1f telemetry=%s governor=%s "
+      "replication=%s faults=%s slo{pause_ms=%.2f,lag=%.0f,vuln_ms=%.2f,"
+      "audit_ms=%.2f}",
+      config_.checkpoint.label(), to_string(config_.mode),
+      to_ms(current_interval()), telemetry_ ? "on" : "off",
+      governor_ ? "on" : "off", config_.replication.enabled ? "on" : "off",
+      injector_ ? "on" : "off", config_.slo.budget.pause_ms,
+      config_.slo.budget.replication_lag, config_.slo.budget.vulnerability_ms,
+      config_.slo.budget.audit_ms);
+  return buf;
 }
 
 Nanos Crimes::current_interval() const {

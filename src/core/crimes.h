@@ -36,6 +36,8 @@
 #include "replay/replay_engine.h"
 #include "replication/replicator.h"
 #include "replication/standby.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/slo.h"
 #include "telemetry/telemetry.h"
 #include "vmi/vmi_session.h"
 #include "workload/workload.h"
@@ -97,6 +99,23 @@ struct CrimesConfig {
   // failover, and -- if checkpoint.store.journal is also set -- the store
   // journal makes the primary's snapshot history crash-recoverable.
   replication::ReplicationConfig replication;
+  // Observability layer (DESIGN.md section 13). The flight recorder and
+  // SLO monitor are always-on by default: both preallocate at
+  // initialize() and their per-epoch work is allocation-free, so they ride
+  // along even where the `telemetry` knob stays off (like RunSummary's
+  // pause histogram does). The time-series engine needs the registry and
+  // therefore follows the `telemetry` knob.
+  bool flight_recorder = true;
+  std::size_t flight_capacity = 1024;
+  telemetry::SloConfig slo;
+  telemetry::TimeSeriesConfig timeseries;
+  // Postmortem destination: when non-empty, every dump also writes
+  // `<dir>/<tenant>-<reason>-<epoch>.postmortem.json`. In-memory records
+  // are kept either way (Crimes::postmortems()).
+  std::string postmortem_dir;
+  // Dumps per Crimes instance: a fault storm must not bury the run under
+  // one postmortem per failed epoch.
+  std::size_t postmortem_limit = 4;
 };
 
 // Timeline of an attack response, in virtual time (Figure 8).
@@ -171,6 +190,13 @@ struct RunSummary {
   std::size_t outputs_discarded = 0;
   // Commits whose outputs were blocked by an expired/invalidated lease.
   std::size_t fenced_epochs = 0;
+
+  // --- Observability (src/telemetry, DESIGN.md section 13): epochs the
+  // SLO monitor spent in each degraded health state, and postmortems the
+  // flight recorder froze. Per-slice counts, like faults_injected.
+  std::size_t slo_warn_epochs = 0;
+  std::size_t slo_critical_epochs = 0;
+  std::size_t postmortems_dumped = 0;
 
   [[nodiscard]] double normalized_runtime() const {
     if (work_time.count() == 0) return 1.0;
@@ -273,6 +299,31 @@ class Crimes {
   // the governor holds the pipeline in degraded Best Effort.
   [[nodiscard]] SafetyMode active_mode() const { return active_mode_; }
 
+  // Observability layer. The flight recorder exists unless
+  // config().flight_recorder was turned off; the SLO monitor unless
+  // config().slo.enabled was (or the mode is Disabled -- no pipeline, no
+  // contract to monitor).
+  [[nodiscard]] telemetry::FlightRecorder* flight_recorder() {
+    return flight_.get();
+  }
+  [[nodiscard]] telemetry::SloMonitor* slo_monitor() { return slo_.get(); }
+  [[nodiscard]] const telemetry::SloMonitor* slo_monitor() const {
+    return slo_.get();
+  }
+  // Postmortems dumped so far (bounded by config().postmortem_limit);
+  // each holds the rendered JSON, so tests and benches can validate a dump
+  // without going through the filesystem.
+  struct PostmortemRecord {
+    std::string reason;
+    std::uint64_t epoch = 0;
+    std::string json;
+  };
+  [[nodiscard]] const std::vector<PostmortemRecord>& postmortems() const {
+    return postmortems_;
+  }
+  // One-line config snapshot embedded in every postmortem.
+  [[nodiscard]] std::string config_summary() const;
+
   // Replication layer; nullptr unless config().replication.enabled.
   [[nodiscard]] replication::StandbyHost* standby() { return standby_.get(); }
   [[nodiscard]] replication::Replicator* replicator() {
@@ -321,6 +372,17 @@ class Crimes {
   // Split-brain-path promotion: the standby, unheard-from, promotes while
   // the (fenced) primary keeps running.
   void split_brain_promote(RunSummary& summary);
+  // Observability helpers. observe_epoch feeds the flight recorder, the
+  // time-series engine and the SLO monitor at the epoch boundary and
+  // charges the (tiny) virtual cost of that work into the pause
+  // accounting; dump_postmortem freezes the evidence (ring + series +
+  // SLO history + config) on the abnormal paths.
+  Nanos observe_epoch(const EpochResult& epoch, Nanos interval,
+                      RunSummary& summary);
+  void dump_postmortem(std::string_view reason, RunSummary& summary);
+  // End-of-run journal verification: fsck after any failure signature; a
+  // failed fsck is itself a postmortem trigger.
+  void verify_journal(RunSummary& summary);
   void analyze_malware(forensics::ForensicReport& report,
                        const MemoryDump& clean, const MemoryDump& bad,
                        const Finding& finding);
@@ -344,6 +406,13 @@ class Crimes {
   std::unique_ptr<ReplayEngine> replay_;
   std::optional<AdaptiveIntervalController> adaptive_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+
+  // Observability state (persists across run() slices, like the
+  // governor's: CloudHost drives tenants one epoch at a time and the SLO
+  // windows must not reset at slice boundaries).
+  std::unique_ptr<telemetry::FlightRecorder> flight_;
+  std::unique_ptr<telemetry::SloMonitor> slo_;
+  std::vector<PostmortemRecord> postmortems_;
 
   // Resilience state. All of it persists across run() calls: CloudHost
   // drives tenants one epoch-sized run() at a time, and the governor's

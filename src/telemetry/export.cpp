@@ -1,12 +1,12 @@
 #include "telemetry/export.h"
 
+#include "telemetry/flight_recorder.h"
+
 #include <algorithm>
 #include <cinttypes>
 #include <set>
 
 namespace crimes::telemetry {
-
-namespace {
 
 // Minimal JSON string escaping: the names we emit are identifiers, but the
 // exporters must never produce malformed JSON whatever they are fed.
@@ -32,6 +32,8 @@ std::string json_escape(std::string_view s) {
   }
   return out;
 }
+
+namespace {
 
 void appendf(std::string& out, const char* fmt, auto... args) {
   char buf[256];
@@ -81,7 +83,10 @@ void export_chrome_trace(const TraceRecorder& recorder, TelemetrySink& sink) {
             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
             "\"args\":{\"name\":\"%s\"}}",
             tid,
-            tid == 0 ? "pipeline" : ("lane-" + std::to_string(tid)).c_str());
+            tid == 0 ? "pipeline"
+            : tid == kFlightRecorderLane
+                ? "flight-recorder"
+                : ("lane-" + std::to_string(tid)).c_str());
   }
 
   for (const auto& span : spans) {

@@ -67,4 +67,8 @@ bool write_metrics_jsonl(const MetricsRegistry& metrics,
 // nanoseconds; printed in ms).
 [[nodiscard]] std::string format_phase_table(const MetricsRegistry& metrics);
 
+// Minimal JSON string escaping, shared by every exporter (including the
+// flight recorder's postmortem writer).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
 }  // namespace crimes::telemetry

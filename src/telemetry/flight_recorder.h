@@ -1,0 +1,120 @@
+// Always-on flight recorder: the system's own black box.
+//
+// The CRIMES thesis -- keep evidence so you can react after the fact --
+// applied to the system itself. A bounded ring of fixed-size slots holds
+// the most recent notable events (phase outcomes, fault-injector
+// decisions, governor transitions, failover steps, SLO verdicts, log
+// lines); recording is wait-free in the common case (one atomic ticket
+// fetch_add; a per-slot guard arbitrates the rare wrap collision) and
+// never allocates, so it can stay on for every epoch of every tenant.
+//
+// When something goes wrong -- a checkpoint exhausts its retries, the
+// SafetyGovernor freezes the tenant, a failover promotes the standby, or
+// StoreJournal::fsck finds torn state -- write_postmortem() freezes the
+// evidence into one self-contained JSON document: the ring's contents,
+// the last-N epochs of every time series, the SLO monitor's replayable
+// input history, and a config snapshot. scripts/check_postmortem.py
+// validates the schema; SloMonitor::replay() proves the verdicts inside
+// are reproducible from the recorded inputs.
+#pragma once
+
+#include "common/sim_clock.h"
+#include "telemetry/export.h"
+#include "telemetry/slo.h"
+#include "telemetry/timeseries.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crimes::telemetry {
+
+// Trace lane the postmortem-dump trigger spans land on: far above the
+// pipeline (0), the CoW drain (1) and the parallel-audit module lanes, so
+// the dump marker never interleaves with pipeline nesting rules.
+inline constexpr std::uint32_t kFlightRecorderLane = 15;
+
+enum class FlightEventKind : std::uint8_t {
+  Phase,       // epoch/checkpoint milestones (commit, failure, retry)
+  Fault,       // injector decision that fired
+  Governor,    // downgrade / upgrade / freeze
+  Failover,    // kill, promotion, fencing
+  Slo,         // health-state transition
+  Log,         // notable log line
+  Postmortem,  // a dump was triggered (the trigger itself is evidence)
+};
+
+[[nodiscard]] const char* to_string(FlightEventKind kind);
+
+struct FlightEvent {
+  Nanos at{0};
+  std::uint64_t epoch = 0;
+  FlightEventKind kind = FlightEventKind::Phase;
+  double value = 0.0;
+  char what[48] = {};    // site / transition / span name
+  char detail[80] = {};  // free-form context
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 1024);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Wait-free slot claim + bounded-copy write; no allocation. Oversized
+  // strings are truncated into the fixed slot fields.
+  void record(Nanos at, std::uint64_t epoch, FlightEventKind kind,
+              std::string_view what, std::string_view detail = {},
+              double value = 0.0) noexcept;
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  // Events recorded over the recorder's lifetime (>= capacity() means the
+  // ring wrapped and old evidence was overwritten -- by design).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t n = recorded();
+    return n > ring_.size() ? n - ring_.size() : 0;
+  }
+
+  // Oldest-first copy of the ring. Allocates; dump/inspect path only.
+  // Callers dump between epochs (trigger sites are all on the
+  // orchestrating thread), so slots are quiescent by then.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+ private:
+  struct Slot {
+    std::atomic_flag busy = ATOMIC_FLAG_INIT;
+    FlightEvent event;
+  };
+  // mutable: snapshot() is logically const but takes the per-slot guards.
+  mutable std::vector<Slot> ring_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+// Everything a postmortem freezes. `series` and `slo` are nullable --
+// a telemetry-off tenant still dumps its ring and config.
+struct PostmortemContext {
+  std::string reason;   // "checkpoint-retries-exhausted", "governor-freeze",
+                        // "failover", "journal-fsck"
+  std::string tenant;
+  Nanos at{0};
+  std::uint64_t epoch = 0;
+  std::string config_summary;  // rendered CrimesConfig snapshot
+  const FlightRecorder* flight = nullptr;
+  const TimeSeriesEngine* series = nullptr;
+  const SloMonitor* slo = nullptr;
+  std::size_t series_last_n = 64;  // raw samples per series to include
+};
+
+// Writes the self-contained postmortem JSON ("crimes-postmortem-v1").
+void export_postmortem(const PostmortemContext& ctx, TelemetrySink& sink);
+[[nodiscard]] std::string render_postmortem(const PostmortemContext& ctx);
+bool write_postmortem(const PostmortemContext& ctx, const std::string& path);
+
+}  // namespace crimes::telemetry

@@ -58,6 +58,28 @@ std::uint64_t HistogramSnapshot::percentile(double q) const {
   return max;
 }
 
+void HistogramSnapshot::merge_from(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+HistogramSnapshot HistogramSnapshot::delta_since(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] =
+        buckets[i] >= earlier.buckets[i] ? buckets[i] - earlier.buckets[i] : 0;
+    if (out.buckets[i] != 0) out.max = Histogram::bucket_upper_bound(i);
+  }
+  out.count = count >= earlier.count ? count - earlier.count : 0;
+  out.sum = sum >= earlier.sum ? sum - earlier.sum : 0;
+  return out;
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   const std::lock_guard lock(mutex_);
   auto it = counters_.find(name);

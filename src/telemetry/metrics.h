@@ -75,6 +75,21 @@ struct HistogramSnapshot {
   [[nodiscard]] std::uint64_t p50() const { return percentile(0.50); }
   [[nodiscard]] std::uint64_t p95() const { return percentile(0.95); }
   [[nodiscard]] std::uint64_t p99() const { return percentile(0.99); }
+
+  // Bucket-wise accumulation. Because bucket boundaries are fixed, merging
+  // per-tenant histograms yields exactly the histogram one shared recorder
+  // would have produced -- the property CloudHost totals rely on (a test
+  // asserts merge == recomputed union).
+  void merge_from(const HistogramSnapshot& other);
+  // Bucket-wise difference against an *earlier* snapshot of the same
+  // histogram: the distribution of just the samples recorded in between.
+  // The true max of that window is unrecoverable (max is cumulative), so
+  // the delta's max is the upper bound of its highest occupied bucket --
+  // windowed percentiles stay accurate to the same factor of 2 as the
+  // cumulative ones. This is what the time-series engine's sliding-window
+  // p50/p95/p99 are built from.
+  [[nodiscard]] HistogramSnapshot delta_since(
+      const HistogramSnapshot& earlier) const;
 };
 
 // Fixed-bucket log2 histogram. Bucket 0 holds the value 0; bucket i >= 1

@@ -1,0 +1,206 @@
+#include "telemetry/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace crimes::telemetry {
+
+const char* to_string(SloState state) {
+  switch (state) {
+    case SloState::Healthy: return "Healthy";
+    case SloState::Warn: return "Warn";
+    case SloState::Critical: return "Critical";
+  }
+  return "?";
+}
+
+const char* to_string(SloDimension dim) {
+  switch (dim) {
+    case SloDimension::Pause: return "pause";
+    case SloDimension::ReplicationLag: return "repl-lag";
+    case SloDimension::Vulnerability: return "vuln-window";
+    case SloDimension::AuditLatency: return "audit";
+  }
+  return "?";
+}
+
+double SloInput::value(SloDimension dim) const {
+  switch (dim) {
+    case SloDimension::Pause: return pause_ms;
+    case SloDimension::ReplicationLag: return replication_lag;
+    case SloDimension::Vulnerability: return vulnerability_ms;
+    case SloDimension::AuditLatency: return audit_ms;
+  }
+  return 0.0;
+}
+
+namespace {
+
+double budget_of(const SloBudget& budget, SloDimension dim) {
+  switch (dim) {
+    case SloDimension::Pause: return budget.pause_ms;
+    case SloDimension::ReplicationLag: return budget.replication_lag;
+    case SloDimension::Vulnerability: return budget.vulnerability_ms;
+    case SloDimension::AuditLatency: return budget.audit_ms;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(SloConfig config) : config_(config) {
+  config_.fast_window = std::max<std::size_t>(1, config_.fast_window);
+  config_.slow_window =
+      std::max(config_.fast_window, config_.slow_window);
+  config_.history_capacity = std::max<std::size_t>(1, config_.history_capacity);
+  if (config_.error_budget <= 0.0) config_.error_budget = 0.05;
+  for (auto& dim : dims_) {
+    // assign() keeps observe() allocation-free: the ring never regrows.
+    dim.ring.assign(config_.slow_window, 0);
+  }
+  history_.resize(config_.history_capacity);
+}
+
+SloState SloMonitor::observe(const SloInput& input) {
+  bool any_warn = false;
+  bool any_crit = false;
+  for (std::size_t d = 0; d < kSloDimensions; ++d) {
+    const auto dim = static_cast<SloDimension>(d);
+    DimState& ds = dims_[d];
+    const std::uint8_t violated =
+        input.value(dim) > budget_of(config_.budget, dim) ? 1 : 0;
+
+    // Evict the bits that fall out of each window before pushing the new
+    // one; fast_window <= slow_window, so both victims are still ringed.
+    const std::size_t slot = epochs_ % config_.slow_window;
+    if (epochs_ >= config_.slow_window) {
+      ds.violations_in_slow -= ds.ring[slot];
+    }
+    if (epochs_ >= config_.fast_window) {
+      ds.violations_in_fast -=
+          ds.ring[(epochs_ - config_.fast_window) % config_.slow_window];
+    }
+    ds.ring[slot] = violated;
+    ds.violations_in_slow += violated;
+    ds.violations_in_fast += violated;
+    ds.violations_total += violated;
+
+    // Burn over the *full* window even while it is still filling: unseen
+    // epochs count as clean, so a young tenant cannot page on its first
+    // slow epoch.
+    const double fast = burn_fast(dim);
+    const double slow = burn_slow(dim);
+    if (fast >= config_.critical_burn && slow >= config_.critical_burn) {
+      any_crit = true;
+    } else if (fast >= config_.warn_burn) {
+      any_warn = true;
+    }
+  }
+
+  if (any_crit) {
+    state_ = SloState::Critical;
+    clean_streak_ = 0;
+  } else if (any_warn) {
+    // Warn-level burn escalates Healthy and blocks Critical's step-down,
+    // but never demotes Critical by itself -- that takes a clean streak.
+    if (state_ == SloState::Healthy) state_ = SloState::Warn;
+    clean_streak_ = 0;
+  } else {
+    ++clean_streak_;
+    if (state_ != SloState::Healthy && clean_streak_ >= config_.clear_after) {
+      state_ = state_ == SloState::Critical ? SloState::Warn
+                                            : SloState::Healthy;
+      clean_streak_ = 0;
+    }
+  }
+
+  if (state_ == SloState::Warn) ++warn_epochs_;
+  if (state_ == SloState::Critical) ++critical_epochs_;
+
+  SloInput recorded = input;
+  recorded.verdict = state_;
+  history_[epochs_ % config_.history_capacity] = recorded;
+  ++epochs_;
+  return state_;
+}
+
+double SloMonitor::burn_fast(SloDimension dim) const {
+  const DimState& ds = dims_[static_cast<std::size_t>(dim)];
+  return static_cast<double>(ds.violations_in_fast) /
+         static_cast<double>(config_.fast_window) / config_.error_budget;
+}
+
+double SloMonitor::burn_slow(SloDimension dim) const {
+  const DimState& ds = dims_[static_cast<std::size_t>(dim)];
+  return static_cast<double>(ds.violations_in_slow) /
+         static_cast<double>(config_.slow_window) / config_.error_budget;
+}
+
+SloReport SloMonitor::report(std::string tenant) const {
+  SloReport out;
+  out.tenant = std::move(tenant);
+  out.state = state_;
+  out.epochs = epochs_;
+  out.warn_epochs = warn_epochs_;
+  out.critical_epochs = critical_epochs_;
+  for (std::size_t d = 0; d < kSloDimensions; ++d) {
+    const auto dim = static_cast<SloDimension>(d);
+    out.dimensions[d] = SloDimensionReport{
+        .dim = dim,
+        .burn_fast = burn_fast(dim),
+        .burn_slow = burn_slow(dim),
+        .violations = dims_[d].violations_total,
+    };
+  }
+  return out;
+}
+
+std::vector<SloInput> SloMonitor::history() const {
+  std::vector<SloInput> out;
+  const std::size_t n = std::min(epochs_, config_.history_capacity);
+  out.reserve(n);
+  const std::size_t start = epochs_ - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(history_[(start + i) % config_.history_capacity]);
+  }
+  return out;
+}
+
+std::vector<SloState> SloMonitor::replay(const SloConfig& config,
+                                         std::span<const SloInput> inputs) {
+  SloMonitor monitor(config);
+  std::vector<SloState> out;
+  out.reserve(inputs.size());
+  for (const SloInput& input : inputs) {
+    out.push_back(monitor.observe(input));
+  }
+  return out;
+}
+
+std::string format_health_table(std::span<const SloReport> reports) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-16s %-9s %8s %7s %7s  %-12s %7s %7s\n",
+                "tenant", "state", "epochs", "warn", "crit", "hot-dim",
+                "burn-f", "burn-s");
+  out += line;
+  out += std::string(80, '-') + "\n";
+  for (const SloReport& r : reports) {
+    // The hottest dimension: highest fast burn (ties break toward the
+    // earlier dimension, i.e. pause first).
+    const SloDimensionReport* hot = &r.dimensions[0];
+    for (const auto& d : r.dimensions) {
+      if (d.burn_fast > hot->burn_fast) hot = &d;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-16s %-9s %8zu %7zu %7zu  %-12s %7.2f %7.2f\n",
+                  r.tenant.empty() ? "-" : r.tenant.c_str(),
+                  to_string(r.state), r.epochs, r.warn_epochs,
+                  r.critical_epochs, to_string(hot->dim), hot->burn_fast,
+                  hot->burn_slow);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace crimes::telemetry

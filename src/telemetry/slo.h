@@ -1,0 +1,164 @@
+// Per-tenant SLO health monitoring.
+//
+// A tenant's protection contract is quantitative: pauses under a tail
+// budget, the standby within a lag bound, outputs never exposed longer
+// than a vulnerability window, audits fast enough to fit the epoch. The
+// monitor turns those budgets into a Healthy -> Warn -> Critical state
+// machine using multi-window burn rates (the SRE alerting recipe): each
+// epoch contributes a violation bit per dimension, and the burn rate over
+// a window is
+//
+//   burn = (violating epochs / window epochs) / error_budget
+//
+// so burn == 1 means "spending the error budget exactly as fast as
+// allowed". Warn fires when the fast window burns hot; Critical when the
+// slow window confirms it is sustained, not a blip. Recovery is
+// hysteretic: a state steps down only after `clear_after` consecutive
+// fast-window-clean epochs, so a flapping tenant cannot oscillate per
+// epoch.
+//
+// Everything is preallocated at construction: observe() touches fixed
+// rings and does no allocation, so the monitor can stay on for every
+// epoch of every tenant (it is independent of the telemetry knob, like
+// RunSummary's pause histogram). The recent-input ring doubles as the
+// postmortem's replayable evidence: replay() re-runs the state machine
+// over recorded inputs and must reproduce the live verdicts exactly.
+#pragma once
+
+#include "common/sim_clock.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crimes::telemetry {
+
+enum class SloState : std::uint8_t { Healthy, Warn, Critical };
+
+[[nodiscard]] const char* to_string(SloState state);
+
+// The budget dimensions, indexable for the per-dimension burn stats.
+enum class SloDimension : std::uint8_t {
+  Pause,          // per-epoch pause vs the p99 pause budget
+  ReplicationLag, // committed-but-unacked generations
+  Vulnerability,  // time audited outputs sat released-but-uncovered
+  AuditLatency,   // audit share of the pause
+};
+inline constexpr std::size_t kSloDimensions = 4;
+
+[[nodiscard]] const char* to_string(SloDimension dim);
+
+// Declarative budgets. A violation is one epoch over the line; the burn
+// windows turn violation *frequency* into health, so a single slow epoch
+// never pages anyone.
+struct SloBudget {
+  double pause_ms = 8.0;             // per-epoch pause ceiling
+  double replication_lag = 8.0;      // generations in flight
+  double vulnerability_ms = 1.0;     // released-before-covered exposure
+  double audit_ms = 2.0;             // audit latency ceiling
+};
+
+struct SloConfig {
+  bool enabled = true;
+  SloBudget budget;
+  double error_budget = 0.05;    // tolerated violation fraction per window
+  std::size_t fast_window = 8;   // epochs; catches active burn
+  std::size_t slow_window = 64;  // epochs; confirms it is sustained
+  double warn_burn = 1.0;        // fast burn >= this -> Warn
+  double critical_burn = 2.0;    // fast AND slow burn >= this -> Critical
+  std::size_t clear_after = 4;   // clean epochs before stepping down
+  std::size_t history_capacity = 512;  // replayable input ring
+};
+
+// One epoch's inputs, as recorded (and replayed). `verdict` is the state
+// *after* evaluating this epoch.
+struct SloInput {
+  std::uint64_t epoch = 0;
+  double pause_ms = 0.0;
+  double replication_lag = 0.0;
+  double vulnerability_ms = 0.0;
+  double audit_ms = 0.0;
+  SloState verdict = SloState::Healthy;
+
+  [[nodiscard]] double value(SloDimension dim) const;
+};
+
+struct SloDimensionReport {
+  SloDimension dim{};
+  double burn_fast = 0.0;
+  double burn_slow = 0.0;
+  std::size_t violations = 0;  // lifetime epochs over budget
+};
+
+struct SloReport {
+  std::string tenant;
+  SloState state = SloState::Healthy;
+  std::size_t epochs = 0;
+  std::size_t warn_epochs = 0;
+  std::size_t critical_epochs = 0;
+  std::array<SloDimensionReport, kSloDimensions> dimensions{};
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig config);
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  // Evaluates one epoch. Allocation-free; returns the state after this
+  // epoch (the caller watches for transitions). The input's `verdict`
+  // field is ignored on the way in and recorded on the way out.
+  SloState observe(const SloInput& input);
+
+  [[nodiscard]] SloState state() const { return state_; }
+  [[nodiscard]] std::size_t epochs() const { return epochs_; }
+  [[nodiscard]] std::size_t warn_epochs() const { return warn_epochs_; }
+  [[nodiscard]] std::size_t critical_epochs() const {
+    return critical_epochs_;
+  }
+  [[nodiscard]] double burn_fast(SloDimension dim) const;
+  [[nodiscard]] double burn_slow(SloDimension dim) const;
+  [[nodiscard]] const SloConfig& config() const { return config_; }
+
+  [[nodiscard]] SloReport report(std::string tenant = {}) const;
+
+  // The recorded inputs, oldest first (at most history_capacity; the
+  // postmortem's replayable evidence). Allocates; dump/inspect path only.
+  [[nodiscard]] std::vector<SloInput> history() const;
+
+  // Re-runs the state machine over recorded inputs (their verdict fields
+  // are ignored). A postmortem is trustworthy iff this reproduces the
+  // recorded verdicts -- the bench and check_postmortem.py both assert it.
+  [[nodiscard]] static std::vector<SloState> replay(
+      const SloConfig& config, std::span<const SloInput> inputs);
+
+ private:
+  SloConfig config_;
+
+  // Violation bit rings, one per dimension, sized slow_window.
+  struct DimState {
+    std::vector<std::uint8_t> ring;  // 0/1 per epoch, capacity slow_window
+    std::size_t violations_in_fast = 0;
+    std::size_t violations_in_slow = 0;
+    std::size_t violations_total = 0;
+  };
+  std::array<DimState, kSloDimensions> dims_;
+
+  std::vector<SloInput> history_;  // ring, capacity history_capacity
+  std::size_t epochs_ = 0;
+  SloState state_ = SloState::Healthy;
+  std::size_t clean_streak_ = 0;
+  std::size_t warn_epochs_ = 0;
+  std::size_t critical_epochs_ = 0;
+};
+
+// Text dashboard over per-tenant reports: one row per tenant with state,
+// epoch counts and the hottest dimension's burn rates.
+[[nodiscard]] std::string format_health_table(
+    std::span<const SloReport> reports);
+
+}  // namespace crimes::telemetry

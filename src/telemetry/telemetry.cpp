@@ -1,0 +1,18 @@
+#include "telemetry/telemetry.h"
+
+#include "telemetry/export.h"
+
+namespace crimes::telemetry {
+
+bool Telemetry::flush_exports() {
+  bool ok = true;
+  if (!trace_path_.empty()) {
+    ok = write_chrome_trace(trace, trace_path_) && ok;
+  }
+  if (!metrics_path_.empty()) {
+    ok = write_metrics_jsonl(metrics, metrics_path_) && ok;
+  }
+  return ok;
+}
+
+}  // namespace crimes::telemetry

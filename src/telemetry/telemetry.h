@@ -1,14 +1,19 @@
 // The bundle instrumented components share: one metrics registry + one
 // trace recorder per Crimes instance, both keyed to that instance's
-// SimClock. Components hold a `telemetry::Telemetry*` that is nullptr when
-// the CrimesConfig::telemetry knob is off -- every recording site guards on
-// it, so the disabled path does no allocation and no locking per epoch
-// (a test asserts this).
+// SimClock, plus (optionally) the time-series engine sampling the registry
+// once per epoch. Components hold a `telemetry::Telemetry*` that is
+// nullptr when the CrimesConfig::telemetry knob is off -- every recording
+// site guards on it, so the disabled path does no allocation and no
+// locking per epoch (a test asserts this).
 #pragma once
 
 #include "common/sim_clock.h"
 #include "telemetry/metrics.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
+
+#include <memory>
+#include <string>
 
 namespace crimes::telemetry {
 
@@ -17,6 +22,37 @@ struct Telemetry {
 
   MetricsRegistry metrics;
   TraceRecorder trace;
+  // Windowed history; created by enable_series() (Crimes does so at
+  // initialize() time) and sampled at each epoch boundary.
+  std::unique_ptr<TimeSeriesEngine> series;
+
+  void enable_series(TimeSeriesConfig config = {}) {
+    if (!series) {
+      series = std::make_unique<TimeSeriesEngine>(metrics, config);
+    }
+  }
+
+  // Abnormal-exit flushing: a bench registers its --trace-out/--metrics-out
+  // destinations up front, and any abnormal path (governor freeze,
+  // retries-exhausted checkpoint failure, failover, postmortem dump) calls
+  // flush_exports() so a partial run still leaves complete, parseable
+  // files behind instead of nothing. Each flush rewrites the files whole
+  // (both exporters emit self-contained documents); calling it again at
+  // normal exit simply refreshes them.
+  void set_export_paths(std::string trace_path, std::string metrics_path) {
+    trace_path_ = std::move(trace_path);
+    metrics_path_ = std::move(metrics_path);
+  }
+  // Returns false if any registered destination could not be written.
+  bool flush_exports();
+  [[nodiscard]] const std::string& trace_path() const { return trace_path_; }
+  [[nodiscard]] const std::string& metrics_path() const {
+    return metrics_path_;
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
 };
 
 }  // namespace crimes::telemetry

@@ -1,0 +1,199 @@
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+
+namespace crimes::telemetry {
+
+ScalarSeries::ScalarSeries(Kind kind, const TimeSeriesConfig& config)
+    : kind_(kind), config_(config) {
+  raw_.reserve(config_.raw_capacity);
+  tiers_.resize(config_.tiers);
+  for (auto& tier : tiers_) tier.ring.reserve(config_.tier_capacity);
+}
+
+void ScalarSeries::observe(Nanos at, double value) {
+  // The EWMA/rate stream: gauges smooth the level, counters the increment
+  // (a counter's level only ever says "how long has this run been going").
+  const double x =
+      kind_ == Kind::Counter ? (has_last_ ? value - last_value_ : 0.0) : value;
+  if (ewma_seeded_) {
+    ewma_ += config_.ewma_alpha * (x - ewma_);
+  } else {
+    ewma_ = x;
+    ewma_seeded_ = true;
+  }
+  last_value_ = value;
+  has_last_ = true;
+
+  const SamplePoint point{at, value};
+  if (raw_.size() < config_.raw_capacity) {
+    raw_.push_back(point);
+  } else {
+    raw_[seen_ % config_.raw_capacity] = point;
+  }
+  ++seen_;
+
+  // Cascade into the downsampled tiers: each tier folds `fold_every` of
+  // the tier below into one envelope point.
+  if (!tiers_.empty()) {
+    fold_into_tier(0, at, at, value, value, value, 1);
+  }
+}
+
+void ScalarSeries::fold_into_tier(std::size_t t, Nanos start, Nanos end,
+                                  double mn, double mx, double sum,
+                                  std::size_t n) {
+  if (t >= tiers_.size()) return;
+  Tier& tier = tiers_[t];
+  AggPoint& p = tier.pending;
+  if (p.count == 0) {
+    p.start = start;
+    p.min = mn;
+    p.max = mx;
+  }
+  p.end = end;
+  p.min = std::min(p.min, mn);
+  p.max = std::max(p.max, mx);
+  p.sum += sum;
+  p.count += n;
+  // A tier point completes after fold_every inputs from the tier below.
+  ++tier.seen;
+  if (tier.seen % config_.fold_every != 0) return;
+  const AggPoint done = p;
+  p = AggPoint{};
+  const std::size_t slot = tier.seen / config_.fold_every - 1;
+  if (tier.ring.size() < config_.tier_capacity) {
+    tier.ring.push_back(done);
+  } else {
+    tier.ring[slot % config_.tier_capacity] = done;
+  }
+  fold_into_tier(t + 1, done.start, done.end, done.min, done.max, done.sum,
+                 done.count);
+}
+
+std::vector<SamplePoint> ScalarSeries::raw() const {
+  std::vector<SamplePoint> out;
+  const std::size_t n = std::min(seen_, config_.raw_capacity);
+  out.reserve(n);
+  const std::size_t start = seen_ - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(raw_[(start + i) % config_.raw_capacity]);
+  }
+  return out;
+}
+
+std::vector<AggPoint> ScalarSeries::tier(std::size_t t) const {
+  std::vector<AggPoint> out;
+  if (t >= tiers_.size()) return out;
+  const Tier& tier = tiers_[t];
+  const std::size_t points = tier.seen / config_.fold_every;
+  const std::size_t n = std::min(points, config_.tier_capacity);
+  out.reserve(n);
+  const std::size_t start = points - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(tier.ring[(start + i) % config_.tier_capacity]);
+  }
+  return out;
+}
+
+double ScalarSeries::last() const {
+  if (seen_ == 0) return 0.0;
+  return raw_[(seen_ - 1) % config_.raw_capacity].value;
+}
+
+double ScalarSeries::rate_per_sec(std::size_t window) const {
+  const std::size_t n = std::min({seen_, config_.raw_capacity, window + 1});
+  if (n < 2) return 0.0;
+  const SamplePoint& newest = raw_[(seen_ - 1) % config_.raw_capacity];
+  const SamplePoint& oldest = raw_[(seen_ - n) % config_.raw_capacity];
+  const double dt_sec = to_ms(newest.at - oldest.at) / 1e3;
+  if (dt_sec <= 0.0) return 0.0;
+  return (newest.value - oldest.value) / dt_sec;
+}
+
+HistogramSeries::HistogramSeries(const TimeSeriesConfig& config)
+    : capacity_(config.raw_capacity) {
+  times_.reserve(capacity_);
+  ring_.reserve(capacity_);
+}
+
+void HistogramSeries::observe(Nanos at, const HistogramSnapshot& snap) {
+  if (ring_.size() < capacity_) {
+    times_.push_back(SamplePoint{at, static_cast<double>(snap.count)});
+    ring_.push_back(snap);
+  } else {
+    times_[seen_ % capacity_] = SamplePoint{at, static_cast<double>(snap.count)};
+    ring_[seen_ % capacity_] = snap;
+  }
+  ++seen_;
+}
+
+HistogramSnapshot HistogramSeries::window_delta(std::size_t window) const {
+  if (seen_ == 0) return {};
+  const std::size_t n = std::min(seen_, capacity_);
+  const HistogramSnapshot& newest = ring_[(seen_ - 1) % capacity_];
+  // The window start is the snapshot `window` samples back; if the ring no
+  // longer holds one that old (or the run is younger than the window), the
+  // oldest retained snapshot bounds it. A window reaching before the first
+  // sample means "everything so far": delta against an empty snapshot.
+  if (window >= seen_) return newest.delta_since(HistogramSnapshot{});
+  const std::size_t back = std::min(window, n - 1);
+  const HistogramSnapshot& earlier = ring_[(seen_ - 1 - back) % capacity_];
+  return newest.delta_since(earlier);
+}
+
+const HistogramSnapshot& HistogramSeries::latest() const {
+  static const HistogramSnapshot kEmpty{};
+  if (seen_ == 0) return kEmpty;
+  return ring_[(seen_ - 1) % capacity_];
+}
+
+TimeSeriesEngine::TimeSeriesEngine(const MetricsRegistry& registry,
+                                   TimeSeriesConfig config)
+    : registry_(&registry), config_(config) {}
+
+void TimeSeriesEngine::sample(Nanos now) {
+  const MetricsRegistry::Snapshot snap = registry_->snapshot();
+  last_sample_metrics_ =
+      snap.counters.size() + snap.gauges.size() + snap.histograms.size();
+  for (const auto& [name, value] : snap.counters) {
+    auto it = scalars_.find(name);
+    if (it == scalars_.end()) {
+      it = scalars_
+               .emplace(name,
+                        ScalarSeries(ScalarSeries::Kind::Counter, config_))
+               .first;
+    }
+    it->second.observe(now, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    auto it = scalars_.find(name);
+    if (it == scalars_.end()) {
+      it = scalars_
+               .emplace(name, ScalarSeries(ScalarSeries::Kind::Gauge, config_))
+               .first;
+    }
+    it->second.observe(now, value);
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, HistogramSeries(config_)).first;
+    }
+    it->second.observe(now, hist);
+  }
+  ++samples_;
+}
+
+const ScalarSeries* TimeSeriesEngine::find(std::string_view name) const {
+  const auto it = scalars_.find(name);
+  return it == scalars_.end() ? nullptr : &it->second;
+}
+
+const HistogramSeries* TimeSeriesEngine::find_histogram(
+    std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace crimes::telemetry

@@ -1,0 +1,186 @@
+// Windowed telemetry history: the time-series engine behind the flight
+// recorder and the SLO monitor.
+//
+// MetricsRegistry cells are point-in-time -- a gauge read after a freeze
+// says nothing about the minutes before it. The engine closes that gap:
+// once per epoch it snapshots every registered counter/gauge/histogram
+// into per-metric ring buffers and maintains the windowed views the
+// control plane asks for (per-second rate, EWMA, sliding-window
+// p50/p95/p99). Memory stays bounded no matter how long the run is:
+//
+//   tier 0   raw (time, value) samples, fixed-capacity ring
+//   tier 1+  every `fold_every` finer points fold into one min/max/sum/
+//            count aggregate, themselves ring-buffered
+//
+// so thousands of epochs of history cost a few KiB per metric. Histogram
+// metrics keep a ring of cumulative snapshots instead; a sliding window is
+// the bucket-wise delta of its endpoints (HistogramSnapshot::delta_since),
+// which makes windowed percentiles exactly the log2-bucket percentiles a
+// fresh histogram over the window's samples would report.
+//
+// The engine only exists when the telemetry knob is on; the disabled path
+// keeps PR 2's zero-allocation guarantee by never constructing one.
+#pragma once
+
+#include "common/sim_clock.h"
+#include "telemetry/metrics.h"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crimes::telemetry {
+
+struct TimeSeriesConfig {
+  std::size_t raw_capacity = 256;  // tier-0 samples kept per series
+  std::size_t fold_every = 8;      // finer points per downsampled aggregate
+  std::size_t tier_capacity = 128; // capacity of each downsampled tier
+  std::size_t tiers = 2;           // downsampled tiers on top of raw
+  double ewma_alpha = 0.2;         // weight of the newest sample
+};
+
+struct SamplePoint {
+  Nanos at{0};
+  double value = 0.0;
+};
+
+// One downsampled point: `count` consecutive finer-tier points folded into
+// their envelope. Rates and tails survive downsampling as bounds.
+struct AggPoint {
+  Nanos start{0};
+  Nanos end{0};
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+};
+
+// Scalar series (counter or gauge). Counters additionally maintain the
+// per-sample increment stream the rate/EWMA views are computed from.
+class ScalarSeries {
+ public:
+  enum class Kind { Counter, Gauge };
+
+  ScalarSeries(Kind kind, const TimeSeriesConfig& config);
+
+  void observe(Nanos at, double value);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] std::size_t samples_seen() const { return seen_; }
+  // Newest-last copy of the raw ring (at most raw_capacity points).
+  [[nodiscard]] std::vector<SamplePoint> raw() const;
+  [[nodiscard]] std::vector<AggPoint> tier(std::size_t t) const;
+  [[nodiscard]] std::size_t tier_count() const { return tiers_.size(); }
+
+  // Last raw sample (0 if none yet).
+  [[nodiscard]] double last() const;
+  // EWMA of the sampled value (gauges) or of the per-sample increment
+  // (counters).
+  [[nodiscard]] double ewma() const { return ewma_; }
+  // Counter rate over the last `window` raw samples, per virtual second:
+  // (v_now - v_then) / (t_now - t_then). Gauges report the mean slope the
+  // same way. 0 until two samples exist.
+  [[nodiscard]] double rate_per_sec(std::size_t window) const;
+
+ private:
+  void fold_into_tier(std::size_t t, Nanos start, Nanos end, double mn,
+                      double mx, double sum, std::size_t n);
+
+  Kind kind_;
+  TimeSeriesConfig config_;
+  std::vector<SamplePoint> raw_;   // ring, capacity raw_capacity
+  std::size_t seen_ = 0;           // total observes; ring head = seen_ % cap
+
+  struct Tier {
+    std::vector<AggPoint> ring;    // capacity tier_capacity
+    std::size_t seen = 0;
+    // Accumulator for the aggregate currently being built.
+    AggPoint pending{};
+  };
+  std::vector<Tier> tiers_;
+
+  double ewma_ = 0.0;
+  bool ewma_seeded_ = false;
+  double last_value_ = 0.0;
+  bool has_last_ = false;
+};
+
+// Histogram series: ring of cumulative snapshots. Windowed views are
+// bucket deltas between ring entries.
+class HistogramSeries {
+ public:
+  explicit HistogramSeries(const TimeSeriesConfig& config);
+
+  void observe(Nanos at, const HistogramSnapshot& snap);
+
+  [[nodiscard]] std::size_t samples_seen() const { return seen_; }
+  // Distribution of samples recorded during the last `window` epochs
+  // (clamped to the history actually retained).
+  [[nodiscard]] HistogramSnapshot window_delta(std::size_t window) const;
+  [[nodiscard]] std::uint64_t window_p50(std::size_t window) const {
+    return window_delta(window).p50();
+  }
+  [[nodiscard]] std::uint64_t window_p95(std::size_t window) const {
+    return window_delta(window).p95();
+  }
+  [[nodiscard]] std::uint64_t window_p99(std::size_t window) const {
+    return window_delta(window).p99();
+  }
+  [[nodiscard]] const HistogramSnapshot& latest() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<SamplePoint> times_;        // parallel ring of sample times
+  std::vector<HistogramSnapshot> ring_;   // ring, capacity raw_capacity
+  std::size_t seen_ = 0;
+};
+
+class TimeSeriesEngine {
+ public:
+  TimeSeriesEngine(const MetricsRegistry& registry, TimeSeriesConfig config);
+
+  TimeSeriesEngine(const TimeSeriesEngine&) = delete;
+  TimeSeriesEngine& operator=(const TimeSeriesEngine&) = delete;
+
+  // Samples every registered metric once. Called at each epoch boundary;
+  // new metrics are adopted (and a series allocated) the first time they
+  // appear in the registry.
+  void sample(Nanos now);
+
+  [[nodiscard]] std::size_t samples_taken() const { return samples_; }
+  [[nodiscard]] std::size_t series_count() const {
+    return scalars_.size() + histograms_.size();
+  }
+  // Metric count at the last sample() -- what the per-epoch sampling cost
+  // scales with.
+  [[nodiscard]] std::size_t last_sample_metrics() const {
+    return last_sample_metrics_;
+  }
+
+  [[nodiscard]] const ScalarSeries* find(std::string_view name) const;
+  [[nodiscard]] const HistogramSeries* find_histogram(
+      std::string_view name) const;
+  [[nodiscard]] const TimeSeriesConfig& config() const { return config_; }
+
+  // The postmortem exporter walks every series.
+  [[nodiscard]] const std::map<std::string, ScalarSeries, std::less<>>&
+  scalars() const {
+    return scalars_;
+  }
+  [[nodiscard]] const std::map<std::string, HistogramSeries, std::less<>>&
+  histograms() const {
+    return histograms_;
+  }
+
+ private:
+  const MetricsRegistry* registry_;
+  TimeSeriesConfig config_;
+  std::map<std::string, ScalarSeries, std::less<>> scalars_;
+  std::map<std::string, HistogramSeries, std::less<>> histograms_;
+  std::size_t samples_ = 0;
+  std::size_t last_sample_metrics_ = 0;
+};
+
+}  // namespace crimes::telemetry

@@ -29,7 +29,9 @@
 // made anywhere in the process; the telemetry-disabled test asserts the
 // count does not move across a burst of no-op trace/metric calls.
 
-static std::atomic<std::uint64_t> g_heap_allocs{0};
+// Non-static: test_observability.cpp reuses the counter for the flight
+// recorder / SLO monitor no-allocation bars.
+std::atomic<std::uint64_t> g_heap_allocs{0};
 
 void* operator new(std::size_t size) {
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
