@@ -3,19 +3,66 @@
 //  (a) normalized runtime falls with longer intervals,
 //  (b) per-epoch paused time grows,
 //  (c) dirty pages per epoch grow (saturating).
+// Plus the closed-loop row: the same profiles with the control plane
+// choosing the interval live, with its chosen-interval trajectory printed
+// next to the static grid so the sweep shows where the controller lands.
 #include "bench_util.h"
+#include "control/control_plane.h"
 
 #include <cstdio>
 
-int main() {
-  using namespace crimes;
-  using namespace crimes::bench;
+namespace {
 
+using namespace crimes;
+using namespace crimes::bench;
+
+struct ControlledRun {
+  RunSummary summary;
+  double final_interval_ms = 0.0;
+  std::vector<double> trajectory;  // interval after each decision (ms)
+};
+
+// The static sweep's question, asked of the controller: where on the
+// interval axis does the closed loop settle for this profile?
+ControlledRun run_controlled(const ParsecProfile& profile) {
+  Hypervisor hypervisor(1u << 21);
+  const GuestConfig gc = profile.recommended_guest();
+  Vm& vm = hypervisor.create_domain(profile.name, gc.page_count);
+  GuestKernel kernel(vm, gc);
+  kernel.boot();
+
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(millis(100));
+  config.record_execution = false;
+  config.control.enabled = true;
+  config.control.min_interval = millis(60);
+  config.control.max_interval = millis(200);  // the figure's sweep range
+  config.control.manage_scan = false;
+  config.control.manage_window = false;
+  config.control.manage_gc = false;
+  Crimes crimes(hypervisor, kernel, config);
+  ParsecWorkload app(kernel, profile);
+  crimes.set_workload(&app);
+  crimes.initialize();
+
+  ControlledRun run;
+  run.summary = crimes.run(millis(profile.duration_ms * 2));
+  run.final_interval_ms = to_ms(crimes.current_interval());
+  for (const control::ControlDecision& d : crimes.control_plane()->decisions()) {
+    if (d.knob == control::Knob::EpochInterval) run.trajectory.push_back(d.to);
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
   const std::vector<std::string> names = {"freqmine", "swaptions", "volrend",
                                           "water-spatial"};
   const std::vector<int> intervals = {60, 80, 100, 120, 140, 160, 180, 200};
 
   std::vector<std::vector<RunSummary>> grid(names.size());
+  std::vector<ControlledRun> controlled(names.size());
   for (std::size_t b = 0; b < names.size(); ++b) {
     ParsecProfile profile = ParsecProfile::by_name(names[b]);
     profile.duration_ms = 2400.0;
@@ -23,6 +70,7 @@ int main() {
       grid[b].push_back(run_parsec_scheme(
           profile, CheckpointConfig::full(millis(interval))));
     }
+    controlled[b] = run_controlled(profile);
   }
 
   const auto print_grid = [&](const char* title, auto value) {
@@ -37,6 +85,13 @@ int main() {
       }
       std::printf("\n");
     }
+    // The closed-loop row: same metric, interval chosen by the control
+    // plane (its final position is in the trajectory table below).
+    std::printf("%-10s", "closed");
+    for (std::size_t b = 0; b < names.size(); ++b) {
+      std::printf(" %13.3f", value(controlled[b].summary));
+    }
+    std::printf("\n");
   };
 
   print_grid("Figure 5a: normalized runtime vs epoch interval (Full)",
@@ -69,6 +124,20 @@ int main() {
     }
     std::printf("\n");
   }
+  // Where the controller walked: every interval it chose, in decision
+  // order, ending at its settling point. Read against the grids above to
+  // see which static row the closed loop converged toward.
+  print_header("closed-loop chosen-interval trajectory (ms)");
+  for (std::size_t b = 0; b < names.size(); ++b) {
+    std::printf("%-14s 100", names[b].c_str());
+    for (const double ms : controlled[b].trajectory) {
+      std::printf(" -> %.0f", ms);
+    }
+    std::printf("   (final %.0f, %zu moves)\n",
+                controlled[b].final_interval_ms,
+                controlled[b].trajectory.size());
+  }
+
   std::printf("\npaper: runtime falls, pause and dirty pages rise with the "
               "interval; dirty pages saturate toward the working set. Tail "
               "pause (p95/p99, log2-bucket accuracy) tracks the mean when "

@@ -15,6 +15,10 @@ navigates with a stale map. This script makes drift a test failure:
      as invisible as an undocumented one).
   4. Every example binary `examples/<name>.cpp` must appear as `<name>`
      in README.md's runnable-examples table.
+  5. Knob reference: every field of every operator-facing config struct
+     (CrimesConfig, CheckpointConfig, ControlConfig, SloConfig, ...) must
+     appear as a backticked `Struct.field` token in docs/TUNING.md. Add a
+     knob without documenting it and this gate fails naming the knob.
 
 Exit status: 0 when the docs cover the tree, 1 otherwise.
 """
@@ -23,6 +27,22 @@ import argparse
 import pathlib
 import re
 import sys
+
+# The operator-facing config structs: header (repo-relative) -> structs in
+# it whose every field is a tunable that docs/TUNING.md must cover.
+CONFIG_STRUCTS = [
+    ("src/core/crimes.h", ["CrimesConfig"]),
+    ("src/checkpoint/checkpointer.h", ["CheckpointConfig"]),
+    ("src/core/adaptive_interval.h", ["AdaptiveIntervalConfig"]),
+    ("src/control/control_config.h", ["ControlConfig"]),
+    ("src/replication/replication_config.h",
+     ["HeartbeatConfig", "ReplicationConfig"]),
+    ("src/store/store_config.h", ["RetentionPolicy", "StoreConfig"]),
+    ("src/telemetry/slo.h", ["SloBudget", "SloConfig"]),
+    ("src/telemetry/timeseries.h", ["TimeSeriesConfig"]),
+    ("src/fault/safety_governor.h", ["GovernorConfig"]),
+    ("src/detect/detector.h", ["AuditPolicy"]),
+]
 
 
 def fail(msg: str) -> None:
@@ -62,6 +82,77 @@ def cmake_benches(repo: pathlib.Path) -> list[str]:
             if line.strip() and not line.strip().startswith("#")]
 
 
+def strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def struct_body(text: str, name: str, path: str) -> str:
+    """The top-level body of `struct <name> { ... };` in stripped text."""
+    match = re.search(rf"\bstruct\s+{name}\b[^{{;]*{{", text)
+    if match is None:
+        fail(f"{path}: struct {name} not found (update CONFIG_STRUCTS)")
+    depth, start = 1, match.end()
+    for i in range(start, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[start:i]
+    fail(f"{path}: struct {name} has no closing brace")
+
+
+def struct_fields(body: str) -> list[str]:
+    """Data-member names declared at the struct's top level.
+
+    Walks the body at brace depth 0 (nested types and default-member-init
+    braces are skipped), splits on `;`, and takes the identifier before
+    the initializer as the field name. Declarations containing `(` before
+    any `=`/`{` are member functions, not knobs.
+    """
+    fields = []
+    depth, chunk = 0, []
+    for ch in body:
+        if ch == "{":
+            depth += 1
+            continue
+        if ch == "}":
+            depth -= 1
+            continue
+        if ch == ";" and depth == 0:
+            decl = "".join(chunk).strip()
+            chunk = []
+            decl = re.split(r"=", decl, maxsplit=1)[0].strip()
+            if (not decl or "(" in decl
+                    or decl.startswith(("static", "using", "friend",
+                                        "struct", "class", "enum"))):
+                continue
+            match = re.search(r"\b([A-Za-z_][A-Za-z0-9_]*)\s*(?:\[\s*\d*\s*\])?$",
+                              decl)
+            # A field is "type name": require a type before the name (a
+            # lone identifier is a stray token, not a declaration).
+            if match and decl[:match.start()].strip():
+                fields.append(match.group(1))
+            continue
+        if depth == 0:
+            chunk.append(ch)
+    return fields
+
+
+def config_knobs(repo: pathlib.Path) -> list[str]:
+    knobs = []
+    for rel, structs in CONFIG_STRUCTS:
+        text = strip_comments((repo / rel).read_text(encoding="utf-8"))
+        for struct in structs:
+            fields = struct_fields(struct_body(text, struct, rel))
+            if not fields:
+                fail(f"{rel}: struct {struct} yielded no fields; the "
+                     "parser or the struct changed")
+            knobs.extend(f"{struct}.{field}" for field in fields)
+    return knobs
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repo", type=pathlib.Path,
@@ -98,9 +189,17 @@ def main() -> None:
     if unlisted:
         fail("README.md examples table is missing: " + ", ".join(unlisted))
 
+    tuning = (repo / "docs" / "TUNING.md").read_text(encoding="utf-8")
+    knobs = config_knobs(repo)
+    unknown = [k for k in knobs if f"`{k}`" not in tuning]
+    if unknown:
+        fail("docs/TUNING.md knob reference is missing: "
+             + ", ".join(unknown))
+
     print(f"check_docs: OK ({len(module_dirs(repo))} modules in DESIGN.md, "
           f"{len(sources)} benches in EXPERIMENTS.md, "
-          f"{len(examples)} examples in README.md)")
+          f"{len(examples)} examples in README.md, "
+          f"{len(knobs)} knobs in docs/TUNING.md)")
 
 
 if __name__ == "__main__":

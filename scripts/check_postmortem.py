@@ -35,7 +35,8 @@ import json
 import subprocess
 import sys
 
-KINDS = {"phase", "fault", "governor", "failover", "slo", "log", "postmortem"}
+KINDS = {"phase", "fault", "governor", "failover", "slo", "log", "postmortem",
+         "control"}
 STATES = ("Healthy", "Warn", "Critical")
 DIMENSIONS = ("pause_ms", "replication_lag", "vulnerability_ms", "audit_ms")
 BUDGET_KEYS = {

@@ -19,7 +19,11 @@ Checks, in order:
   6. "postmortem_dump" spans (the flight recorder freezing its evidence)
      sit on their own dedicated lane -- never the pipeline lane (tid 0)
      nor a CoW drain track -- and that lane carries nothing else.
-  7. If --metrics is given, every line parses as a JSON object with a
+  7. "control_decide" spans (control-plane decision cycles) sit on their
+     own dedicated lane -- never the pipeline lane, the CoW drain track,
+     nor the flight recorder's postmortem lane -- and that lane carries
+     nothing else.
+  8. If --metrics is given, every line parses as a JSON object with a
      "name" and "type" field.
 
 With --run BINARY, runs `BINARY --trace-out TRACE --metrics-out METRICS`
@@ -251,6 +255,45 @@ def check_flight_dumps(spans):
     )
 
 
+def check_control(spans):
+    """Control-plane decision cycles are observers, not pipeline work: the
+    controller emits 'control_decide' spans on a dedicated lane so the
+    epoch pipeline's containment invariants never see them. Hold it to
+    that: every 'control_decide' is off lanes 0/1 (pipeline, CoW drain
+    track), all decisions share one lane, that lane carries nothing
+    else, and it is not the flight recorder's postmortem lane."""
+    decides = [e for e in spans if e["name"] == "control_decide"]
+    if not decides:
+        return
+    lanes = {d["tid"] for d in decides}
+    if len(lanes) != 1:
+        fail(f"'control_decide' spans spread across lanes {sorted(lanes)}")
+    lane = lanes.pop()
+    if lane in (0, 1):
+        fail(
+            f"'control_decide' at ts={decides[0]['ts']} is on lane {lane}; "
+            "the control plane must decide on its own lane"
+        )
+    dump_lanes = {e["tid"] for e in spans if e["name"] == "postmortem_dump"}
+    if lane in dump_lanes:
+        fail(
+            f"'control_decide' shares lane {lane} with the flight "
+            "recorder's postmortem dumps"
+        )
+    intruders = {
+        e["name"] for e in spans
+        if e["tid"] == lane and e["name"] != "control_decide"
+    }
+    if intruders:
+        fail(
+            f"control-plane lane {lane} also carries {sorted(intruders)}"
+        )
+    print(
+        f"check_trace: {len(decides)} control decision cycle(s) isolated "
+        f"on lane {lane}"
+    )
+
+
 def check_cow_metrics(path):
     """The cow.pending_pages gauge must have drained to zero by the end of
     the run: a nonzero final value means a drain never committed."""
@@ -319,6 +362,7 @@ def main():
     check_failover(spans, epochs)
     check_cow(spans, epochs)
     check_flight_dumps(spans)
+    check_control(spans)
     if args.metrics:
         check_metrics(args.metrics)
         check_cow_metrics(args.metrics)

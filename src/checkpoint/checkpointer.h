@@ -170,10 +170,15 @@ struct PhaseCosts {
   // work happens while the tenant is still waiting on the epoch boundary,
   // so it belongs in the pause the tenant experiences.
   Nanos observe{0};
+  // Control-plane work at the epoch boundary (input recording, control
+  // cycles, decision application). Charged by Crimes like observe; zero
+  // whenever CrimesConfig::control is off.
+  Nanos control{0};
   std::size_t dirty_pages = 0;
 
   [[nodiscard]] Nanos pause_total() const {
-    return suspend + vmi + bitscan + map + copy + protect + resume + observe;
+    return suspend + vmi + bitscan + map + copy + protect + resume + observe +
+           control;
   }
 };
 

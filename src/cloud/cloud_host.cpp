@@ -37,6 +37,7 @@ void accumulate(RunSummary& into, const RunSummary& slice) {
   into.total_costs.protect += slice.total_costs.protect;
   into.total_costs.resume += slice.total_costs.resume;
   into.total_costs.observe += slice.total_costs.observe;
+  into.total_costs.control += slice.total_costs.control;
   into.total_costs.dirty_pages += slice.total_costs.dirty_pages;
   into.total_dirty_pages += slice.total_dirty_pages;
   into.checkpoint_failures += slice.checkpoint_failures;
@@ -64,6 +65,10 @@ void accumulate(RunSummary& into, const RunSummary& slice) {
   into.slo_warn_epochs += slice.slo_warn_epochs;
   into.slo_critical_epochs += slice.slo_critical_epochs;
   into.postmortems_dumped += slice.postmortems_dumped;
+  into.control_cycles += slice.control_cycles;
+  into.control_adjustments += slice.control_adjustments;
+  into.control_holds += slice.control_holds;
+  into.control_full_sweeps += slice.control_full_sweeps;
   // The quarantine list is cumulative within a Crimes instance; the latest
   // slice's view is the complete one.
   into.quarantined_modules = slice.quarantined_modules;
@@ -122,7 +127,10 @@ CloudRunReport CloudHost::run(Nanos work_time) {
     any_progress = false;
     for (auto& t : tenants_) {
       if (t->frozen_) continue;
-      const Nanos interval = t->policy_.crimes.checkpoint.epoch_interval;
+      // Slice by the interval currently in force: a control plane (or the
+      // adaptive controller) may have moved it away from the policy's
+      // static epoch_interval.
+      const Nanos interval = t->crimes().current_interval();
       if (t->totals_.work_time + interval > work_time) continue;
       if (t->workload_ != nullptr && t->workload_->finished()) continue;
 
@@ -175,6 +183,20 @@ std::vector<telemetry::SloReport> CloudHost::slo_reports() const {
 
 std::string CloudHost::health_table() const {
   return telemetry::format_health_table(slo_reports());
+}
+
+std::vector<control::ControlReport> CloudHost::control_reports() const {
+  std::vector<control::ControlReport> reports;
+  for (const auto& t : tenants_) {
+    const control::ControlPlane* plane = t->crimes_->control_plane();
+    if (plane == nullptr) continue;
+    reports.push_back(plane->report(t->name()));
+  }
+  return reports;
+}
+
+std::string CloudHost::control_table() const {
+  return control::format_control_table(control_reports());
 }
 
 CloudMemoryReport CloudHost::memory_report() const {

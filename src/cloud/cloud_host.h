@@ -122,6 +122,12 @@ class CloudHost {
   [[nodiscard]] std::vector<telemetry::SloReport> slo_reports() const;
   [[nodiscard]] std::string health_table() const;
 
+  // Per-tenant control-plane state: current knob positions, the SLO
+  // targets each tenant's policies steer against, and loop statistics.
+  // One report per tenant whose CrimesConfig::control is on.
+  [[nodiscard]] std::vector<control::ControlReport> control_reports() const;
+  [[nodiscard]] std::string control_table() const;
+
   [[nodiscard]] Hypervisor& hypervisor() { return hypervisor_; }
 
  private:

@@ -225,6 +225,17 @@ struct CostModel {
     return telemetry_sample_base + telemetry_sample_per_metric * metrics;
   }
 
+  // --- Control plane (DESIGN.md section 14). Charged into the pause
+  // window via PhaseCosts::control; the ablation_control_plane bench
+  // proves the enabled-but-pinned overhead stays under 1% of mean pause.
+  // Recording one epoch's sensor readings into the input ring.
+  Nanos control_observe = nanos(60);
+  // Running one control cycle: windowed percentile lookups plus the four
+  // policy evaluations.
+  Nanos control_cycle = micros(1);
+  // Applying one decision: actuator store, flight-recorder slot, gauges.
+  Nanos control_apply = nanos(300);
+
   // --- AddressSanitizer baseline: cost per instrumented memory access.
   // Calibrated so PARSEC access profiles yield the 1.4-2.6x range of
   // Figure 3 ("AS" bars).

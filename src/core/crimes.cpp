@@ -4,6 +4,7 @@
 #include "common/log.h"
 #include "forensics/plugins.h"
 #include "replication/store_journal.h"
+#include "store/checkpoint_store.h"
 #include "telemetry/export.h"
 
 #include <algorithm>
@@ -33,6 +34,7 @@ PhaseCosts RunSummary::avg_costs() const {
       .protect = total_costs.protect / n,
       .resume = total_costs.resume / n,
       .observe = total_costs.observe / n,
+      .control = total_costs.control / n,
       .dirty_pages = total_costs.dirty_pages / checkpoints,
   };
 }
@@ -45,6 +47,11 @@ Crimes::Crimes(Hypervisor& hypervisor, GuestKernel& kernel,
       costs_(&costs),
       network_(costs.net_wire_latency),
       disk_(config.disk_blocks) {
+  // The control plane reads windowed percentiles from the time-series
+  // engine, so enabling it implies the telemetry bundle.
+  if (config_.control.enabled && config_.mode != SafetyMode::Disabled) {
+    config_.telemetry = true;
+  }
   if (config_.telemetry) {
     telemetry_ = std::make_unique<telemetry::Telemetry>(clock_);
   }
@@ -163,6 +170,28 @@ void Crimes::initialize() {
   if (config_.slo.enabled && config_.mode != SafetyMode::Disabled) {
     slo_ = std::make_unique<telemetry::SloMonitor>(config_.slo);
   }
+  // Control plane: built last so it can see which actuators exist.
+  // Policies for absent actuators (no replicator, no store, no scan
+  // modules) are disabled outright; the interval policy subsumes the
+  // adaptive controller (current_interval() prefers the plane).
+  if (config_.control.enabled && config_.mode != SafetyMode::Disabled) {
+    control::ControlConfig cc = config_.control;
+    if (!replicator_) cc.manage_window = false;
+    if (detector_.module_count() == 0) cc.manage_scan = false;
+    store::CheckpointStore* store =
+        checkpointer_ ? checkpointer_->store() : nullptr;
+    control_ = std::make_unique<control::ControlPlane>(
+        cc, *costs_, config_.slo.budget, config_.checkpoint.epoch_interval,
+        replicator_ ? config_.replication.window : 0,
+        store != nullptr ? store->config().gc_generations_per_epoch : 0);
+    control_->set_telemetry(telemetry_.get());
+    full_sweep_every_ = control_->full_sweep_every();
+    if (adaptive_) {
+      CRIMES_LOG(Info, "control")
+          << "control plane enabled: its interval policy overrides the "
+             "adaptive controller";
+    }
+  }
   initialized_ = true;
   CRIMES_LOG(Info, "crimes") << "initialized: mode="
                              << to_string(config_.mode) << ", scheme="
@@ -178,6 +207,12 @@ AuditResult Crimes::run_audit(std::span<const Pfn> dirty, Nanos audit_start) {
     return AuditResult{.passed = true, .cost = costs_->vmi_noop_scan};
   }
   const ScanPlan plan = ScanPlan::classify(kernel_->layout(), dirty);
+  // Control-plane scan schedule: every full_sweep_every_-th epoch runs
+  // without a plan, so every module falls back to its conservative
+  // full-coverage scan (the ScanPlanner's documented nullptr semantics).
+  const bool full_sweep =
+      full_sweep_every_ != 0 && epoch_index_ % full_sweep_every_ == 0;
+  if (full_sweep) last_audit_full_sweep_ = true;
   ScanContext ctx{
       .vmi = *vmi_,
       .dirty = dirty,
@@ -185,7 +220,7 @@ AuditResult Crimes::run_audit(std::span<const Pfn> dirty, Nanos audit_start) {
       .pending_packets = active_mode_ == SafetyMode::Synchronous
                              ? &buffer_.pending()
                              : nullptr,
-      .plan = &plan,
+      .plan = full_sweep ? nullptr : &plan,
       .now = clock_.now(),
       .trace_start = audit_start,
   };
@@ -311,7 +346,17 @@ RunSummary Crimes::run(Nanos max_work_time) {
     // is exactly what ablation_telemetry_overhead budgets at <1%.
     const Nanos observe_cost = observe_epoch(epoch, interval, summary);
     summary.total_costs.observe += observe_cost;
-    const Nanos pause = epoch.costs.pause_total() + observe_cost;
+    // Control plane: runs after the telemetry sample so its windowed
+    // inputs include this epoch, and its cost joins the pause for the
+    // same reason observe's does.
+    const Nanos control_cost = control_epoch(epoch, interval, summary);
+    summary.total_costs.control += control_cost;
+    if (last_audit_full_sweep_) {
+      ++summary.control_full_sweeps;
+      last_audit_full_sweep_ = false;
+    }
+    const Nanos pause =
+        epoch.costs.pause_total() + observe_cost + control_cost;
     summary.total_pause += pause;
     summary.max_pause = std::max(summary.max_pause, pause);
     pause_hist.record(static_cast<std::uint64_t>(pause.count()));
@@ -791,6 +836,84 @@ Nanos Crimes::observe_epoch(const EpochResult& epoch, Nanos interval,
   return cost;
 }
 
+Nanos Crimes::control_epoch(const EpochResult& epoch, Nanos interval,
+                            RunSummary& summary) {
+  if (!control_) return Nanos{0};
+  Nanos cost = costs_->control_observe;
+
+  control::ControlInputs in;
+  in.epoch = epoch_index_;
+  in.interval_ms = to_ms(interval);
+  in.pause_ms = to_ms(epoch.costs.pause_total());
+  if (telemetry_ && telemetry_->series) {
+    if (const telemetry::HistogramSeries* hist =
+            telemetry_->series->find_histogram("phase.pause_total")) {
+      in.pause_p95_ms =
+          static_cast<double>(hist->window_p95(config_.control.window)) / 1e6;
+      in.pause_p99_ms =
+          static_cast<double>(hist->window_p99(config_.control.window)) / 1e6;
+    }
+  }
+  in.audit_ms = to_ms(epoch.costs.vmi);
+  // Same formula the SLO monitor uses: Synchronous holds outputs until
+  // the commit covers them, so only released-before-covered modes expose.
+  in.vulnerability_ms = active_mode_ == SafetyMode::Synchronous
+                            ? 0.0
+                            : to_ms(interval + epoch.costs.pause_total());
+  if (replicator_) {
+    in.replication_lag = static_cast<double>(replicator_->in_flight());
+    const Nanos stall_total = replicator_->total_stall();
+    in.replication_stall_ms = to_ms(stall_total - control_stall_seen_);
+    control_stall_seen_ = stall_total;
+  }
+  in.dirty_pages = static_cast<double>(epoch.costs.dirty_pages);
+  if (checkpointer_ && checkpointer_->store() != nullptr) {
+    in.store_backlog =
+        static_cast<double>(checkpointer_->store()->stats().gc_backlog);
+  }
+  in.governor = static_cast<std::uint8_t>(governor_state());
+  in.slo = slo_ ? static_cast<std::uint8_t>(slo_->state()) : 0;
+
+  const control::ControlPlane::CycleResult result = control_->observe(in);
+  if (result.cycle_ran) {
+    ++summary.control_cycles;
+    cost += costs_->control_cycle;
+  }
+  if (result.held) ++summary.control_holds;
+  if (result.decisions > 0) {
+    summary.control_adjustments += result.decisions;
+    cost += costs_->control_apply * result.decisions;
+    // Apply the new knob positions to the actuators. The interval takes
+    // effect through current_interval() at the next epoch's start.
+    full_sweep_every_ = control_->full_sweep_every();
+    if (replicator_) replicator_->set_window(control_->replication_window());
+    if (checkpointer_ && checkpointer_->store() != nullptr &&
+        control_->gc_budget() > 0) {
+      checkpointer_->store()->set_gc_budget(control_->gc_budget());
+    }
+    if (flight_) {
+      const auto& log = control_->decisions();
+      const std::size_t first =
+          log.size() >= result.decisions ? log.size() - result.decisions : 0;
+      for (std::size_t i = first; i < log.size(); ++i) {
+        const control::ControlDecision& d = log[i];
+        flight_->record(clock_.now(), epoch_index_,
+                        telemetry::FlightEventKind::Control,
+                        control::to_string(d.knob), d.reason, d.to);
+        cost += costs_->flight_record_event;
+      }
+    }
+  }
+  if (result.cycle_ran && telemetry_) {
+    // Decision-cycle marker on the control plane's own trace lane
+    // (check_trace.py validates the lane stays exclusive).
+    telemetry_->trace.add_span("control_decide", clock_.now(), cost,
+                               control::kControlPlaneLane);
+  }
+  clock_.advance(cost);
+  return cost;
+}
+
 void Crimes::dump_postmortem(std::string_view reason, RunSummary& summary) {
   // Every abnormal path lands here, so flush the registered exporters
   // first: even with the recorder off (or the dump budget spent), a
@@ -868,22 +991,23 @@ void Crimes::verify_journal(RunSummary& summary) {
 }
 
 std::string Crimes::config_summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof buf,
       "scheme=%s mode=%s interval_ms=%.1f telemetry=%s governor=%s "
-      "replication=%s faults=%s slo{pause_ms=%.2f,lag=%.0f,vuln_ms=%.2f,"
-      "audit_ms=%.2f}",
+      "replication=%s faults=%s control=%s slo{pause_ms=%.2f,lag=%.0f,"
+      "vuln_ms=%.2f,audit_ms=%.2f}",
       config_.checkpoint.label(), to_string(config_.mode),
       to_ms(current_interval()), telemetry_ ? "on" : "off",
       governor_ ? "on" : "off", config_.replication.enabled ? "on" : "off",
-      injector_ ? "on" : "off", config_.slo.budget.pause_ms,
-      config_.slo.budget.replication_lag, config_.slo.budget.vulnerability_ms,
-      config_.slo.budget.audit_ms);
+      injector_ ? "on" : "off", control_ ? "on" : "off",
+      config_.slo.budget.pause_ms, config_.slo.budget.replication_lag,
+      config_.slo.budget.vulnerability_ms, config_.slo.budget.audit_ms);
   return buf;
 }
 
 Nanos Crimes::current_interval() const {
+  if (control_) return control_->interval();
   return adaptive_ ? adaptive_->interval()
                    : config_.checkpoint.epoch_interval;
 }

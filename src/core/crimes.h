@@ -21,6 +21,7 @@
 #include "checkpoint/checkpointer.h"
 #include "common/cost_model.h"
 #include "common/sim_clock.h"
+#include "control/control_plane.h"
 #include "core/adaptive_interval.h"
 #include "detect/detector.h"
 #include "fault/fault_injector.h"
@@ -109,6 +110,12 @@ struct CrimesConfig {
   std::size_t flight_capacity = 1024;
   telemetry::SloConfig slo;
   telemetry::TimeSeriesConfig timeseries;
+  // Closed-loop control plane (src/control, DESIGN.md section 14). Off by
+  // default -- no ControlPlane is built and the per-epoch path costs
+  // nothing. When enabled it implies `telemetry` (the policies read
+  // windowed percentiles from the time-series engine) and subsumes
+  // `adaptive` (its interval policy wins over AdaptiveIntervalController).
+  control::ControlConfig control;
   // Postmortem destination: when non-empty, every dump also writes
   // `<dir>/<tenant>-<reason>-<epoch>.postmortem.json`. In-memory records
   // are kept either way (Crimes::postmortems()).
@@ -198,6 +205,13 @@ struct RunSummary {
   std::size_t slo_critical_epochs = 0;
   std::size_t postmortems_dumped = 0;
 
+  // --- Control plane (src/control, DESIGN.md section 14): all zero unless
+  // CrimesConfig::control.enabled.
+  std::size_t control_cycles = 0;       // policy evaluations that ran
+  std::size_t control_adjustments = 0;  // knob moves applied
+  std::size_t control_holds = 0;        // cycles preempted by the governor
+  std::size_t control_full_sweeps = 0;  // audits run without a ScanPlan
+
   [[nodiscard]] double normalized_runtime() const {
     if (work_time.count() == 0) return 1.0;
     return to_ms(work_time + total_pause) / to_ms(work_time);
@@ -275,10 +289,18 @@ class Crimes {
   [[nodiscard]] const CrimesConfig& config() const { return config_; }
   [[nodiscard]] GuestKernel& kernel() { return *kernel_; }
   // The epoch interval currently in force (differs from the configured one
-  // only when adaptive tuning is enabled).
+  // only when the control plane or adaptive tuning is enabled; the control
+  // plane's interval policy wins when both are on).
   [[nodiscard]] Nanos current_interval() const;
   [[nodiscard]] std::size_t interval_adjustments() const {
     return adaptive_ ? adaptive_->adjustments() : 0;
+  }
+  // The control plane, or nullptr when CrimesConfig::control is off.
+  [[nodiscard]] control::ControlPlane* control_plane() {
+    return control_.get();
+  }
+  [[nodiscard]] const control::ControlPlane* control_plane() const {
+    return control_.get();
   }
   // The telemetry bundle, or nullptr when CrimesConfig::telemetry is off.
   [[nodiscard]] telemetry::Telemetry* telemetry() {
@@ -379,6 +401,12 @@ class Crimes {
   // SLO history + config) on the abnormal paths.
   Nanos observe_epoch(const EpochResult& epoch, Nanos interval,
                       RunSummary& summary);
+  // Control-plane step at the epoch boundary (after observe_epoch, so the
+  // inputs include this epoch's telemetry sample): records inputs, runs
+  // the cycle when due, applies decisions to the actuators, and returns
+  // the virtual cost to charge into the pause (PhaseCosts::control).
+  Nanos control_epoch(const EpochResult& epoch, Nanos interval,
+                      RunSummary& summary);
   void dump_postmortem(std::string_view reason, RunSummary& summary);
   // End-of-run journal verification: fsck after any failure signature; a
   // failed fsck is itself a postmortem trigger.
@@ -406,6 +434,15 @@ class Crimes {
   std::unique_ptr<ReplayEngine> replay_;
   std::optional<AdaptiveIntervalController> adaptive_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+
+  // Control plane (persists across run() slices like the governor: knob
+  // positions and hysteresis state must survive CloudHost's one-epoch
+  // slices). full_sweep_every_ mirrors the plane's scan-schedule knob so
+  // run_audit can consult it without a cross-module call per epoch.
+  std::unique_ptr<control::ControlPlane> control_;
+  std::size_t full_sweep_every_ = 0;
+  bool last_audit_full_sweep_ = false;
+  Nanos control_stall_seen_{0};  // replication stall already fed to the plane
 
   // Observability state (persists across run() slices, like the
   // governor's: CloudHost drives tenants one epoch at a time and the SLO

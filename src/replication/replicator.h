@@ -101,6 +101,13 @@ class Replicator {
   // replication.ack_delay histogram.
   void set_telemetry(telemetry::Telemetry* telemetry);
 
+  // Runtime window actuator (control plane). Clamped to >= 1; a shrink
+  // does not cancel generations already in flight -- the window drains
+  // down to the new bound through normal acks before sends admit again.
+  void set_window(std::size_t window) {
+    config_.window = window == 0 ? 1 : window;
+  }
+
  private:
   struct InFlight {
     std::uint64_t generation = 0;

@@ -237,6 +237,15 @@ StoreStats CheckpointStore::stats() const {
   out.bytes_physical = pages_.stats().bytes_physical;
   out.generations_dropped = generations_dropped_;
   out.entries_merged = entries_merged_;
+  if (!chain_.empty()) {
+    const std::uint64_t newest_epoch = chain_.newest().epoch;
+    for (std::size_t i = 0; i + 1 < chain_.size(); ++i) {
+      const Generation& gen = chain_.at(i);
+      if (!gen.pinned && !config_.retention.retains(gen.epoch, newest_epoch)) {
+        ++out.gc_backlog;
+      }
+    }
+  }
   return out;
 }
 

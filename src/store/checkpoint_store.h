@@ -41,6 +41,9 @@ struct StoreStats {
   std::uint64_t bytes_physical = 0;
   std::uint64_t generations_dropped = 0;  // lifetime GC work
   std::uint64_t entries_merged = 0;
+  // Generations an unbounded collect() would drop right now -- the
+  // control plane's GC-pressure signal (store_backlog input).
+  std::size_t gc_backlog = 0;
 
   [[nodiscard]] double dedup_ratio() const {
     return bytes_physical == 0
@@ -112,6 +115,12 @@ class CheckpointStore {
     return gc_pauses_;
   }
   [[nodiscard]] const StoreConfig& config() const { return config_; }
+
+  // Runtime GC-budget actuator (control plane): generations collect()
+  // may retire per call. 0 restores the drain-everything behavior.
+  void set_gc_budget(std::size_t generations) {
+    config_.gc_generations_per_epoch = generations;
+  }
 
  private:
   Nanos hash_pages(std::span<const Pfn> dirty, const ForeignMapping& image,

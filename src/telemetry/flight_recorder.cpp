@@ -15,6 +15,7 @@ const char* to_string(FlightEventKind kind) {
     case FlightEventKind::Slo: return "slo";
     case FlightEventKind::Log: return "log";
     case FlightEventKind::Postmortem: return "postmortem";
+    case FlightEventKind::Control: return "control";
   }
   return "?";
 }

@@ -45,6 +45,7 @@ enum class FlightEventKind : std::uint8_t {
   Slo,         // health-state transition
   Log,         // notable log line
   Postmortem,  // a dump was triggered (the trigger itself is evidence)
+  Control,     // control-plane knob decision (what=knob, detail=reason)
 };
 
 [[nodiscard]] const char* to_string(FlightEventKind kind);
