@@ -17,6 +17,9 @@
 //   gen         the generation the standby promoted from
 //   discard     output packets discarded instead of released (fenced or
 //               never covered by a replicated generation)
+//   tamper      seal/attestation verification failures (always 0 here:
+//               this storm is accidental, not adversarial -- the
+//               adversarial sweep is bench/ablation_tamper_sweep)
 //
 // Everything runs in virtual time: the table is identical on every
 // machine. Self-checks print PASS/FAIL lines: same-seed determinism, the
@@ -211,9 +214,9 @@ int main(int argc, char** argv) {
       "(%zu epochs of %.0f ms; storm over the first %zu epochs; primary "
       "killed at epoch %zu)\n\n",
       kEpochs, to_ms(kInterval), kFaultEpochs, kKillEpoch);
-  std::printf("%6s %6s %5s %9s %4s %8s %4s %8s %7s %4s %4s %4s\n", "rate",
-              "repl", "drop", "stall_ms", "lag", "fail_ms", "gen", "discard",
-              "fenced", "warn", "crit", "pm");
+  std::printf("%6s %6s %5s %9s %4s %8s %4s %8s %7s %4s %4s %4s %6s\n",
+              "rate", "repl", "drop", "stall_ms", "lag", "fail_ms", "gen",
+              "discard", "fenced", "warn", "crit", "pm", "tamper");
 
   // The output-safety reference: no storm, no kill, every epoch's packet
   // eventually released.
@@ -224,14 +227,16 @@ int main(int argc, char** argv) {
     points.push_back(run_one(rate));
     const SweepPoint& p = points.back();
     std::printf(
-        "%6.2f %6zu %5zu %9.3f %4zu %8.3f %4llu %8zu %7zu %4zu %4zu %4zu\n",
+        "%6.2f %6zu %5zu %9.3f %4zu %8.3f %4llu %8zu %7zu %4zu %4zu %4zu "
+        "%6llu\n",
         p.rate, p.summary.replicated_generations,
         p.summary.replication_dropped, to_ms(p.summary.replication_stall),
         p.max_in_flight, to_ms(p.summary.failover_time),
         static_cast<unsigned long long>(p.summary.promoted_generation),
         p.summary.outputs_discarded, p.summary.fenced_epochs,
         p.summary.slo_warn_epochs, p.summary.slo_critical_epochs,
-        p.summary.postmortems_dumped);
+        p.summary.postmortems_dumped,
+        static_cast<unsigned long long>(p.summary.tampers_detected));
   }
 
   // Self-check 1: same seed, same run -- every observable must match,

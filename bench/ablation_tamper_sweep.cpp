@@ -1,0 +1,286 @@
+// Adversarial ablation: the storage and replication substrate attacks its
+// own tenant, and the sealed/attested layer (DESIGN.md section 15,
+// EXPERIMENTS.md `ablation_tamper_sweep`) must catch every move.
+//
+// Four adversarial legs, each sweeping one SEVurity-style tamper site, plus
+// a clean twin and an overhead leg:
+//
+//   store     sealed page records flipped/swapped/MAC-truncated at rest;
+//             caught by the end-of-run seal audit / chain verification
+//   journal   journal ciphertext rewritten with the framing checksum fixed
+//             up; only the *keyed* fsck walk can reject it
+//   repl      replicated pages corrupted in flight and stale roots
+//             replayed; the standby's verify_extend refuses to extend trust
+//   promote   a replication tamper followed by a primary kill: the standby
+//             must refuse promotion from its unverified chain (the
+//             attestation-gated failover -- no silent restore from a
+//             corrupted evidence chain)
+//
+// Self-checks print PASS/FAIL lines and set the exit code; this binary runs
+// under ctest (TamperSweepAblation) as an acceptance bar:
+//
+//   1. every adversarial leg detects at least one tamper, at the boundary
+//      that owns the tampered bytes;
+//   2. the clean twin reports zero tampers, zero refused promotions, and a
+//      clean keyed fsck -- zero false positives;
+//   3. the promote leg never promotes: the kill ends in a refusal, outputs
+//      stay discarded, and a postmortem freezes the crime scene;
+//   4. sealing + attestation add <10% mean pause vs the unsealed twin at
+//      parsec dirty rates (sealing rides the store path, charged after
+//      resume, so the bound holds by construction -- this check pins it);
+//   5. same seed, same run: every counter of a repeated leg is identical.
+// With --trace-out/--metrics-out, re-runs the clean sealed+replicated
+// configuration with the telemetry layer on and exports the Chrome trace /
+// metrics JSONL (this is how scripts/check_trace.py validates that `seal`
+// spans nest inside `store_append` and `verify_chain` inside `replicate`).
+#include "core/crimes.h"
+#include "replication/store_journal.h"
+#include "telemetry/export.h"
+#include "workload/parsec.h"
+
+#include <cstdio>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace crimes;
+
+constexpr Nanos kInterval = millis(50);
+constexpr std::size_t kEpochs = 20;
+constexpr std::size_t kStormFrom = 2;
+constexpr std::size_t kStormUntil = 14;
+constexpr std::size_t kKillEpoch = 16;  // after the storm window
+constexpr std::uint64_t kSeed = 7;
+
+ParsecProfile profile() {
+  ParsecProfile p = ParsecProfile::by_name("raytrace");
+  p.working_set_pages = 512;
+  p.touches_per_ms = 8.0;
+  p.duration_ms = to_ms(kInterval) * static_cast<double>(kEpochs);
+  return p;
+}
+
+CrimesConfig make_config(const fault::FaultPlan& plan, bool replicate,
+                         bool seal = true) {
+  CrimesConfig config;
+  config.checkpoint = CheckpointConfig::full(kInterval);
+  config.checkpoint.store.enabled = true;
+  config.checkpoint.store.journal = true;
+  config.checkpoint.store.crypto.seal = seal;
+  config.checkpoint.store.crypto.attest = seal;
+  config.mode = SafetyMode::Synchronous;
+  config.record_execution = false;
+  if (replicate) {
+    config.replication.enabled = true;
+    config.replication.heartbeat.interval = kInterval;
+    config.replication.lease_term = millis(200);
+  }
+  config.faults = plan;
+  return config;
+}
+
+struct LegResult {
+  RunSummary summary;
+  bool fsck_ok = false;
+  bool fsck_keyed_reject = false;  // fsck failed with an attestation reason
+};
+
+LegResult run_leg(const CrimesConfig& config) {
+  Hypervisor hypervisor(1u << 19);
+  const ParsecProfile prof = profile();
+  const GuestConfig gc = prof.recommended_guest();
+  Vm& vm = hypervisor.create_domain(prof.name, gc.page_count);
+  GuestKernel kernel(vm, gc);
+  kernel.boot();
+
+  Crimes crimes(hypervisor, kernel, config);
+  ParsecWorkload app(kernel, prof);
+  crimes.set_workload(&app);
+  crimes.initialize();
+
+  LegResult leg;
+  leg.summary = crimes.run(kInterval * static_cast<std::int64_t>(kEpochs));
+  if (const replication::StoreJournal* journal =
+          crimes.checkpointer().journal()) {
+    const replication::StoreJournal::FsckReport fsck = journal->fsck();
+    leg.fsck_ok = fsck.ok;
+    leg.fsck_keyed_reject = !fsck.ok && fsck.reason.rfind("attestation", 0) == 0;
+  }
+  return leg;
+}
+
+fault::FaultPlan site_plan(double fault::FaultPlan::* site, double rate) {
+  fault::FaultPlan plan;
+  plan.seed = kSeed;
+  plan.*site = rate;
+  plan.from_epoch = kStormFrom;
+  plan.until_epoch = kStormUntil;
+  return plan;
+}
+
+void print_row(const char* leg, const LegResult& r) {
+  std::printf("%8s %6llu %7llu %6llu %7zu %7zu %5s\n", leg,
+              static_cast<unsigned long long>(r.summary.faults_injected),
+              static_cast<unsigned long long>(r.summary.tampers_detected),
+              static_cast<unsigned long long>(r.summary.roots_verified),
+              r.summary.promotions_refused, r.summary.postmortems_dumped,
+              r.fsck_ok ? "clean" : (r.fsck_keyed_reject ? "keyed" : "torn"));
+}
+
+bool check(const char* what, bool ok) {
+  std::printf("self-check %s: %s\n", what, ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+// The clean sealed+replicated run again, telemetry on, for check_trace.py.
+int run_traced(const std::string& trace_out, const std::string& metrics_out) {
+  Hypervisor hypervisor(1u << 19);
+  const ParsecProfile prof = profile();
+  const GuestConfig gc = prof.recommended_guest();
+  Vm& vm = hypervisor.create_domain(prof.name, gc.page_count);
+  GuestKernel kernel(vm, gc);
+  kernel.boot();
+
+  CrimesConfig config = make_config({}, /*replicate=*/true);
+  config.telemetry = true;
+  Crimes crimes(hypervisor, kernel, config);
+  ParsecWorkload app(kernel, prof);
+  crimes.set_workload(&app);
+  crimes.initialize();
+  crimes.telemetry()->set_export_paths(trace_out, metrics_out);
+  (void)crimes.run(kInterval * static_cast<std::int64_t>(kEpochs));
+
+  if (!crimes.telemetry()->flush_exports()) {
+    std::fprintf(stderr, "failed to write telemetry exports\n");
+    return 1;
+  }
+  if (!trace_out.empty()) {
+    std::printf("traced sealed run written to %s\n", trace_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_out, metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace-out <f.trace.json>] "
+                   "[--metrics-out <f.jsonl>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  std::printf("CRIMES tamper sweep: sealed substrate vs SEVurity-style "
+              "adversary\n");
+  std::printf("(%zu epochs of %.0f ms; tampers over epochs [%zu, %zu); "
+              "seed %llu)\n\n",
+              kEpochs, to_ms(kInterval), kStormFrom, kStormUntil,
+              static_cast<unsigned long long>(kSeed));
+  std::printf("%8s %6s %7s %6s %7s %7s %5s\n", "leg", "inject", "tamper",
+              "roots", "refuse", "pm", "fsck");
+
+  // Clean twin first: the zero-false-positive reference.
+  const LegResult clean = run_leg(make_config({}, /*replicate=*/true));
+  print_row("clean", clean);
+
+  // Leg: store-at-rest adversary (block flips/swaps + MAC truncation).
+  fault::FaultPlan store_plan =
+      site_plan(&fault::FaultPlan::store_block_tamper, 0.5);
+  store_plan.mac_truncation = 0.25;
+  const LegResult store_leg =
+      run_leg(make_config(store_plan, /*replicate=*/false));
+  print_row("store", store_leg);
+
+  // Leg: journal adversary (ciphertext rewrite, framing checksum fixed).
+  const LegResult journal_leg = run_leg(make_config(
+      site_plan(&fault::FaultPlan::journal_block_tamper, 0.5),
+      /*replicate=*/false));
+  print_row("journal", journal_leg);
+
+  // Leg: wire adversary (in-flight corruption + stale-root replay).
+  fault::FaultPlan wire_plan =
+      site_plan(&fault::FaultPlan::replication_tamper, 0.5);
+  wire_plan.stale_root_replay = 0.25;
+  const LegResult wire_leg =
+      run_leg(make_config(wire_plan, /*replicate=*/true));
+  print_row("repl", wire_leg);
+
+  // Leg: attestation-gated failover. Tamper the stream, then kill the
+  // primary -- the standby must refuse to promote from a broken chain.
+  fault::FaultPlan kill_plan =
+      site_plan(&fault::FaultPlan::replication_tamper, 0.5);
+  kill_plan.scheduled.push_back({.epoch = kKillEpoch,
+                                 .kind = fault::FaultKind::PrimaryKill,
+                                 .module = ""});
+  const LegResult kill_leg =
+      run_leg(make_config(kill_plan, /*replicate=*/true));
+  print_row("promote", kill_leg);
+
+  // Overhead leg: same workload, sealed vs plaintext store, no adversary.
+  const LegResult sealed = run_leg(make_config({}, /*replicate=*/false));
+  const LegResult plain =
+      run_leg(make_config({}, /*replicate=*/false, /*seal=*/false));
+  const double sealed_pause = sealed.summary.avg_pause_ms();
+  const double plain_pause = plain.summary.avg_pause_ms();
+  const double added = plain_pause == 0.0
+                           ? 0.0
+                           : (sealed_pause - plain_pause) / plain_pause;
+  std::printf("\nsealed mean pause %.3f ms vs plaintext %.3f ms "
+              "(%+.2f%% added)\n\n",
+              sealed_pause, plain_pause, added * 100.0);
+
+  bool ok = true;
+  // 1. Every adversarial leg detects, at the boundary that owns the bytes.
+  ok &= check("store tampers caught by seal audit/chain",
+              store_leg.summary.faults_injected > 0 &&
+                  store_leg.summary.tampers_detected > 0);
+  ok &= check("journal tampers rejected by the keyed fsck walk",
+              journal_leg.summary.faults_injected > 0 &&
+                  journal_leg.summary.tampers_detected > 0 &&
+                  journal_leg.fsck_keyed_reject);
+  ok &= check("wire tampers refused by the standby's verify_extend",
+              wire_leg.summary.faults_injected > 0 &&
+                  wire_leg.summary.tampers_detected > 0);
+  // 2. Zero false positives on the clean twin.
+  ok &= check("clean twin: zero tampers, zero refusals, clean fsck",
+              clean.summary.tampers_detected == 0 &&
+                  clean.summary.promotions_refused == 0 &&
+                  clean.summary.roots_verified > 0 && clean.fsck_ok);
+  // 3. The standby never promotes from an unverified chain.
+  ok &= check("tampered-chain kill ends in a refused promotion",
+              kill_leg.summary.primary_killed &&
+                  kill_leg.summary.promotions_refused > 0 &&
+                  !kill_leg.summary.failed_over &&
+                  kill_leg.summary.postmortems_dumped > 0);
+  // 4. Sealing overhead bound: <10% added mean pause.
+  ok &= check("sealed-path added mean pause < 10%",
+              plain_pause > 0.0 && added < 0.10);
+  // 5. Same seed, same counters.
+  const LegResult replay = run_leg(make_config(wire_plan, true));
+  ok &= check("same-seed determinism",
+              replay.summary.faults_injected ==
+                      wire_leg.summary.faults_injected &&
+                  replay.summary.tampers_detected ==
+                      wire_leg.summary.tampers_detected &&
+                  replay.summary.roots_verified ==
+                      wire_leg.summary.roots_verified &&
+                  replay.summary.total_pause == wire_leg.summary.total_pause &&
+                  replay.summary.postmortems_dumped ==
+                      wire_leg.summary.postmortems_dumped);
+  int rc = ok ? 0 : 1;
+  if (rc == 0 && (!trace_out.empty() || !metrics_out.empty())) {
+    rc = run_traced(trace_out, metrics_out);
+  }
+  return rc;
+}

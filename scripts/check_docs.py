@@ -38,6 +38,7 @@ CONFIG_STRUCTS = [
     ("src/replication/replication_config.h",
      ["HeartbeatConfig", "ReplicationConfig"]),
     ("src/store/store_config.h", ["RetentionPolicy", "StoreConfig"]),
+    ("src/crypto/crypto_config.h", ["CryptoConfig"]),
     ("src/telemetry/slo.h", ["SloBudget", "SloConfig"]),
     ("src/telemetry/timeseries.h", ["TimeSeriesConfig"]),
     ("src/fault/safety_governor.h", ["GovernorConfig"]),

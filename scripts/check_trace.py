@@ -23,7 +23,10 @@ Checks, in order:
      own dedicated lane -- never the pipeline lane, the CoW drain track,
      nor the flight recorder's postmortem lane -- and that lane carries
      nothing else.
-  8. If --metrics is given, every line parses as a JSON object with a
+  8. "seal" spans (sealing work at store intern time) nest inside a store
+     phase span, and "verify_chain" spans (attestation root checks) nest
+     inside a "replicate" span -- the sealed-substrate invariants.
+  9. If --metrics is given, every line parses as a JSON object with a
      "name" and "type" field.
 
 With --run BINARY, runs `BINARY --trace-out TRACE --metrics-out METRICS`
@@ -294,6 +297,45 @@ def check_control(spans):
     )
 
 
+def check_crypto(spans):
+    """Sealed-substrate traces (DESIGN.md section 15): every 'seal' span
+    (keystream + MAC work at intern time) must nest inside a
+    'store_append' span, and every 'verify_chain' span (the standby
+    recomputing and checking an attestation root) must nest inside a
+    'replicate' span. Sealing that
+    escapes the store path would charge crypto work to the pause; a chain
+    verification outside replication would mean trust was extended before
+    the bytes were checked."""
+    def contained(inner, outers):
+        start, end = inner["ts"], inner["ts"] + inner["dur"]
+        return any(
+            o["ts"] - EPS <= start and end <= o["ts"] + o["dur"] + EPS
+            for o in outers
+        )
+
+    seals = [e for e in spans if e["name"] == "seal"]
+    stores = [e for e in spans if e["name"] == "store_append"]
+    for s in seals:
+        if not contained(s, stores):
+            fail(
+                f"'seal' span [{s['ts']}, {s['ts'] + s['dur']}) lies "
+                "outside every 'store_append' span"
+            )
+    verifies = [e for e in spans if e["name"] == "verify_chain"]
+    replicates = [e for e in spans if e["name"] == "replicate"]
+    for v in verifies:
+        if not contained(v, replicates):
+            fail(
+                f"'verify_chain' span [{v['ts']}, {v['ts'] + v['dur']}) "
+                "lies outside every 'replicate' span"
+            )
+    if seals or verifies:
+        print(
+            f"check_trace: {len(seals)} seal span(s) inside store phases, "
+            f"{len(verifies)} verify_chain span(s) inside replicate"
+        )
+
+
 def check_cow_metrics(path):
     """The cow.pending_pages gauge must have drained to zero by the end of
     the run: a nonzero final value means a drain never committed."""
@@ -363,6 +405,7 @@ def main():
     check_cow(spans, epochs)
     check_flight_dumps(spans)
     check_control(spans)
+    check_crypto(spans)
     if args.metrics:
         check_metrics(args.metrics)
         check_cow_metrics(args.metrics)

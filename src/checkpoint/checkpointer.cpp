@@ -64,6 +64,10 @@ void Checkpointer::set_telemetry(telemetry::Telemetry* telemetry) {
     metrics_.store_bytes_logical = &m.gauge("store.bytes_logical");
     metrics_.store_bytes_physical = &m.gauge("store.bytes_physical");
     metrics_.store_generations = &m.gauge("store.generations");
+    if (config_.store.crypto.enabled()) {
+      metrics_.crypto_pages_sealed = &m.gauge("crypto.pages_sealed");
+      metrics_.crypto_seal_failures = &m.gauge("crypto.seal_failures");
+    }
     update_store_gauges();
   }
 }
@@ -72,6 +76,7 @@ void Checkpointer::set_fault_injector(fault::FaultInjector* faults) {
   faults_ = faults;
   transport_->set_fault_injector(faults);
   if (journal_ != nullptr) journal_->set_fault_injector(faults);
+  if (store_ != nullptr) store_->set_fault_injector(faults);
 }
 
 Checkpointer::Checkpointer(Hypervisor& hypervisor, Vm& primary,
@@ -160,16 +165,21 @@ void Checkpointer::initialize() {
     // Generation 0 is the initial full synchronization -- the oldest
     // rewind target until retention ages it out.
     store_ = std::make_unique<store::CheckpointStore>(*costs_, config_.store);
+    store_->set_fault_injector(faults_);
     ForeignMapping image = hypervisor_->map_foreign(backup_->id());
     startup_cost_ +=
         store_->seed(checkpoints_taken_, image, backup_vcpu_, clock_->now());
     if (config_.store.journal) {
       // The journal mirrors the store operation for operation from the
-      // seed on; recovery replays it against a fresh store.
-      journal_ = std::make_unique<replication::StoreJournal>(*costs_);
+      // seed on; recovery replays it against a fresh store. It shares the
+      // store's crypto config so Seed/Append records carry the same
+      // attestation roots the store computes.
+      journal_ = std::make_unique<replication::StoreJournal>(
+          *costs_, config_.store.crypto);
       journal_->set_fault_injector(faults_);
       startup_cost_ += journal_->log_seed(checkpoints_taken_, clock_->now(),
-                                          image, backup_vcpu_);
+                                          image, backup_vcpu_,
+                                          store_->root());
     }
   }
   clock_->advance(startup_cost_);
@@ -426,6 +436,13 @@ void Checkpointer::store_commit(EpochResult& result) {
                      clock_->now(), pool_.get());
   if (trace != nullptr) {
     trace->add_span("store_append", clock_->now(), append_cost);
+    // The seal/attest share of the append renders as a nested child at
+    // the tail of the store_append span (sealing happens as pages intern).
+    const Nanos seal_cost = store_->last_seal_cost();
+    if (seal_cost.count() > 0) {
+      trace->add_span("seal", clock_->now() + append_cost - seal_cost,
+                      seal_cost);
+    }
   }
   clock_->advance(append_cost);
 
@@ -445,7 +462,8 @@ void Checkpointer::store_commit(EpochResult& result) {
     // only the first record pays the append base cost.
     journal_->begin_batch();
     journal_cost = journal_->log_append(checkpoints_taken_, clock_->now(),
-                                        result.dirty, image, backup_vcpu_);
+                                        result.dirty, image, backup_vcpu_,
+                                        store_->root());
     journal_cost += journal_->log_collect();
     journal_->end_batch();
     if (trace != nullptr) {
@@ -531,6 +549,11 @@ Nanos Checkpointer::cow_store_commit() {
                                   clock_->now());
   if (trace != nullptr) {
     trace->add_span("store_append", clock_->now(), append_cost);
+    const Nanos seal_cost = store_->last_seal_cost();
+    if (seal_cost.count() > 0) {
+      trace->add_span("seal", clock_->now() + append_cost - seal_cost,
+                      seal_cost);
+    }
   }
   clock_->advance(append_cost);
 
@@ -546,7 +569,8 @@ Nanos Checkpointer::cow_store_commit() {
     // single journal batch, so only the first record pays the base cost.
     journal_->begin_batch();
     journal_cost = journal_->log_append(checkpoints_taken_, clock_->now(),
-                                        cow_->dirty(), image, backup_vcpu_);
+                                        cow_->dirty(), image, backup_vcpu_,
+                                        store_->root());
     journal_cost += journal_->log_collect();
     journal_->end_batch();
     if (trace != nullptr) {
@@ -567,6 +591,11 @@ void Checkpointer::update_store_gauges() {
   metrics_.store_bytes_physical->set(
       static_cast<double>(stats.bytes_physical));
   metrics_.store_generations->set(static_cast<double>(stats.generations));
+  if (metrics_.crypto_pages_sealed != nullptr) {
+    metrics_.crypto_pages_sealed->set(static_cast<double>(stats.pages_sealed));
+    metrics_.crypto_seal_failures->set(
+        static_cast<double>(stats.seal_failures));
+  }
 }
 
 bool Checkpointer::backup_matches(ForeignMapping& primary,

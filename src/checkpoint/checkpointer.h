@@ -415,6 +415,9 @@ class Checkpointer {
     telemetry::Gauge* store_bytes_logical = nullptr;
     telemetry::Gauge* store_bytes_physical = nullptr;
     telemetry::Gauge* store_generations = nullptr;
+    // Sealing gauges; resolved only when the store's crypto layer is armed.
+    telemetry::Gauge* crypto_pages_sealed = nullptr;
+    telemetry::Gauge* crypto_seal_failures = nullptr;
   } metrics_{};
 };
 

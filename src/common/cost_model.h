@@ -236,6 +236,29 @@ struct CostModel {
   // Applying one decision: actuator store, flight-recorder slot, gauges.
   Nanos control_apply = nanos(300);
 
+  // --- Sealed & attested chains (DESIGN.md section 15). Sealing rides
+  // the store's encode loop (the bytes are already in cache), and all
+  // store work runs after resume, so these charges lengthen the epoch,
+  // not the pause -- ablation_tamper_sweep proves the added mean pause
+  // stays under 10% at parsec dirty rates.
+  // XOR-keystream pass over one 4 KiB payload fused into the encode
+  // copy (half the standalone checksum sweep: one mix64 per word, bytes
+  // already resident).
+  Nanos crypto_seal_per_page = nanos(90);
+  // Keyed FNV MAC fold over one sealed record (tag derivation + length
+  // finalization on top of the byte sweep already fused above).
+  Nanos crypto_mac_per_record = nanos(40);
+  // Materialize-side verification: MAC recompute plus the unseal XOR
+  // pass over one payload.
+  Nanos crypto_unseal_per_page = nanos(130);
+  // Folding one committed generation into the attestation chain: leaf
+  // hash (four mix64 rounds) plus the root extension.
+  Nanos crypto_leaf_extend = nanos(25);
+  // Verifying one chain link at a trust boundary (journal fsck/replay,
+  // standby apply, rollback): leaf recompute + root compare. The page
+  // digest recompute underneath is priced at store_hash_per_page.
+  Nanos crypto_root_verify = nanos(60);
+
   // --- AddressSanitizer baseline: cost per instrumented memory access.
   // Calibrated so PARSEC access profiles yield the 1.4-2.6x range of
   // Figure 3 ("AS" bars).

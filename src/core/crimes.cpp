@@ -142,6 +142,16 @@ void Crimes::initialize() {
     replicator_ = std::make_unique<replication::Replicator>(
         *costs_, config_.replication, checkpointer_->backup(),
         standby_->vm(), checkpointer_->checkpoints_taken());
+    // Attested replication (DESIGN.md section 15): the standby pins the
+    // primary store's post-seed root as its trust anchor and verifies
+    // every generation it applies against the chain from there.
+    if (config_.checkpoint.store.enabled &&
+        config_.checkpoint.store.crypto.attest &&
+        checkpointer_->store() != nullptr) {
+      replicator_->set_attestation(config_.checkpoint.store.crypto.tenant_key,
+                                   checkpointer_->store()->root());
+    }
+    if (injector_) replicator_->set_fault_injector(injector_.get());
     // First heartbeat and the initial fencing lease arrive with the seed.
     standby_->detector().record_heartbeat(clock_.now());
     lease_ = standby_->authority().grant(clock_.now());
@@ -271,7 +281,7 @@ RunSummary Crimes::run(Nanos max_work_time) {
       if (!failed_over_) fail_over(summary, clock_.now());
       break;
     }
-    if (replicator_ && !failed_over_ &&
+    if (replicator_ && !failed_over_ && !promotion_refused_ &&
         standby_->detector().suspects(clock_.now()) &&
         clock_.now() >= standby_->authority().promotion_safe_at()) {
       // The standby has not heard a heartbeat for long enough to promote,
@@ -461,6 +471,8 @@ RunSummary Crimes::run(Nanos max_work_time) {
     faults_reported_ = injector_->total_injected();
   }
   summary.quarantined_modules = detector_.quarantined_modules();
+  collect_attestation(summary);
+  verify_store_seals(summary);
   verify_journal(summary);
   return summary;
 }
@@ -640,16 +652,44 @@ void Crimes::replicate_commit(const EpochResult& epoch, RunSummary& summary,
       telemetry_ ? &telemetry_->trace : nullptr;
   {
     CRIMES_TRACE_SPAN(trace, "replicate");
+    // With attestation armed the commit carries the primary store's root;
+    // the standby recomputes the leaf from the bytes it applied and will
+    // refuse to extend trust past a mismatch.
+    const std::uint64_t root =
+        checkpointer_->store() != nullptr ? checkpointer_->store()->root() : 0;
     const replication::Replicator::SendResult sent = replicator_->on_commit(
         checkpointer_->checkpoints_taken(), epoch.dirty,
-        checkpointer_->backup_vcpu(), clock_.now());
-    clock_.advance(sent.stall + sent.charge);
+        checkpointer_->backup_vcpu(), clock_.now(), root);
+    clock_.advance(sent.stall + sent.charge + sent.verify_cost);
     summary.replication_stall += sent.stall;
+    if (trace != nullptr && sent.verify_cost.count() > 0) {
+      trace->add_span("verify_chain", clock_.now() - sent.verify_cost,
+                      sent.verify_cost);
+    }
     if (sent.dropped) {
       ++summary.replication_dropped;
     } else {
       ++summary.replicated_generations;
     }
+  }
+  // A standby-side verification failure is first-class evidence: recorded
+  // the moment it is detected, then frozen into a postmortem.
+  if (replicator_->attested() &&
+      replicator_->tampers_detected() > tamper_events_logged_) {
+    const std::uint64_t fresh =
+        replicator_->tampers_detected() - tamper_events_logged_;
+    tamper_events_logged_ = replicator_->tampers_detected();
+    if (flight_) {
+      flight_->record(clock_.now(), epoch_index_,
+                      telemetry::FlightEventKind::Tamper, "replication_verify",
+                      "standby root mismatch; trust not extended",
+                      static_cast<double>(fresh));
+    }
+    CRIMES_LOG(Error, "crimes")
+        << "attestation verify failed on the replication stream at "
+        << to_ms(clock_.now()) << " ms (generation "
+        << checkpointer_->checkpoints_taken() << ")";
+    dump_postmortem("attestation-verify", summary);
   }
   // Lease renewal rides the healthy link; a promoted standby refuses the
   // old primary (its fencing epoch moved on), so the lease just runs out.
@@ -713,6 +753,27 @@ void Crimes::fail_over(RunSummary& summary, Nanos failed_at) {
   if (trace != nullptr) {
     trace->add_span("failover", failed_at, clock_.now() - failed_at);
   }
+  if (report.refused) {
+    // The chain did not verify to the trusted root: the standby holds
+    // state that is not provably the primary's history, and resuming it
+    // would launder the tamper. The VM stays a paused crime scene.
+    promotion_refused_ = true;
+    ++summary.promotions_refused;
+    discard_pending_outputs(summary);
+    buffer_.drop_all();
+    if (flight_) {
+      flight_->record(clock_.now(), epoch_index_,
+                      telemetry::FlightEventKind::Tamper, "promotion_refused",
+                      "chain does not verify to trusted root",
+                      static_cast<double>(report.promoted_generation));
+    }
+    CRIMES_LOG(Error, "crimes")
+        << "failover ABORTED at " << to_ms(clock_.now())
+        << " ms: standby refused promotion (attestation chain broken at "
+        << "generation " << report.promoted_generation << ")";
+    dump_postmortem("attestation-verify", summary);
+    return;
+  }
   failed_over_ = true;
   summary.failed_over = true;
   summary.failover_time = clock_.now() - failed_at;
@@ -746,6 +807,27 @@ void Crimes::split_brain_promote(RunSummary& summary) {
   const Nanos start = clock_.now();
   const replication::StandbyHost::PromotionReport report =
       standby_->promote(*replicator_, clock_.now());
+  if (report.refused) {
+    // Same veto as the kill path, but here the (fenced) primary is still
+    // running -- it keeps going; only the standby's promotion is off the
+    // table. The veto is final: re-promoting the same unverifiable
+    // stream every epoch would change nothing.
+    clock_.advance(report.cost);
+    promotion_refused_ = true;
+    ++summary.promotions_refused;
+    if (flight_) {
+      flight_->record(clock_.now(), epoch_index_,
+                      telemetry::FlightEventKind::Tamper, "promotion_refused",
+                      "chain does not verify to trusted root",
+                      static_cast<double>(report.promoted_generation));
+    }
+    CRIMES_LOG(Error, "crimes")
+        << "split-brain promotion REFUSED at " << to_ms(clock_.now())
+        << " ms: attestation chain broken at generation "
+        << report.promoted_generation;
+    dump_postmortem("attestation-verify", summary);
+    return;
+  }
   // The promoted standby closes the replication channel: this primary's
   // future commits must never reach the now-running image.
   replicator_->partition(clock_.now());
@@ -967,11 +1049,65 @@ void Crimes::dump_postmortem(std::string_view reason, RunSummary& summary) {
   postmortems_.push_back(std::move(record));
 }
 
+void Crimes::collect_attestation(RunSummary& summary) {
+  if (!replicator_ || !replicator_->attested()) return;
+  // Per-slice deltas, like faults_injected: CloudHost sums summaries.
+  summary.tampers_detected +=
+      replicator_->tampers_detected() - tampers_reported_;
+  tampers_reported_ = replicator_->tampers_detected();
+  summary.roots_verified += replicator_->roots_verified() - roots_reported_;
+  roots_reported_ = replicator_->roots_verified();
+}
+
+void Crimes::verify_store_seals(RunSummary& summary) {
+  if (!checkpointer_) return;
+  store::CheckpointStore* store = checkpointer_->store();
+  if (store == nullptr || !config_.checkpoint.store.crypto.enabled()) return;
+  if (config_.checkpoint.store.crypto.seal) {
+    const store::CheckpointStore::SealAudit audit = store->audit_seals();
+    clock_.advance(audit.cost);
+    if (!audit.bad_digests.empty()) {
+      summary.tampers_detected += audit.bad_digests.size();
+      if (flight_) {
+        flight_->record(clock_.now(), epoch_index_,
+                        telemetry::FlightEventKind::Tamper, "store_seal_audit",
+                        "sealed page fails its MAC",
+                        static_cast<double>(audit.bad_digests.size()));
+      }
+      CRIMES_LOG(Error, "crimes")
+          << "seal audit found " << audit.bad_digests.size()
+          << " tampered page(s) in the checkpoint store at "
+          << to_ms(clock_.now()) << " ms";
+      dump_postmortem("seal-audit", summary);
+    }
+  }
+  if (config_.checkpoint.store.crypto.attest) {
+    const store::CheckpointStore::ChainAudit chain = store->verify_chain();
+    clock_.advance(chain.cost);
+    if (!chain.ok) {
+      ++summary.tampers_detected;
+      if (flight_) {
+        flight_->record(clock_.now(), epoch_index_,
+                        telemetry::FlightEventKind::Tamper, "store_chain",
+                        chain.reason, static_cast<double>(chain.bad_index));
+      }
+      CRIMES_LOG(Error, "crimes")
+          << "store attestation chain broken: " << chain.reason;
+      dump_postmortem("attestation-verify", summary);
+    }
+  }
+}
+
 void Crimes::verify_journal(RunSummary& summary) {
   if (!checkpointer_ || checkpointer_->journal() == nullptr) return;
-  // fsck only after a slice with a failure signature: CloudHost calls
-  // run() once per epoch, and a clean slice has nothing to verify.
-  if (summary.checkpoint_failures == 0 && !summary.frozen_by_governor &&
+  // Without attestation, fsck only after a slice with a failure signature:
+  // CloudHost calls run() once per epoch, and a clean slice has nothing to
+  // verify. With attestation armed the journal is itself a trust boundary
+  // -- an adversary can rewrite it without tripping anything else (the
+  // framing checksum is unkeyed), so the keyed walk always runs and
+  // localizes which durable record was touched.
+  if (!config_.checkpoint.store.crypto.attest &&
+      summary.checkpoint_failures == 0 && !summary.frozen_by_governor &&
       !summary.failed_over && !summary.primary_killed) {
     return;
   }
@@ -979,14 +1115,21 @@ void Crimes::verify_journal(RunSummary& summary) {
       checkpointer_->journal()->fsck();
   clock_.advance(costs_->journal_scan_per_record * report.records);
   if (report.ok) return;
+  const bool keyed = report.reason.rfind("attestation", 0) == 0;
+  if (keyed) ++summary.tampers_detected;
   if (flight_) {
+    // Structured evidence: which record, at what byte offset, and why.
     flight_->record(clock_.now(), epoch_index_,
-                    telemetry::FlightEventKind::Phase, "journal_fsck",
-                    report.error, static_cast<double>(report.torn_bytes));
+                    keyed ? telemetry::FlightEventKind::Tamper
+                          : telemetry::FlightEventKind::Phase,
+                    "journal_fsck", report.reason.empty() ? report.error
+                                                          : report.reason,
+                    static_cast<double>(report.bad_record));
   }
   CRIMES_LOG(Error, "journal")
-      << "fsck failed after " << report.records << " records: "
-      << report.error;
+      << "fsck failed at record " << report.bad_record << " (offset "
+      << report.bad_offset << " of " << report.records << " records): "
+      << (report.reason.empty() ? report.error : report.reason);
   dump_postmortem("journal-fsck", summary);
 }
 

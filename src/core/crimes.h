@@ -198,6 +198,13 @@ struct RunSummary {
   // Commits whose outputs were blocked by an expired/invalidated lease.
   std::size_t fenced_epochs = 0;
 
+  // --- Attested storage & replication (src/crypto, DESIGN.md section 15):
+  // all zero unless checkpoint.store.crypto is armed. Per-slice deltas,
+  // like faults_injected.
+  std::uint64_t tampers_detected = 0;   // verify failures, any boundary
+  std::uint64_t roots_verified = 0;     // attestation root checks that ran
+  std::size_t promotions_refused = 0;   // failovers vetoed by the chain
+
   // --- Observability (src/telemetry, DESIGN.md section 13): epochs the
   // SLO monitor spent in each degraded health state, and postmortems the
   // flight recorder froze. Per-slice counts, like faults_injected.
@@ -408,9 +415,17 @@ class Crimes {
   Nanos control_epoch(const EpochResult& epoch, Nanos interval,
                       RunSummary& summary);
   void dump_postmortem(std::string_view reason, RunSummary& summary);
-  // End-of-run journal verification: fsck after any failure signature; a
-  // failed fsck is itself a postmortem trigger.
+  // End-of-run journal verification: fsck after any failure signature (a
+  // detected tamper counts as one when attestation is armed); a failed
+  // fsck is itself a postmortem trigger.
   void verify_journal(RunSummary& summary);
+  // End-of-run storage sweep (DESIGN.md section 15): re-MAC every sealed
+  // page and re-verify the attestation chain at the store boundary. Every
+  // detection becomes flight-recorder evidence and a postmortem.
+  void verify_store_seals(RunSummary& summary);
+  // Folds the replicator's attestation counters into the summary (and the
+  // flight recorder, once per detection).
+  void collect_attestation(RunSummary& summary);
   void analyze_malware(forensics::ForensicReport& report,
                        const MemoryDump& clean, const MemoryDump& bad,
                        const Finding& finding);
@@ -459,6 +474,14 @@ class Crimes {
   SafetyMode active_mode_ = SafetyMode::Synchronous;
   std::size_t epoch_index_ = 0;
   std::uint64_t faults_reported_ = 0;  // injector total already summarized
+
+  // Attestation accounting (per-slice deltas, like faults_reported_), plus
+  // the flight-recorder's high-water mark so each detection is recorded as
+  // evidence exactly once.
+  std::uint64_t tampers_reported_ = 0;
+  std::uint64_t roots_reported_ = 0;
+  std::uint64_t tamper_events_logged_ = 0;
+  bool promotion_refused_ = false;  // chain veto is final for this standby
 
   // Replication state (persists across run() slices, like the governor's).
   std::unique_ptr<replication::StandbyHost> standby_;

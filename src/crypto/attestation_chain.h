@@ -1,0 +1,128 @@
+// Per-epoch attestation roots over the generation chain
+// (DESIGN.md section 15).
+//
+// Every committed generation is condensed into a leaf --
+//   H(epoch, pages digest, vCPU digest, audit verdict)
+// -- and hash-chained onto the previous root:
+//   root_i = H(key, root_{i-1}, leaf_i),   root_{-1} = genesis(key).
+//
+// The root is keyed by the tenant key, so the substrate (store device,
+// journal, replication link) cannot forge a consistent chain for
+// tampered content: rewriting a page forces a different pages digest,
+// which forces a different leaf, which forks every root after it.
+// Verifiers that hold any trusted root can extend trust one generation
+// at a time (Buhren et al.: attestation is verified *before* trust is
+// extended -- here, before a standby promotes, before a journal replay
+// is believed, before a rollback target is materialized).
+//
+// The pages digest folds (pfn, page digest) pairs in commit order; the
+// primary, the journal fsck/replay, and the standby all fold the same
+// sequence, so the three recomputations agree iff the bytes agree.
+#pragma once
+
+#include "common/hash.h"
+#include "crypto/page_sealer.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace crimes::crypto {
+
+// Seed for the (pfn, digest) fold; shared by every recomputation site.
+inline constexpr std::uint64_t kPagesFoldSeed = kFnv1aOffsetBasis;
+
+// Digest of a trivially-copyable value (the vCPU register file) via the
+// repo's FNV-1a, without the caller staging bytes itself.
+template <typename T>
+[[nodiscard]] std::uint64_t pod_digest(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::byte bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  return fnv1a(std::span<const std::byte>(bytes, sizeof(T)));
+}
+
+// Everything one committed generation contributes to the chain.
+struct AttestationLeaf {
+  std::uint64_t epoch = 0;
+  std::uint64_t pages_digest = kPagesFoldSeed;
+  std::uint64_t vcpu_digest = 0;
+  bool audit_passed = true;
+
+  // Order-sensitive fold: the primary, the journal walk, and the standby
+  // apply pages in the same commit order, so they fold identically.
+  void fold_page(std::uint64_t pfn, std::uint64_t digest) {
+    pages_digest = mix64(pages_digest ^ mix64(pfn ^ mix64(digest)));
+  }
+};
+
+// A verifying accumulator: holds the last trusted root and extends it
+// one generation at a time. The primary's producer side only needs the
+// static derivations (the chain state lives in the GenerationChain
+// itself); the consumer sides (standby, fsck, recovery, forensics) walk
+// with an instance of this class.
+class AttestationChain {
+ public:
+  AttestationChain() = default;
+  explicit AttestationChain(std::uint64_t tenant_key)
+      : key_(tenant_key), root_(genesis_root(tenant_key)) {}
+
+  // Re-anchor at a known-trusted point (e.g. the root the standby
+  // observed when its image was initialized).
+  void reset(std::uint64_t root, std::uint64_t length) {
+    root_ = root;
+    length_ = length;
+  }
+
+  // Producer: fold a committed leaf and return the new root.
+  std::uint64_t extend(const AttestationLeaf& leaf) {
+    root_ = chain_root(key_, root_, leaf_hash(key_, leaf));
+    ++length_;
+    return root_;
+  }
+
+  // Verifier: check that `claimed_root` is exactly the current root
+  // extended by `leaf`. On success the claimed root becomes trusted;
+  // on failure the accumulator is unchanged (trust is never extended
+  // past an unverified link).
+  [[nodiscard]] bool verify_extend(const AttestationLeaf& leaf,
+                                   std::uint64_t claimed_root) {
+    if (chain_root(key_, root_, leaf_hash(key_, leaf)) != claimed_root) {
+      return false;
+    }
+    root_ = claimed_root;
+    ++length_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t root() const { return root_; }
+  [[nodiscard]] std::uint64_t length() const { return length_; }
+  [[nodiscard]] std::uint64_t tenant_key() const { return key_; }
+
+  [[nodiscard]] static std::uint64_t genesis_root(std::uint64_t key) {
+    return mix64(key ^ 0x47'45'4E'45'53'49'53ULL);  // "GENESIS"
+  }
+
+  [[nodiscard]] static std::uint64_t leaf_hash(std::uint64_t key,
+                                               const AttestationLeaf& leaf) {
+    std::uint64_t h = mix64(key ^ 0x4C'45'41'46ULL);  // "LEAF"
+    h = mix64(h ^ leaf.epoch);
+    h = mix64(h ^ leaf.pages_digest);
+    h = mix64(h ^ leaf.vcpu_digest);
+    return mix64(h ^ (leaf.audit_passed ? 0x9A55ULL : 0xFA17ULL));
+  }
+
+  [[nodiscard]] static std::uint64_t chain_root(std::uint64_t key,
+                                                std::uint64_t prev_root,
+                                                std::uint64_t leaf_hash) {
+    std::uint64_t h = mix64(key ^ 0x52'4F'4F'54ULL);  // "ROOT"
+    h = mix64(h ^ prev_root);
+    return mix64(h ^ leaf_hash);
+  }
+
+ private:
+  std::uint64_t key_ = 0;
+  std::uint64_t root_ = 0;
+  std::uint64_t length_ = 0;
+};
+
+}  // namespace crimes::crypto

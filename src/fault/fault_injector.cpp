@@ -16,6 +16,11 @@ const char* to_string(FaultKind kind) {
     case FaultKind::HeartbeatDrop: return "heartbeat-drop";
     case FaultKind::LinkPartition: return "link-partition";
     case FaultKind::JournalTornWrite: return "journal-torn-write";
+    case FaultKind::StoreBlockTamper: return "store-block-tamper";
+    case FaultKind::JournalBlockTamper: return "journal-block-tamper";
+    case FaultKind::ReplicationTamper: return "replication-tamper";
+    case FaultKind::StaleRootReplay: return "stale-root-replay";
+    case FaultKind::MacTruncation: return "mac-truncation";
   }
   return "?";
 }
@@ -142,6 +147,67 @@ bool FaultInjector::tears_journal_write() {
     ++injected_[static_cast<std::size_t>(FaultKind::JournalTornWrite)];
   }
   return hit;
+}
+
+bool FaultInjector::tampers_store() {
+  const bool hit =
+      decide(FaultKind::StoreBlockTamper, 0x7A3B + store_tamper_attempt_++) ||
+      (store_tamper_attempt_ == 1 &&
+       scheduled_hit(FaultKind::StoreBlockTamper, ""));
+  if (hit) {
+    ++injected_[static_cast<std::size_t>(FaultKind::StoreBlockTamper)];
+  }
+  return hit;
+}
+
+bool FaultInjector::tampers_journal() {
+  const bool hit =
+      decide(FaultKind::JournalBlockTamper,
+             0x7A31 + journal_tamper_attempt_++) ||
+      (journal_tamper_attempt_ == 1 &&
+       scheduled_hit(FaultKind::JournalBlockTamper, ""));
+  if (hit) {
+    ++injected_[static_cast<std::size_t>(FaultKind::JournalBlockTamper)];
+  }
+  return hit;
+}
+
+bool FaultInjector::tampers_replication() {
+  const bool hit =
+      decide(FaultKind::ReplicationTamper,
+             0x7A32 + replication_tamper_attempt_++) ||
+      (replication_tamper_attempt_ == 1 &&
+       scheduled_hit(FaultKind::ReplicationTamper, ""));
+  if (hit) {
+    ++injected_[static_cast<std::size_t>(FaultKind::ReplicationTamper)];
+  }
+  return hit;
+}
+
+bool FaultInjector::replays_stale_root() {
+  const bool hit =
+      decide(FaultKind::StaleRootReplay, 0x57A1E + stale_root_attempt_++) ||
+      (stale_root_attempt_ == 1 &&
+       scheduled_hit(FaultKind::StaleRootReplay, ""));
+  if (hit) {
+    ++injected_[static_cast<std::size_t>(FaultKind::StaleRootReplay)];
+  }
+  return hit;
+}
+
+bool FaultInjector::truncates_mac() {
+  const bool hit =
+      decide(FaultKind::MacTruncation, 0x3AC0 + mac_truncation_attempt_++) ||
+      (mac_truncation_attempt_ == 1 &&
+       scheduled_hit(FaultKind::MacTruncation, ""));
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::MacTruncation)];
+  return hit;
+}
+
+std::uint64_t FaultInjector::tamper_victim() const {
+  return mix(plan_.seed ^ 0x71C71 ^
+             (static_cast<std::uint64_t>(epoch_) << 8) ^
+             (store_tamper_attempt_ + mac_truncation_attempt_));
 }
 
 }  // namespace crimes::fault

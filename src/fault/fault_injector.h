@@ -46,6 +46,11 @@ class FaultInjector {
     tear_attempt_ = 0;
     heartbeat_attempt_ = 0;
     journal_attempt_ = 0;
+    store_tamper_attempt_ = 0;
+    journal_tamper_attempt_ = 0;
+    replication_tamper_attempt_ = 0;
+    stale_root_attempt_ = 0;
+    mac_truncation_attempt_ = 0;
   }
   [[nodiscard]] std::size_t epoch() const { return epoch_; }
 
@@ -65,6 +70,20 @@ class FaultInjector {
   [[nodiscard]] bool drops_heartbeat();
   [[nodiscard]] bool partitions_link();
   [[nodiscard]] bool tears_journal_write();
+  // Adversarial tamper sites (DESIGN.md section 15). Each layer queries
+  // its own site at its own boundary: the store after an append, the
+  // journal after framing a record, the replicator after applying a
+  // generation to the standby. The sites are dormant unless the matching
+  // crypto layer is armed -- tampering an unsealed substrate would be an
+  // undetectable corruption, not an experiment.
+  [[nodiscard]] bool tampers_store();
+  [[nodiscard]] bool tampers_journal();
+  [[nodiscard]] bool tampers_replication();
+  [[nodiscard]] bool replays_stale_root();
+  [[nodiscard]] bool truncates_mac();
+  // Deterministic 64-bit victim selector for tamper sites (the store
+  // reduces it modulo its entry count; bit 32 picks flip-vs-move).
+  [[nodiscard]] std::uint64_t tamper_victim() const;
 
   // --- Accounting -------------------------------------------------------
   [[nodiscard]] std::uint64_t injected(FaultKind kind) const {
@@ -88,6 +107,11 @@ class FaultInjector {
   std::uint64_t tear_attempt_ = 0;
   std::uint64_t heartbeat_attempt_ = 0;
   std::uint64_t journal_attempt_ = 0;
+  std::uint64_t store_tamper_attempt_ = 0;
+  std::uint64_t journal_tamper_attempt_ = 0;
+  std::uint64_t replication_tamper_attempt_ = 0;
+  std::uint64_t stale_root_attempt_ = 0;
+  std::uint64_t mac_truncation_attempt_ = 0;
   std::array<std::uint64_t, kFaultKindCount> injected_{};
 };
 

@@ -33,8 +33,17 @@ enum class FaultKind : std::uint8_t {
   HeartbeatDrop,   // one epoch heartbeat to the standby is lost in flight
   LinkPartition,   // the replication link partitions (and stays down)
   JournalTornWrite,  // a store-journal record append is torn mid-record
+  // Adversarial (tamper) kinds -- SEVurity-style attacks on the sealed
+  // substrate (DESIGN.md section 15). These are malicious, not accidental:
+  // the ciphertext is modified consistently (checksums fixed up), so only
+  // the keyed seal/attestation layer can catch them.
+  StoreBlockTamper,    // flip/move a sealed page record at rest
+  JournalBlockTamper,  // rewrite journal ciphertext, fixing the framing sum
+  ReplicationTamper,   // corrupt a replicated page in flight
+  StaleRootReplay,     // replay an old attestation root on the wire
+  MacTruncation,       // strip a stored record's MAC tag
 };
-inline constexpr std::size_t kFaultKindCount = 10;
+inline constexpr std::size_t kFaultKindCount = 15;
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -66,6 +75,12 @@ struct FaultPlan {
   double heartbeat_drop = 0.0;       // per heartbeat send
   double link_partition = 0.0;       // per epoch; the partition is sticky
   double journal_torn_write = 0.0;   // per journal record append
+  // Tamper sites (no-ops unless CryptoConfig arms the matching layer).
+  double store_block_tamper = 0.0;   // per store append
+  double journal_block_tamper = 0.0;  // per journal record append
+  double replication_tamper = 0.0;   // per replicated generation
+  double stale_root_replay = 0.0;    // per replicated generation
+  double mac_truncation = 0.0;       // per store append
 
   // Probabilistic faults fire only in epochs [from_epoch, until_epoch).
   // Bounding the window lets a faulty run drain its accumulated dirty
@@ -91,6 +106,11 @@ struct FaultPlan {
       case FaultKind::HeartbeatDrop: return heartbeat_drop;
       case FaultKind::LinkPartition: return link_partition;
       case FaultKind::JournalTornWrite: return journal_torn_write;
+      case FaultKind::StoreBlockTamper: return store_block_tamper;
+      case FaultKind::JournalBlockTamper: return journal_block_tamper;
+      case FaultKind::ReplicationTamper: return replication_tamper;
+      case FaultKind::StaleRootReplay: return stale_root_replay;
+      case FaultKind::MacTruncation: return mac_truncation;
     }
     return 0.0;
   }
@@ -103,7 +123,9 @@ struct FaultPlan {
            bitmap_read_error > 0.0 || worker_loss > 0.0 ||
            primary_kill > 0.0 || heartbeat_drop > 0.0 ||
            link_partition > 0.0 || journal_torn_write > 0.0 ||
-           !scheduled.empty();
+           store_block_tamper > 0.0 || journal_block_tamper > 0.0 ||
+           replication_tamper > 0.0 || stale_root_replay > 0.0 ||
+           mac_truncation > 0.0 || !scheduled.empty();
   }
 
   // A mixed plan exercising every transport-side fault at `rate`, confined
@@ -136,6 +158,25 @@ struct FaultPlan {
     plan.heartbeat_drop = rate;
     plan.journal_torn_write = rate / 2.0;
     plan.link_partition = rate / 4.0;
+    plan.from_epoch = from;
+    plan.until_epoch = until;
+    return plan;
+  }
+
+  // An adversarial storm against the sealed substrate: every tamper kind
+  // at `rate`, confined to [from, until). Only meaningful with
+  // CryptoConfig sealing/attestation armed -- the tamper-sweep bench
+  // asserts every injection is *caught*, not survived.
+  [[nodiscard]] static FaultPlan tamper_storm(double rate, std::size_t from,
+                                              std::size_t until,
+                                              std::uint64_t seed = 1) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.store_block_tamper = rate;
+    plan.journal_block_tamper = rate;
+    plan.replication_tamper = rate;
+    plan.stale_root_replay = rate / 2.0;
+    plan.mac_truncation = rate / 2.0;
     plan.from_epoch = from;
     plan.until_epoch = until;
     return plan;

@@ -51,8 +51,9 @@ std::string render_page_timeline(const store::GenerationChain& chain,
     const store::Generation& gen = chain.at(i);
     const std::uint64_t digest = chain.digest_at(i, pfn);
     os << "  gen " << gen.epoch << " @" << to_ms(gen.taken_at) << " ms"
-       << "  digest " << std::hex << digest << std::dec
-       << (gen.pinned ? "  [pinned]" : "");
+       << "  digest " << std::hex << digest;
+    if (gen.attest_root != 0) os << "  root " << gen.attest_root;
+    os << std::dec << (gen.pinned ? "  [pinned]" : "");
     if (div.found && i == div.chain_index) os << "  <-- first divergence";
     os << '\n';
   }
@@ -61,6 +62,25 @@ std::string render_page_timeline(const store::GenerationChain& chain,
        << div.generations_probed << " digest probes)\n";
   } else {
     os << "no divergence within the retained window\n";
+  }
+  return os.str();
+}
+
+std::string render_fsck(const replication::StoreJournal::FsckReport& report) {
+  std::ostringstream os;
+  os << "journal fsck: " << (report.ok ? "clean" : "FAILED") << ", "
+     << report.records << " record(s), " << report.valid_bytes
+     << " valid byte(s), " << report.torn_bytes << " torn byte(s)";
+  if (report.attested) {
+    os << ", " << report.roots_verified << " attestation root(s) verified";
+  }
+  os << '\n';
+  if (!report.ok) {
+    os << "  rejected record " << report.bad_record << " at byte offset "
+       << report.bad_offset << '\n'
+       << "  reason: " << (report.reason.empty() ? report.error
+                                                 : report.reason)
+       << '\n';
   }
   return os.str();
 }

@@ -9,6 +9,7 @@
 // checkpoints" extension, applied to investigation).
 #pragma once
 
+#include "replication/store_journal.h"
 #include "store/generation_chain.h"
 
 #include <cstdint>
@@ -38,8 +39,16 @@ struct DivergencePoint {
     const store::GenerationChain& chain, Pfn pfn);
 
 // Human-readable per-generation digest timeline for `pfn` (one line per
-// retained generation, divergence marked) for forensic reports.
+// retained generation, divergence marked; attestation roots shown when the
+// chain carries them) for forensic reports.
 [[nodiscard]] std::string render_page_timeline(
     const store::GenerationChain& chain, Pfn pfn);
+
+// Renders a journal fsck verdict for a forensic report: which record the
+// walk rejected, at what byte offset, and why -- the keyed reasons
+// (DESIGN.md section 15) localize exactly which durable record the
+// adversary touched, not just that "something" was torn.
+[[nodiscard]] std::string render_fsck(
+    const replication::StoreJournal::FsckReport& report);
 
 }  // namespace crimes::forensics

@@ -1,6 +1,8 @@
 #include "replication/replicator.h"
 
 #include "common/log.h"
+#include "fault/fault_injector.h"
+#include "store/page_store.h"
 #include "telemetry/telemetry.h"
 
 #include <algorithm>
@@ -47,8 +49,8 @@ void Replicator::update_lag_gauge() {
 
 Replicator::SendResult Replicator::on_commit(std::uint64_t generation,
                                              std::span<const Pfn> dirty,
-                                             const VcpuState& vcpu,
-                                             Nanos now) {
+                                             const VcpuState& vcpu, Nanos now,
+                                             std::uint64_t root) {
   SendResult result;
   advance(now);
   if (partitioned_) {
@@ -57,6 +59,7 @@ Replicator::SendResult Replicator::on_commit(std::uint64_t generation,
     // never come -- exactly the state fencing exists for.
     ++dropped_;
     result.dropped = true;
+    chain_gap_ = true;  // later roots can no longer chain from our state
     return result;
   }
 
@@ -76,6 +79,7 @@ Replicator::SendResult Replicator::on_commit(std::uint64_t generation,
   // a partition or promotion can un-apply it if it never "arrives".
   InFlight entry;
   entry.generation = generation;
+  entry.root = root;
   entry.prior_vcpu = standby_->vcpu();
   entry.undo.reserve(dirty.size());
   {
@@ -86,6 +90,48 @@ Replicator::SendResult Replicator::on_commit(std::uint64_t generation,
     // and optionally XOR-delta + RLE against the standby's stale copy).
     const Nanos transfer = transport_->copy(src, dst, dirty);
     standby_->vcpu() = vcpu;
+
+    // Attested apply: the standby recomputes this generation's leaf from
+    // the bytes it just wrote -- not from anything the primary claims --
+    // and extends its trusted root only if the carried root matches
+    // (Buhren et al.: verify before extending trust).
+    if (attest_ && !chain_gap_) {
+      std::uint64_t claimed = root;
+      if (faults_ != nullptr && !dirty.empty() &&
+          faults_->tampers_replication()) {
+        // In-flight ciphertext corruption: one applied standby byte flips.
+        const std::size_t victim = static_cast<std::size_t>(
+            faults_->tamper_victim() % dirty.size());
+        dst.page(dirty[victim]).data[kPageSize / 2] ^= std::byte{0x08};
+        CRIMES_LOG(Warn, "replicator")
+            << "injected replication tamper on generation " << generation;
+      }
+      if (faults_ != nullptr && faults_->replays_stale_root()) {
+        // The wire adversary substitutes the previous root for this one.
+        claimed = last_root_sent_;
+        CRIMES_LOG(Warn, "replicator")
+            << "injected stale-root replay on generation " << generation;
+      }
+      crypto::AttestationLeaf leaf;
+      leaf.epoch = generation;
+      leaf.vcpu_digest = crypto::pod_digest(standby_->vcpu());
+      for (const Pfn pfn : dirty) {
+        leaf.fold_page(pfn.raw, store::page_digest(dst.peek(pfn)));
+      }
+      result.verify_cost = costs_->store_hash_per_page * dirty.size() +
+                           costs_->crypto_leaf_extend +
+                           costs_->crypto_root_verify;
+      ++roots_verified_;
+      if (!chain_.verify_extend(leaf, claimed)) {
+        chain_intact_ = false;
+        ++tampers_detected_;
+        CRIMES_LOG(Error, "replicator")
+            << "attestation verify FAILED for generation " << generation
+            << " -- trust not extended; promotion from this stream will "
+               "be refused";
+      }
+    }
+    last_root_sent_ = root;
 
     // Virtual timeline: the link serializes transfers; arrival adds a wire
     // hop plus the standby-side apply; the ack rides one hop back.
@@ -113,6 +159,7 @@ void Replicator::advance(Nanos now) {
          window_.front().ack_at <= now) {
     acked_through_ = window_.front().generation;
     received_base_ = window_.front().generation;
+    base_root_ = window_.front().root;
     window_.pop_front();
   }
   update_lag_gauge();
@@ -161,6 +208,11 @@ Nanos Replicator::rollback_unreceived(Nanos now, std::size_t* generations,
     if (pages != nullptr) *pages += entry.undo.size();
     window_.pop_back();
   }
+  // Trust rewinds with the bytes: the chain re-anchors at the newest
+  // generation the standby still holds.
+  if (attest_) {
+    chain_.reset(window_.empty() ? base_root_ : window_.back().root, 0);
+  }
   return cost;
 }
 
@@ -173,9 +225,12 @@ Replicator::DrainReport Replicator::drain(Nanos now) {
   // consumed and the window closes.
   while (!window_.empty()) {
     received_base_ = window_.front().generation;
+    base_root_ = window_.front().root;
     window_.pop_front();
   }
   report.received_through = received_base_;
+  report.chain_verified = !attest_ || chain_intact_;
+  report.trusted_root = base_root_;
   update_lag_gauge();
   return report;
 }

@@ -23,6 +23,7 @@
 #include "checkpoint/transport.h"
 #include "common/cost_model.h"
 #include "common/sim_clock.h"
+#include "crypto/attestation_chain.h"
 #include "hypervisor/vm.h"
 #include "replication/replication_config.h"
 
@@ -39,6 +40,10 @@ class Gauge;
 class Histogram;
 }  // namespace crimes::telemetry
 
+namespace crimes::fault {
+class FaultInjector;
+}  // namespace crimes::fault
+
 namespace crimes::replication {
 
 class Replicator {
@@ -52,12 +57,17 @@ class Replicator {
   struct SendResult {
     Nanos stall{0};    // backpressure wait (window was full)
     Nanos charge{0};   // primary-side framing cost
+    Nanos verify_cost{0};  // standby-side attestation verify (attested only)
     bool dropped = false;  // link partitioned; nothing was sent
   };
   // Ships generation `generation` (the pages in `dirty`, plus the vCPU) at
-  // virtual time `now`. Caller advances the clock by stall + charge.
+  // virtual time `now`. Caller advances the clock by stall + charge +
+  // verify_cost. With attestation armed, `root` is the primary store's
+  // root after this commit; the standby recomputes the leaf from the bytes
+  // it actually applied and refuses to extend trust past a mismatch.
   SendResult on_commit(std::uint64_t generation, std::span<const Pfn> dirty,
-                       const VcpuState& vcpu, Nanos now);
+                       const VcpuState& vcpu, Nanos now,
+                       std::uint64_t root = 0);
 
   // Processes every acknowledgement due by `now`, freeing window slots and
   // their undo logs.
@@ -82,9 +92,39 @@ class Replicator {
     std::uint64_t received_through = 0;  // newest fully received generation
     std::size_t rolled_back = 0;         // generations undone
     std::size_t pages_rolled_back = 0;
+    // Attestation verdict over everything the standby still holds: false
+    // iff a verified-at-apply generation failed its root check. Partition
+    // drops never applied anything, so they cannot fail this (no false
+    // positives); with attestation off it stays true.
+    bool chain_verified = true;
+    std::uint64_t trusted_root = 0;  // root of received_through (attested)
     Nanos cost{0};
   };
   DrainReport drain(Nanos now);
+
+  // --- Attestation (DESIGN.md section 15) -------------------------------
+  // Arms standby-side verification: the standby trusts `trusted_root` (the
+  // root it observed at initialization) and extends trust one generation
+  // at a time as commits apply.
+  void set_attestation(std::uint64_t tenant_key, std::uint64_t trusted_root) {
+    attest_ = true;
+    chain_ = crypto::AttestationChain(tenant_key);
+    chain_.reset(trusted_root, 0);
+    base_root_ = trusted_root;
+    last_root_sent_ = trusted_root;
+  }
+  [[nodiscard]] bool attested() const { return attest_; }
+  [[nodiscard]] bool chain_intact() const { return chain_intact_; }
+  [[nodiscard]] std::uint64_t tampers_detected() const {
+    return tampers_detected_;
+  }
+  [[nodiscard]] std::uint64_t roots_verified() const {
+    return roots_verified_;
+  }
+
+  // Attaches (nullptr detaches) the injector behind the ReplicationTamper
+  // and StaleRootReplay sites.
+  void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
 
   // --- Accounting -------------------------------------------------------
   [[nodiscard]] std::uint64_t acked_through() const { return acked_through_; }
@@ -111,6 +151,7 @@ class Replicator {
  private:
   struct InFlight {
     std::uint64_t generation = 0;
+    std::uint64_t root = 0;  // attestation root after this generation
     Nanos sent_at{0};
     Nanos recv_at{0};  // fully received (transfer + one-way wire + apply)
     Nanos ack_at{0};   // ack back at the primary
@@ -143,6 +184,21 @@ class Replicator {
   std::uint64_t dropped_ = 0;
   std::size_t max_in_flight_ = 0;
   Nanos total_stall_{0};
+
+  // Attestation state (armed by set_attestation).
+  bool attest_ = false;
+  crypto::AttestationChain chain_;
+  std::uint64_t base_root_ = 0;  // root of received_base_
+  std::uint64_t last_root_sent_ = 0;  // what a stale-root replay resends
+  bool chain_intact_ = true;
+  // Partition gap: once a generation is dropped, later roots could never
+  // chain from what the standby holds, so verification stands down rather
+  // than report false tampering. Nothing is applied past the gap anyway
+  // (the partition is sticky).
+  bool chain_gap_ = false;
+  std::uint64_t tampers_detected_ = 0;
+  std::uint64_t roots_verified_ = 0;
+  fault::FaultInjector* faults_ = nullptr;
 
   telemetry::Gauge* lag_gauge_ = nullptr;
   telemetry::Histogram* ack_delay_ = nullptr;

@@ -66,6 +66,22 @@ StandbyHost::PromotionReport StandbyHost::promote(Replicator& replicator,
   report.promoted_generation = drained.received_through;
   report.generations_rolled_back = drained.rolled_back;
   report.pages_rolled_back = drained.pages_rolled_back;
+  report.attested = replicator.attested();
+  report.trusted_root = drained.trusted_root;
+  if (report.attested && !drained.chain_verified) {
+    // The chain does not verify to the last trusted root: what the
+    // standby holds is not provably the primary's history, and resuming
+    // it would launder tampered state into a "legitimate" promoted VM.
+    // Refuse: no unpause, no fencing advance -- the VM stays a paused
+    // crime scene for forensics.
+    report.refused = true;
+    report.cost = drained.cost + costs_->crypto_root_verify;
+    CRIMES_LOG(Error, "standby")
+        << "promotion REFUSED at " << to_ms(now)
+        << " ms: attestation chain does not verify to the trusted root "
+        << "(generation " << report.promoted_generation << ")";
+    return report;
+  }
   report.fencing_token = authority_.advance_epoch();
   report.cost = drained.cost + costs_->promote_base;
   vm_->unpause();

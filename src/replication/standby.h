@@ -63,11 +63,20 @@ class StandbyHost {
     std::uint64_t fencing_token = 0;        // the new fencing epoch
     std::size_t generations_rolled_back = 0;
     std::size_t pages_rolled_back = 0;
+    // Attestation verdict (DESIGN.md section 15). `refused` means the
+    // drained stream failed chain verification: the VM stays paused, the
+    // fencing epoch does not advance, and promoted() stays false --
+    // unverifiable state is never resumed.
+    bool attested = false;
+    bool refused = false;
+    std::uint64_t trusted_root = 0;
     Nanos cost{0};  // drain rollback + fixed promotion work
   };
   // Fails over: drains the replication stream, advances the fencing epoch
   // and unpauses the standby VM. Requires now >= promotion_ready_at().
-  // The caller advances the clock by `cost`.
+  // The caller advances the clock by `cost`. With attestation armed the
+  // promotion is refused (report.refused) unless the chain verified all
+  // the way to the generation being promoted.
   PromotionReport promote(Replicator& replicator, Nanos now);
 
  private:

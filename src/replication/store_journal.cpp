@@ -3,6 +3,7 @@
 #include "checkpoint/transport.h"  // rle::encode / rle::decode
 #include "common/hash.h"
 #include "common/log.h"
+#include "crypto/attestation_chain.h"
 #include "fault/fault_injector.h"
 #include "store/checkpoint_store.h"
 
@@ -10,6 +11,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <type_traits>
+#include <unordered_map>
 
 namespace crimes::replication {
 namespace {
@@ -125,6 +127,27 @@ Nanos StoreJournal::append_record(RecordType type,
   put_bytes(record, payload.data(), payload.size());
   put_u64(record, fnv1a(std::span<const std::byte>(record)));
 
+  // Adversarial ciphertext rewrite (JournalBlockTamper): a device-level
+  // adversary flips one payload byte just below the carried root and
+  // *fixes up* the unkeyed framing checksum -- the frame still parses and
+  // checksums clean. Only the keyed attestation walk (fsck/recover) can
+  // tell the record no longer matches its root. Armed only with
+  // attestation on: without it the rewrite would be an undetectable
+  // corruption, not an experiment.
+  if (faults_ != nullptr && crypto_.attest &&
+      (type == RecordType::Seed || type == RecordType::Append) &&
+      payload.size() > kChecksumBytes && faults_->tampers_journal()) {
+    record[kHeaderBytes + payload.size() - sizeof(std::uint64_t) - 1] ^=
+        std::byte{0x20};
+    const std::uint64_t fixed = fnv1a(std::span<const std::byte>(
+        record.data(), kHeaderBytes + payload.size()));
+    std::memcpy(record.data() + kHeaderBytes + payload.size(), &fixed,
+                sizeof fixed);
+    CRIMES_LOG(Warn, "journal")
+        << "injected block tamper on record " << seq_
+        << " (framing checksum fixed up by the adversary)";
+  }
+
   const std::size_t pages =
       (record.size() + kPageSize - 1) / kPageSize;  // device blocks touched
   Nanos base = costs_->journal_append_base;
@@ -157,7 +180,8 @@ Nanos StoreJournal::append_record(RecordType type,
 }
 
 Nanos StoreJournal::log_seed(std::uint64_t epoch, Nanos now,
-                             ForeignMapping& image, const VcpuState& vcpu) {
+                             ForeignMapping& image, const VcpuState& vcpu,
+                             std::uint64_t root) {
   std::vector<Pfn> backed;
   for (std::size_t i = 0; i < image.page_count(); ++i) {
     if (image.is_backed(Pfn{i})) backed.push_back(Pfn{i});
@@ -168,18 +192,21 @@ Nanos StoreJournal::log_seed(std::uint64_t epoch, Nanos now,
   put_u64(payload, image.page_count());
   put_bytes(payload, &vcpu, sizeof vcpu);
   encode_pages(payload, image, backed);
+  if (crypto_.attest) put_u64(payload, root);
   return append_record(RecordType::Seed, payload);
 }
 
 Nanos StoreJournal::log_append(std::uint64_t epoch, Nanos now,
                                std::span<const Pfn> dirty,
-                               ForeignMapping& image, const VcpuState& vcpu) {
+                               ForeignMapping& image, const VcpuState& vcpu,
+                               std::uint64_t root) {
   std::vector<std::byte> payload;
   put_u64(payload, epoch);
   put_i64(payload, now.count());
   put_u64(payload, image.page_count());
   put_bytes(payload, &vcpu, sizeof vcpu);
   encode_pages(payload, image, dirty);
+  if (crypto_.attest) put_u64(payload, root);
   return append_record(RecordType::Append, payload);
 }
 
@@ -273,17 +300,98 @@ struct RecordWalk {
   }
 };
 
+// Recomputes a Seed/Append record's attestation leaf from its bytes
+// alone: every carried page is RLE-decoded into a scratch frame and
+// digested exactly the way the store digested the live image at commit
+// time, so the fold agrees iff the ciphertext was not rewritten.
+bool recompute_leaf(std::span<const std::byte> payload,
+                    crypto::AttestationLeaf& leaf, std::uint64_t& carried) {
+  Reader reader{payload, 0};
+  std::int64_t when = 0;
+  std::uint64_t page_count = 0;
+  VcpuState vcpu;
+  std::uint32_t n_pages = 0;
+  if (!reader.u64(leaf.epoch) || !reader.i64(when) ||
+      !reader.u64(page_count) || !reader.read(&vcpu, sizeof vcpu) ||
+      !reader.u32(n_pages)) {
+    return false;
+  }
+  leaf.vcpu_digest = crypto::pod_digest(vcpu);
+  Page scratch;
+  for (std::uint32_t i = 0; i < n_pages; ++i) {
+    std::uint64_t pfn = 0;
+    std::uint32_t encoded_len = 0;
+    if (!reader.u64(pfn) || !reader.u32(encoded_len)) return false;
+    if (reader.remaining() < encoded_len) return false;
+    if (!rle::decode(payload.subspan(reader.off, encoded_len),
+                     std::span<std::byte>(scratch.data))) {
+      return false;
+    }
+    reader.off += encoded_len;
+    leaf.fold_page(pfn, store::page_digest(scratch));
+  }
+  return reader.u64(carried);
+}
+
 }  // namespace
 
 StoreJournal::FsckReport StoreJournal::fsck() const {
   FsckReport report;
   RecordWalk walk{std::span<const std::byte>(log_)};
   RecordWalk::Record record;
-  while (walk.next(record)) ++report.records;
+  report.attested = crypto_.attest;
+  crypto::AttestationChain verifier(crypto_.tenant_key);
+  // Truncate records rewind the store's chain to an earlier epoch; the
+  // walk mirrors that by re-anchoring the verifier at the root it already
+  // trusted for the target epoch.
+  std::unordered_map<std::uint64_t, std::uint64_t> roots_by_epoch;
+
+  const auto fail_at = [&](std::size_t frame_off, std::string reason) {
+    report.valid_bytes = frame_off;
+    report.torn_bytes = log_.size() - frame_off;
+    report.bad_record = report.records;
+    report.bad_offset = frame_off;
+    report.reason = std::move(reason);
+    report.error = report.reason;
+    return report;  // ok stays false: trust ends at this frame
+  };
+
+  while (true) {
+    const std::size_t frame_off = walk.off;
+    if (!walk.next(record)) break;
+    if (crypto_.attest && (record.type == RecordType::Seed ||
+                           record.type == RecordType::Append)) {
+      crypto::AttestationLeaf leaf;
+      std::uint64_t carried = 0;
+      if (!recompute_leaf(record.payload, leaf, carried)) {
+        return fail_at(frame_off, "attestation: undecodable generation payload");
+      }
+      if (!verifier.verify_extend(leaf, carried)) {
+        return fail_at(frame_off,
+                       "attestation: root mismatch (keyed chain rejects "
+                       "record bytes)");
+      }
+      roots_by_epoch[leaf.epoch] = carried;
+      ++report.roots_verified;
+    } else if (crypto_.attest && record.type == RecordType::Truncate) {
+      Reader reader{record.payload, 0};
+      std::uint64_t target = 0;
+      if (!reader.u64(target) || roots_by_epoch.count(target) == 0) {
+        return fail_at(frame_off, "attestation: truncate to unverified epoch");
+      }
+      verifier.reset(roots_by_epoch.at(target), 0);
+    }
+    ++report.records;
+  }
   report.valid_bytes = walk.off;
   report.torn_bytes = log_.size() - walk.off;
   report.error = walk.error;
   report.ok = report.torn_bytes == 0;
+  if (!report.ok) {
+    report.bad_record = report.records;
+    report.bad_offset = walk.off;
+    report.reason = walk.error;
+  }
   return report;
 }
 
@@ -325,6 +433,19 @@ StoreJournal::Recovered StoreJournal::recover(
         out.store = std::make_unique<store::CheckpointStore>(costs, config);
         out.cost += out.store->seed(gen.epoch, image, gen.vcpu,
                                     Nanos{gen.now});
+        if (config.crypto.attest) {
+          std::uint64_t carried = 0;
+          if (!reader.u64(carried)) {
+            throw std::runtime_error(
+                "StoreJournal: Seed record missing attestation root");
+          }
+          if (out.store->root() != carried) {
+            throw crypto::TamperError(
+                "StoreJournal: replayed Seed root diverges from carried "
+                "root -- refusing recovery");
+          }
+          out.cost += costs.crypto_root_verify;
+        }
         break;
       }
       case RecordType::Append: {
@@ -349,6 +470,19 @@ StoreJournal::Recovered StoreJournal::recover(
         // rebuilt manifests match the originals bit for bit regardless.
         out.cost += out.store->append(gen.epoch, gen.pfns, image, gen.vcpu,
                                       Nanos{gen.now}, nullptr);
+        if (config.crypto.attest) {
+          std::uint64_t carried = 0;
+          if (!reader.u64(carried)) {
+            throw std::runtime_error(
+                "StoreJournal: Append record missing attestation root");
+          }
+          if (out.store->root() != carried) {
+            throw crypto::TamperError(
+                "StoreJournal: replayed Append root diverges from carried "
+                "root -- refusing recovery");
+          }
+          out.cost += costs.crypto_root_verify;
+        }
         break;
       }
       case RecordType::Collect:

@@ -26,6 +26,7 @@
 
 #include "common/cost_model.h"
 #include "common/sim_clock.h"
+#include "crypto/crypto_config.h"
 #include "hypervisor/foreign_mapping.h"
 #include "hypervisor/hypervisor.h"
 #include "store/store_config.h"
@@ -58,17 +59,28 @@ class StoreJournal {
     Truncate = 6,
   };
 
-  explicit StoreJournal(const CostModel& costs) : costs_(&costs) {}
+  explicit StoreJournal(const CostModel& costs,
+                        crypto::CryptoConfig crypto = {})
+      : costs_(&costs), crypto_(crypto) {}
 
   // Attaches (nullptr detaches) the fault injector behind the
-  // JournalTornWrite site.
+  // JournalTornWrite and JournalBlockTamper sites.
   void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
 
+  [[nodiscard]] const crypto::CryptoConfig& crypto() const { return crypto_; }
+
   // --- Logging (each returns the virtual write cost) --------------------
+  // With attestation on, Seed/Append records carry the store's root after
+  // the logged commit (`root`) at the end of the payload; fsck() reverifies
+  // the whole chain from the record bytes alone, and recover() refuses a
+  // replay whose recomputed roots diverge from the carried ones. With
+  // attestation off the record bytes are identical to the pre-crypto
+  // format.
   Nanos log_seed(std::uint64_t epoch, Nanos now, ForeignMapping& image,
-                 const VcpuState& vcpu);
+                 const VcpuState& vcpu, std::uint64_t root = 0);
   Nanos log_append(std::uint64_t epoch, Nanos now, std::span<const Pfn> dirty,
-                   ForeignMapping& image, const VcpuState& vcpu);
+                   ForeignMapping& image, const VcpuState& vcpu,
+                   std::uint64_t root = 0);
   Nanos log_collect();
   Nanos log_audit_failure();
   Nanos log_pin(std::uint64_t epoch);
@@ -105,12 +117,25 @@ class StoreJournal {
     std::size_t valid_bytes = 0;
     std::size_t torn_bytes = 0;  // trailing bytes of a torn/corrupt record
     std::string error;           // first structural problem, if any
+    // Structured evidence: exactly where verification stopped (meaningful
+    // only when !ok) -- the record index, the byte offset of its frame on
+    // the device, and the failure class. Forensic reports render these.
+    std::size_t bad_record = 0;
+    std::size_t bad_offset = 0;
+    std::string reason;
+    // Attestation walk (crypto.attest): Seed/Append roots recomputed from
+    // the record bytes and chained from genesis.
+    bool attested = false;
+    std::size_t roots_verified = 0;
   };
   // Walks the device read-only: frame structure, checksums, sequence
   // numbers. A torn tail is reported, not an error -- recovery truncates
   // it. Mid-log corruption (a bad record *followed by* valid ones) can
   // never verify and reports ok = false either way; everything after the
-  // damage is unreachable.
+  // damage is unreachable. With attestation on, the walk additionally
+  // recomputes every Seed/Append record's pages fold and verifies the
+  // carried root -- an adversary can fix the unkeyed framing checksum
+  // after rewriting ciphertext, but not the keyed root.
   [[nodiscard]] FsckReport fsck() const;
 
   struct Recovered {
@@ -125,7 +150,10 @@ class StoreJournal {
   // image, truncating a torn tail first. `config` must match the store
   // config the journal was written under -- retention decides which
   // generations exist at all. Throws on a journal whose valid prefix is
-  // empty or does not begin with a Seed record.
+  // empty or does not begin with a Seed record; with attestation on,
+  // throws crypto::TamperError when a replayed generation's recomputed
+  // root diverges from the record's carried root (a forged replay is
+  // refused, never trusted).
   [[nodiscard]] static Recovered recover(std::span<const std::byte> device,
                                          const CostModel& costs,
                                          const store::StoreConfig& config);
@@ -137,6 +165,7 @@ class StoreJournal {
   Nanos append_record(RecordType type, std::span<const std::byte> payload);
 
   const CostModel* costs_;
+  crypto::CryptoConfig crypto_;
   fault::FaultInjector* faults_ = nullptr;
   std::vector<std::byte> log_;
   std::uint64_t seq_ = 0;

@@ -21,6 +21,7 @@
 
 #include "common/cost_model.h"
 #include "common/thread_pool.h"
+#include "crypto/attestation_chain.h"
 #include "hypervisor/foreign_mapping.h"
 #include "store/generation_chain.h"
 #include "store/store_config.h"
@@ -28,7 +29,12 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
+
+namespace crimes::fault {
+class FaultInjector;
+}  // namespace crimes::fault
 
 namespace crimes::store {
 
@@ -41,6 +47,10 @@ struct StoreStats {
   std::uint64_t bytes_physical = 0;
   std::uint64_t generations_dropped = 0;  // lifetime GC work
   std::uint64_t entries_merged = 0;
+  // Sealing (zero with crypto off): payloads sealed and MAC mismatches
+  // detected over the store's lifetime.
+  std::uint64_t pages_sealed = 0;
+  std::uint64_t seal_failures = 0;
   // Generations an unbounded collect() would drop right now -- the
   // control plane's GC-pressure signal (store_backlog input).
   std::size_t gc_backlog = 0;
@@ -56,7 +66,19 @@ struct StoreStats {
 class CheckpointStore {
  public:
   CheckpointStore(const CostModel& costs, StoreConfig config)
-      : costs_(&costs), config_(config), pages_(config.delta_compress) {}
+      : costs_(&costs),
+        config_(config),
+        pages_(config.delta_compress),
+        sealer_(config.crypto.tenant_key),
+        attest_base_root_(crypto::AttestationChain::genesis_root(
+            config.crypto.tenant_key)) {
+    if (config_.crypto.seal) pages_.set_sealer(&sealer_);
+  }
+
+  // The sealer's address is wired into pages_; pinning the store in
+  // place keeps that self-reference valid.
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
 
   // Seeds the chain with generation `epoch` from a full image (the
   // Checkpointer's initial synchronization). Returns the virtual cost.
@@ -122,15 +144,80 @@ class CheckpointStore {
     config_.gc_generations_per_epoch = generations;
   }
 
+  // --- Sealing & attestation (DESIGN.md section 15) ---------------------
+
+  // Adversarial tamper sites fire inside append (store-at-rest
+  // corruption after the commit lands); nullptr disarms them.
+  void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
+
+  // Attestation root after the newest committed generation (the value
+  // carried in journal records and on the replication stream); the
+  // genesis root before the seed, 0 when attestation is off.
+  [[nodiscard]] std::uint64_t root() const {
+    if (!config_.crypto.attest) return 0;
+    return chain_.empty() ? attest_base_root_ : chain_.newest().attest_root;
+  }
+
+  // Seal/attest share of the last seed/append/append_with_digests cost
+  // (already included in the returned total; exposed for the trace's
+  // nested "seal" span).
+  [[nodiscard]] Nanos last_seal_cost() const { return last_seal_cost_; }
+
+  // Store-boundary integrity sweep: recompute every sealed payload's MAC.
+  struct SealAudit {
+    std::vector<std::uint64_t> bad_digests;  // sorted; empty = clean
+    Nanos cost{0};
+  };
+  [[nodiscard]] SealAudit audit_seals() const;
+
+  // Store-boundary chain audit: every retained generation's link must
+  // recompute (root = H(key, prev_root, leaf)), and adjacent links must
+  // join wherever epochs are still consecutive (GC gaps are exempt).
+  struct ChainAudit {
+    bool ok = true;
+    std::size_t bad_index = 0;  // chain index of the first broken link
+    std::string reason;
+    Nanos cost{0};
+  };
+  [[nodiscard]] ChainAudit verify_chain() const;
+
+  // Victim digest of the most recent injected store tamper (evidence
+  // pinning for the tamper-sweep bench); kZeroDigest if none fired.
+  [[nodiscard]] std::uint64_t last_tamper_victim() const {
+    return last_tamper_victim_;
+  }
+
+  [[nodiscard]] const PageStore& page_store() const { return pages_; }
+
  private:
   Nanos hash_pages(std::span<const Pfn> dirty, const ForeignMapping& image,
                    std::vector<std::uint64_t>& digests_out,
                    ThreadPool* pool) const;
 
+  // Freezes the commit-time leaf into `gen` -- `pages_digest` is the
+  // caller's fold over the *full* dirty digest list, in commit order
+  // (the same sequence the journal encodes and the standby applies) --
+  // and extends the root. No-op with attestation off. Returns the cost.
+  Nanos extend_attestation(Generation& gen, std::uint64_t pages_digest);
+
+  // Throws crypto::TamperError if generation `index`'s link fails to
+  // recompute (rollback/materialize verify what they restore).
+  void verify_generation_link(std::size_t index) const;
+
+  // Store-at-rest adversary: fires the injector's tamper sites after an
+  // append. Returns the added (zero) cost -- tampering is free for the
+  // adversary.
+  void maybe_inject_tamper();
+
   const CostModel* costs_;
   StoreConfig config_;
   PageStore pages_;
   GenerationChain chain_;
+  crypto::PageSealer sealer_;
+  std::uint64_t attest_base_root_ = 0;
+  fault::FaultInjector* faults_ = nullptr;
+  Nanos last_seal_cost_{0};
+  std::uint64_t last_tamper_victim_ = kZeroDigest;
   std::size_t image_pages_ = 0;  // set by seed(); sizes bytes_logical
   telemetry::Histogram gc_pauses_;
   std::uint64_t generations_dropped_ = 0;

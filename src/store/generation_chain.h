@@ -38,6 +38,19 @@ struct Generation {
   // Pages this epoch changed, sorted by pfn. kZeroDigest = page became
   // (or started) all-zero.
   std::vector<std::pair<Pfn, std::uint64_t>> changed;
+  // Attestation (DESIGN.md section 15; zero when attestation is off).
+  // The leaf's pages digest is frozen at commit time over the *full*
+  // dirty set of that epoch (not just `changed`): GC merges rewrite
+  // `changed`, but the commit-time leaf -- what the journal and the
+  // standby independently recompute -- must stay verifiable forever.
+  std::uint64_t attest_digest = 0;
+  // Root the chain held before this generation, and after it:
+  // attest_root = H(key, attest_prev_root, leaf). Storing both makes a
+  // generation's link locally verifiable even after GC drops its
+  // predecessor (the adjacency check then applies only where epochs are
+  // still consecutive).
+  std::uint64_t attest_prev_root = 0;
+  std::uint64_t attest_root = 0;
 };
 
 class GenerationChain {

@@ -14,6 +14,7 @@
 // interning the shared zero frame.
 #pragma once
 
+#include "crypto/page_sealer.h"
 #include "machine/page.h"
 
 #include <cstddef>
@@ -35,6 +36,16 @@ struct PageStoreStats {
   std::uint64_t interns = 0;         // intern() calls, lifetime
   std::uint64_t dedup_hits = 0;      // interns satisfied by an existing entry
   std::uint64_t delta_entries = 0;   // live entries stored as XOR deltas
+  std::uint64_t pages_sealed = 0;    // payloads sealed at intern, lifetime
+  std::uint64_t seal_failures = 0;   // MAC mismatches detected, lifetime
+};
+
+// Adversarial corruption modes (SEVurity, DESIGN.md section 15) the
+// fault layer injects against sealed payloads "at rest".
+enum class TamperMode {
+  FlipByte,     // flip one ciphertext byte in place
+  SwapEntries,  // move two entries' sealed payloads (and tags) wholesale
+  TruncateMac,  // zero the stored tag
 };
 
 class PageStore {
@@ -55,12 +66,33 @@ class PageStore {
 
   // Reconstructs the exact stored bytes into `out`. kZeroDigest zeroes the
   // page. Throws std::logic_error on an unknown digest or a corrupt
-  // payload (both indicate a store bug, not a caller error).
+  // payload (both indicate a store bug, not a caller error), and
+  // crypto::TamperError when the sealer is set and a payload fails its
+  // MAC -- the sealed bytes are never decrypted into garbage.
   void materialize(std::uint64_t digest, Page& out) const;
+
+  // Sealing (DESIGN.md section 15): with a sealer set, every interned
+  // payload is ciphered under the tenant keystream (tweak = the entry's
+  // own digest, so a payload moved to another slot deciphers under the
+  // wrong tweak) and tagged with a keyed MAC verified on materialize.
+  void set_sealer(const crypto::PageSealer* sealer) { sealer_ = sealer; }
+  [[nodiscard]] bool sealed() const { return sealer_ != nullptr; }
+
+  // Integrity sweep: recompute every live entry's MAC and return the
+  // digests that fail, sorted (deterministic evidence order). Empty when
+  // the sealer is unset. Also bumps stats().seal_failures.
+  [[nodiscard]] std::vector<std::uint64_t> verify_seals() const;
+
+  // Adversary hook for the fault layer: corrupt the sealed state at
+  // rest. `victim` indexes the sorted digest list (deterministic across
+  // runs); returns the victim digest for evidence pinning, or
+  // kZeroDigest when the store is empty.
+  std::uint64_t tamper(std::uint64_t victim, TamperMode mode);
 
   [[nodiscard]] bool contains(std::uint64_t digest) const {
     return entries_.count(digest) != 0;
   }
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
   [[nodiscard]] std::uint32_t refs(std::uint64_t digest) const;
   [[nodiscard]] const PageStoreStats& stats() const { return stats_; }
 
@@ -74,12 +106,19 @@ class PageStore {
     std::uint32_t refs = 0;
     std::uint64_t check = 0;  // secondary hash: detects digest collisions
     std::uint64_t base = kZeroDigest;  // delta base (kZeroDigest = raw)
-    std::vector<std::byte> payload;    // RLE of raw bytes or of XOR delta
+    std::uint64_t mac = 0;  // keyed tag over the sealed payload (sealer set)
+    std::vector<std::byte> payload;  // RLE of raw/XOR-delta bytes, sealed
   };
 
+  // Digests of the live entries in sorted order: the deterministic
+  // iteration the tamper hook and the verify sweep both use
+  // (unordered_map order would break same-seed reproducibility).
+  [[nodiscard]] std::vector<std::uint64_t> sorted_digests() const;
+
   bool delta_compress_;
+  const crypto::PageSealer* sealer_ = nullptr;
   std::unordered_map<std::uint64_t, Entry> entries_;
-  PageStoreStats stats_;
+  mutable PageStoreStats stats_;
 };
 
 }  // namespace crimes::store

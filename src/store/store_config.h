@@ -7,6 +7,8 @@
 // `enabled` is set.
 #pragma once
 
+#include "crypto/crypto_config.h"
+
 #include <cstddef>
 #include <cstdint>
 
@@ -60,6 +62,12 @@ struct StoreConfig {
   // checksummed device image so a crashed primary rebuilds the store
   // byte-identically. Requires `enabled`.
   bool journal = false;
+  // Sealing/attestation subsystem (DESIGN.md section 15): encrypt+MAC
+  // interned payloads and hash-chain committed generations into
+  // attestation roots verified at every trust boundary. Requires
+  // `enabled`; attestation additionally covers the journal and the
+  // replication stream when those are on.
+  crypto::CryptoConfig crypto;
 };
 
 }  // namespace crimes::store

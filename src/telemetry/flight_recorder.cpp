@@ -16,6 +16,7 @@ const char* to_string(FlightEventKind kind) {
     case FlightEventKind::Log: return "log";
     case FlightEventKind::Postmortem: return "postmortem";
     case FlightEventKind::Control: return "control";
+    case FlightEventKind::Tamper: return "tamper";
   }
   return "?";
 }

@@ -46,6 +46,7 @@ enum class FlightEventKind : std::uint8_t {
   Log,         // notable log line
   Postmortem,  // a dump was triggered (the trigger itself is evidence)
   Control,     // control-plane knob decision (what=knob, detail=reason)
+  Tamper,      // attestation/seal verification failure (what=boundary)
 };
 
 [[nodiscard]] const char* to_string(FlightEventKind kind);
