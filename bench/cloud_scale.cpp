@@ -2,16 +2,44 @@
 // quantifying its section-2 pitch): per-tenant overhead and host memory
 // cost as the number of CRIMES-protected tenants grows, for full
 // optimizations vs. unoptimized Remus checkpointing.
+//
+// Grown into the host-overload acceptance scenario suite: after the
+// scaling table it drives the admission/shedding/arbiter stack through
+// flash crowds, noisy neighbours and correlated failovers, and FAILS
+// (exit 1) if any robustness gate breaks:
+//   (a) no admitted Critical/Standard tenant's host-observed p99 pause
+//       exceeds its SLO budget by more than 10%, and best-effort tenants
+//       shed first;
+//   (b) the same seed yields the same schedule, and the arbiter's replay
+//       reproduces the live decision stream exactly;
+//   (c) the disabled path is zero-cost and byte-identical to the legacy
+//       host.
+// CI runs this as the release acceptance bar (ctest: CloudScaleScenarios).
 #include "cloud/cloud_host.h"
 #include "workload/parsec.h"
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
-int main() {
-  using namespace crimes;
+namespace {
 
+using namespace crimes;
+
+bool g_failed = false;
+
+#define GATE(cond, what)                                     \
+  do {                                                       \
+    if (cond) {                                              \
+      std::printf("  gate PASS: %s\n", what);                \
+    } else {                                                 \
+      std::printf("  gate FAIL: %s\n", what);                \
+      g_failed = true;                                       \
+    }                                                        \
+  } while (0)
+
+void scaling_table() {
   std::printf("\n=== Cloud scale: N protected tenants per host ===\n");
   std::printf("%-8s %10s %14s %14s %16s\n", "tenants", "scheme",
               "norm-runtime", "mem-overhead", "frames-in-use");
@@ -63,5 +91,234 @@ int main() {
   std::printf("\nper-tenant overhead is independent of tenant count "
               "(checkpoint work is per-VM); memory cost is ~2x per "
               "protected tenant (the paper's stated trade)\n");
+}
+
+// ---------------------------------------------------------------------------
+// Overload acceptance scenarios
+// ---------------------------------------------------------------------------
+
+struct ScenarioTenants {
+  // Admission order: [0]=critical, [1]=standard, [2..3]=best-effort.
+  std::vector<std::string> names = {"payments", "web", "batch-0", "batch-1"};
+  std::vector<TenantPriority> priorities = {
+      TenantPriority::Critical, TenantPriority::Standard,
+      TenantPriority::BestEffort, TenantPriority::BestEffort};
+};
+
+// One overload run: four mixed-priority tenants under a host fault storm.
+// Everything is derived from `seed`, so two calls with the same seed must
+// produce identical schedules and decision streams.
+struct ScenarioResult {
+  CloudRunReport report;
+  std::vector<HostDecision> decisions;
+  std::vector<HostInputs> history;
+  std::vector<RunSummary> totals;
+  std::vector<double> host_p99_ms;
+  std::vector<std::size_t> shed_levels;
+  double pressure = 0.0;  // last round's composite pressure
+  HostConfig config;
+};
+
+ScenarioResult run_overload_scenario(std::uint64_t seed) {
+  ScenarioResult out;
+  HostConfig hc;
+  hc.enabled = true;
+  // Tight copy budget: the storm's inflated working sets must push the
+  // shared copy path over the line, or nothing interesting happens.
+  hc.copy_overhead_limit = 0.002;
+  hc.faults = fault::FaultPlan::overload_storm(0.4, /*from=*/2,
+                                               /*until=*/48, seed);
+  out.config = hc;
+
+  CloudHost host(hc, 1u << 20);
+  const ScenarioTenants plan;
+  std::vector<Tenant*> tenants;
+  std::vector<std::unique_ptr<ParsecWorkload>> workloads;
+  for (std::size_t i = 0; i < plan.names.size(); ++i) {
+    GuestConfig gc;
+    gc.page_count = 2048;
+    gc.task_slab_pages = 4;
+    gc.canary_table_pages = 8;
+    CrimesConfig cc;
+    cc.checkpoint = CheckpointConfig::full(millis(50));
+    cc.record_execution = false;
+    cc.slo.budget.pause_ms = 6.0;  // share 0.12 of the 50 ms interval: 4 tenants fit
+    TenantPolicy policy{plan.names[i], gc, cc, plan.priorities[i]};
+    Tenant* t = host.admit(std::move(policy)).admitted;
+    if (t == nullptr) {
+      std::printf("  unexpected admission refusal for %s\n",
+                  plan.names[i].c_str());
+      g_failed = true;
+      return out;
+    }
+    ParsecProfile profile = ParsecProfile::by_name("raytrace");
+    profile.working_set_pages = 1024;
+    profile.touches_per_ms = 5.0;
+    profile.duration_ms = 800.0;
+    workloads.push_back(
+        std::make_unique<ParsecWorkload>(t->kernel(), profile, 100 + i));
+    t->set_workload(workloads.back().get());
+    tenants.push_back(t);
+  }
+  host.initialize_all();
+  out.report = host.run(millis(800));
+
+  out.pressure = host.arbiter()->pressure();
+  out.decisions = host.arbiter()->decisions();
+  out.history = host.arbiter()->history();
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    out.totals.push_back(tenants[i]->totals());
+    out.host_p99_ms.push_back(tenants[i]->host_p99_pause_ms());
+    out.shed_levels.push_back(host.arbiter()->shed_level(i));
+  }
+  return out;
+}
+
+bool summaries_identical(const RunSummary& a, const RunSummary& b) {
+  return a.epochs == b.epochs && a.checkpoints == b.checkpoints &&
+         a.work_time == b.work_time && a.total_pause == b.total_pause &&
+         a.max_pause == b.max_pause &&
+         a.total_dirty_pages == b.total_dirty_pages &&
+         a.total_costs.copy == b.total_costs.copy &&
+         a.total_costs.suspend == b.total_costs.suspend &&
+         a.host_paused_epochs == b.host_paused_epochs &&
+         a.pause_histogram.count == b.pause_histogram.count &&
+         a.pause_histogram.sum == b.pause_histogram.sum &&
+         a.pause_histogram.max == b.pause_histogram.max &&
+         a.pause_histogram.buckets == b.pause_histogram.buckets;
+}
+
+void scenario_overload_storm() {
+  std::printf("\n=== Scenario: flash crowd + noisy neighbour + correlated "
+              "failover (overload_storm) ===\n");
+  const ScenarioResult r = run_overload_scenario(/*seed=*/11);
+  const ScenarioTenants plan;
+
+  std::printf("  rounds=%zu decisions=%zu flash=%zu storm=%zu failover=%zu "
+              "pressure=%.3f\n",
+              r.report.host_rounds, r.report.host_decisions,
+              r.report.flash_crowd_rounds, r.report.neighbor_storm_rounds,
+              r.report.correlated_failover_rounds, r.pressure);
+  for (std::size_t i = 0; i < plan.names.size(); ++i) {
+    std::printf("  %-10s prio=%-11s shed-level=%zu host-p99=%.3f ms\n",
+                plan.names[i].c_str(), to_string(plan.priorities[i]),
+                r.shed_levels[i], r.host_p99_ms[i]);
+  }
+
+  GATE(r.report.host_rounds > 0 && r.report.host_decisions > 0,
+       "storm produced host rounds and arbiter decisions");
+  GATE(r.report.flash_crowd_rounds + r.report.neighbor_storm_rounds > 0,
+       "host fault sites fired inside the storm window");
+
+  // Gate (a) part 1: shedding lands on best-effort tenants first. Every
+  // decision that touched the standard tenant must come after both
+  // best-effort tenants were already degraded, and the critical tenant
+  // is never actuated at all.
+  bool best_effort_first = true;
+  bool critical_untouched = true;
+  std::size_t be_rungs_seen = 0;
+  for (const HostDecision& d : r.decisions) {
+    const bool is_ladder = d.action == HostAction::StretchInterval ||
+                           d.action == HostAction::Downgrade ||
+                           d.action == HostAction::PauseProtection;
+    if (d.tenant == 0) critical_untouched = false;
+    if (!is_ladder) continue;
+    if (d.tenant >= 2) {
+      ++be_rungs_seen;
+    } else if (d.tenant == 1 && be_rungs_seen == 0) {
+      best_effort_first = false;
+    }
+  }
+  GATE(best_effort_first,
+       "best-effort tenants shed before the standard tenant");
+  GATE(critical_untouched, "critical tenant never actuated by the host");
+
+  // Gate (a) part 2: admitted Critical/Standard tenants stay within 110%
+  // of their pause SLO, host-observed (contended) percentiles included.
+  const double ceiling = 6.0 * 1.10;
+  GATE(r.host_p99_ms[0] <= ceiling && r.host_p99_ms[1] <= ceiling,
+       "critical/standard host-observed p99 pause within 110% of SLO");
+
+  // Gate (b): same seed, same everything; replay reproduces the stream.
+  const ScenarioResult again = run_overload_scenario(/*seed=*/11);
+  bool deterministic =
+      again.decisions.size() == r.decisions.size() &&
+      again.report.host_rounds == r.report.host_rounds &&
+      again.report.flash_crowd_rounds == r.report.flash_crowd_rounds &&
+      again.report.epochs_scheduled == r.report.epochs_scheduled;
+  for (std::size_t i = 0; deterministic && i < r.decisions.size(); ++i) {
+    deterministic = again.decisions[i] == r.decisions[i];
+  }
+  for (std::size_t i = 0; deterministic && i < r.totals.size(); ++i) {
+    deterministic = summaries_identical(again.totals[i], r.totals[i]);
+  }
+  GATE(deterministic, "same-seed rerun is decision- and summary-identical");
+
+  const std::vector<HostDecision> replayed =
+      HostArbiter::replay(r.config, r.history);
+  bool replay_equal = replayed.size() == r.decisions.size();
+  for (std::size_t i = 0; replay_equal && i < replayed.size(); ++i) {
+    replay_equal = replayed[i] == r.decisions[i];
+  }
+  GATE(replay_equal, "arbiter replay reproduces the live decision stream");
+}
+
+void scenario_disabled_path() {
+  std::printf("\n=== Scenario: disabled host subsystem is zero-cost ===\n");
+  // Legacy host vs. a HostConfig{enabled=false} host: same tenants, same
+  // seeds. The run must be byte-identical -- no arbiter, no admission
+  // log, no host rounds, identical per-tenant summaries.
+  CloudHost legacy(1u << 20);
+  CloudHost off(HostConfig{}, 1u << 20);
+  const ScenarioTenants plan;
+  std::vector<Tenant*> a_tenants, b_tenants;
+  std::vector<std::unique_ptr<ParsecWorkload>> workloads;
+  for (CloudHost* host : {&legacy, &off}) {
+    for (std::size_t i = 0; i < plan.names.size(); ++i) {
+      GuestConfig gc;
+      gc.page_count = 2048;
+      gc.task_slab_pages = 4;
+      gc.canary_table_pages = 8;
+      CrimesConfig cc;
+      cc.checkpoint = CheckpointConfig::full(millis(50));
+      cc.record_execution = false;
+      Tenant* t =
+          host->admit({plan.names[i], gc, cc, plan.priorities[i]}).admitted;
+      ParsecProfile profile = ParsecProfile::by_name("raytrace");
+      profile.working_set_pages = 256;
+      profile.touches_per_ms = 5.0;
+      profile.duration_ms = 400.0;
+      workloads.push_back(
+          std::make_unique<ParsecWorkload>(t->kernel(), profile, 200 + i));
+      t->set_workload(workloads.back().get());
+      (host == &legacy ? a_tenants : b_tenants).push_back(t);
+    }
+    host->initialize_all();
+  }
+  const CloudRunReport ra = legacy.run(millis(400));
+  const CloudRunReport rb = off.run(millis(400));
+
+  GATE(off.arbiter() == nullptr && off.admission_log().empty() &&
+           rb.host_rounds == 0 && rb.host_decisions == 0,
+       "disabled path builds no arbiter, logs nothing, runs no host rounds");
+  bool identical = ra.epochs_scheduled == rb.epochs_scheduled;
+  for (std::size_t i = 0; identical && i < a_tenants.size(); ++i) {
+    identical =
+        summaries_identical(a_tenants[i]->totals(), b_tenants[i]->totals());
+  }
+  GATE(identical, "disabled path byte-identical to the legacy host");
+}
+
+}  // namespace
+
+int main() {
+  scaling_table();
+  scenario_overload_storm();
+  scenario_disabled_path();
+  if (g_failed) {
+    std::printf("\ncloud_scale: ACCEPTANCE GATES FAILED\n");
+    return 1;
+  }
+  std::printf("\ncloud_scale: all acceptance gates passed\n");
   return 0;
 }

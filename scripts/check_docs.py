@@ -43,6 +43,7 @@ CONFIG_STRUCTS = [
     ("src/telemetry/timeseries.h", ["TimeSeriesConfig"]),
     ("src/fault/safety_governor.h", ["GovernorConfig"]),
     ("src/detect/detector.h", ["AuditPolicy"]),
+    ("src/cloud/host_config.h", ["HostConfig"]),
 ]
 
 

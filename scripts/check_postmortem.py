@@ -36,7 +36,7 @@ import subprocess
 import sys
 
 KINDS = {"phase", "fault", "governor", "failover", "slo", "log", "postmortem",
-         "control"}
+         "control", "tamper", "host"}
 STATES = ("Healthy", "Warn", "Critical")
 DIMENSIONS = ("pause_ms", "replication_lag", "vulnerability_ms", "audit_ms")
 BUDGET_KEYS = {

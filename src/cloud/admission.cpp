@@ -1,0 +1,130 @@
+#include "cloud/admission.h"
+
+#include <cstdio>
+
+namespace crimes {
+
+const char* to_string(TenantPriority priority) {
+  switch (priority) {
+    case TenantPriority::BestEffort: return "best-effort";
+    case TenantPriority::Standard: return "standard";
+    case TenantPriority::Critical: return "critical";
+  }
+  return "?";
+}
+
+const char* to_string(AdmissionDecision::Verdict verdict) {
+  switch (verdict) {
+    case AdmissionDecision::Verdict::Accept: return "accept";
+    case AdmissionDecision::Verdict::Defer: return "defer";
+    case AdmissionDecision::Verdict::Reject: return "reject";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(const HostConfig& config,
+                                         std::size_t machine_frames)
+    : config_(config) {
+  double headroom = config_.frame_headroom;
+  if (headroom < 0.0) headroom = 0.0;
+  if (headroom > 1.0) headroom = 1.0;
+  frame_limit_ = static_cast<std::size_t>(
+      static_cast<double>(machine_frames) * (1.0 - headroom));
+}
+
+AdmissionDecision AdmissionController::decide(
+    const AdmissionRequest& request) {
+  AdmissionDecision decision;
+  decision.tenant = request.tenant;
+  decision.frames_required =
+      frames_for(request.guest_pages, request.protected_mode);
+  decision.frames_committed = frames_committed_;
+  decision.frame_limit = frame_limit_;
+  decision.pause_share =
+      request.protected_mode && request.interval_ms > 0.0
+          ? request.pause_budget_ms / request.interval_ms
+          : 0.0;
+  decision.overhead_committed = overhead_committed_;
+  decision.window_requested = request.replication_window;
+  decision.windows_committed = windows_committed_;
+
+  using Verdict = AdmissionDecision::Verdict;
+  // Reject: the request can never fit this machine, even empty.
+  if (decision.frames_required > frame_limit_) {
+    decision.verdict = Verdict::Reject;
+    decision.reason = "frames-exceed-machine";
+    return decision;
+  }
+  if (decision.pause_share > config_.max_aggregate_overhead) {
+    decision.verdict = Verdict::Reject;
+    decision.reason = "pause-share-exceeds-host-budget";
+    return decision;
+  }
+  if (request.replication_window > config_.replication_slots) {
+    decision.verdict = Verdict::Reject;
+    decision.reason = "window-exceeds-replication-slots";
+    return decision;
+  }
+  // Defer: fits an empty host, but not on top of current commitments.
+  if (frames_committed_ + decision.frames_required > frame_limit_) {
+    decision.verdict = Verdict::Defer;
+    decision.reason = "frames-exhausted";
+    return decision;
+  }
+  if (overhead_committed_ + decision.pause_share >
+      config_.max_aggregate_overhead) {
+    decision.verdict = Verdict::Defer;
+    decision.reason = "aggregate-pause-budget-exhausted";
+    return decision;
+  }
+  if (windows_committed_ + request.replication_window >
+      config_.replication_slots) {
+    decision.verdict = Verdict::Defer;
+    decision.reason = "replication-slots-exhausted";
+    return decision;
+  }
+
+  frames_committed_ += decision.frames_required;
+  overhead_committed_ += decision.pause_share;
+  windows_committed_ += request.replication_window;
+  decision.verdict = Verdict::Accept;
+  decision.reason = "admitted";
+  return decision;
+}
+
+void AdmissionController::release(const AdmissionRequest& request) {
+  const std::size_t frames =
+      frames_for(request.guest_pages, request.protected_mode);
+  frames_committed_ = frames_committed_ > frames
+                          ? frames_committed_ - frames
+                          : 0;
+  const double share = request.protected_mode && request.interval_ms > 0.0
+                           ? request.pause_budget_ms / request.interval_ms
+                           : 0.0;
+  overhead_committed_ = overhead_committed_ > share
+                            ? overhead_committed_ - share
+                            : 0.0;
+  windows_committed_ = windows_committed_ > request.replication_window
+                           ? windows_committed_ - request.replication_window
+                           : 0;
+}
+
+std::string format_admission_table(std::span<const AdmissionDecision> log) {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof line, "%-16s %-7s %-34s %12s %12s %8s %7s\n",
+                "tenant", "verdict", "reason", "frames-req", "frames-lim",
+                "share", "window");
+  out += line;
+  for (const AdmissionDecision& d : log) {
+    std::snprintf(line, sizeof line,
+                  "%-16s %-7s %-34s %12zu %12zu %7.1f%% %7zu\n",
+                  d.tenant.c_str(), to_string(d.verdict), d.reason,
+                  d.frames_required, d.frame_limit, d.pause_share * 100.0,
+                  d.window_requested);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace crimes

@@ -1,0 +1,110 @@
+// Admission control for the multi-tenant host (ROADMAP item 1).
+//
+// Before this subsystem, CloudHost::admit silently over-committed: any
+// number of tenants could be placed on one machine, and the first flash
+// crowd discovered the host could not honour the pause SLOs it had
+// implicitly sold. The AdmissionController makes the capacity model
+// explicit -- machine frames including the paper's 2x backup cost
+// (section 3.3), the aggregate pause budget derived from each tenant's
+// SloConfig, and replication bandwidth -- and every admit() returns a
+// structured accept/defer/reject decision that the operator dashboard can
+// render (format_admission_table).
+//
+// Decisions are pure functions of the request and the committed state, so
+// the admission log replays trivially: the same sequence of requests
+// against the same HostConfig yields the same verdicts.
+#pragma once
+
+#include "cloud/host_config.h"
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crimes {
+
+// What the capacity model needs to know about a prospective tenant;
+// CloudHost derives it from the TenantPolicy before any VM is built (a
+// rejected tenant must cost nothing).
+struct AdmissionRequest {
+  std::string tenant;
+  std::size_t guest_pages = 0;
+  bool protected_mode = true;      // != SafetyMode::Disabled: 2x frames
+  double pause_budget_ms = 0.0;    // SloBudget.pause_ms
+  double interval_ms = 0.0;        // static epoch interval at admission
+  std::size_t replication_window = 0;  // 0 when replication is off
+  TenantPriority priority = TenantPriority::Standard;
+};
+
+struct AdmissionDecision {
+  enum class Verdict : std::uint8_t {
+    Accept,  // capacity committed; the tenant was placed
+    Defer,   // fits an empty host but not current commitments: retry later
+    Reject,  // can never fit this host (or admission is closed)
+  };
+
+  Verdict verdict = Verdict::Accept;
+  std::string tenant;
+  // Always a string literal (like ControlDecision::reason), so decisions
+  // compare by content and the accept path never allocates for it.
+  const char* reason = "admitted";
+  // Capacity picture at decision time, for the dashboard and postmortems.
+  std::size_t frames_required = 0;
+  std::size_t frames_committed = 0;  // before this request
+  std::size_t frame_limit = 0;       // capacity * (1 - headroom)
+  double pause_share = 0.0;          // this tenant's pause_ms / interval_ms
+  double overhead_committed = 0.0;   // aggregate share before this request
+  std::size_t window_requested = 0;
+  std::size_t windows_committed = 0;
+};
+
+[[nodiscard]] const char* to_string(AdmissionDecision::Verdict verdict);
+
+// Renders the admission log as the operator-facing table (one row per
+// decision, newest last) -- the third dashboard next to health_table()
+// and control_table().
+[[nodiscard]] std::string format_admission_table(
+    std::span<const AdmissionDecision> log);
+
+class AdmissionController {
+ public:
+  AdmissionController(const HostConfig& config, std::size_t machine_frames);
+
+  // Evaluates `request` against the committed capacity; Accept also
+  // commits the request's frames / pause share / window slots. Defer and
+  // Reject commit nothing.
+  [[nodiscard]] AdmissionDecision decide(const AdmissionRequest& request);
+
+  // Returns a departing tenant's capacity to the pool (failover/freeze
+  // does NOT release -- the frames are still resident until the operator
+  // reaps the VM; only an explicit release models a real departure).
+  void release(const AdmissionRequest& request);
+
+  [[nodiscard]] std::size_t frames_committed() const {
+    return frames_committed_;
+  }
+  [[nodiscard]] std::size_t frame_limit() const { return frame_limit_; }
+  [[nodiscard]] double overhead_committed() const {
+    return overhead_committed_;
+  }
+  [[nodiscard]] std::size_t windows_committed() const {
+    return windows_committed_;
+  }
+
+  // Frames a tenant will pin: primary pages, doubled for protected mode
+  // (the backup image mirrors every touched page at steady state).
+  [[nodiscard]] static std::size_t frames_for(std::size_t guest_pages,
+                                              bool protected_mode) {
+    return protected_mode ? guest_pages * 2 : guest_pages;
+  }
+
+ private:
+  HostConfig config_;
+  std::size_t frame_limit_ = 0;
+  std::size_t frames_committed_ = 0;
+  double overhead_committed_ = 0.0;
+  std::size_t windows_committed_ = 0;
+};
+
+}  // namespace crimes

@@ -1,0 +1,104 @@
+// Host-level overload-robustness configuration (ROADMAP item 1).
+//
+// A CloudHost with an enabled HostConfig gains three things the paper's
+// "security as a cloud service" pitch (section 2) presumes but never
+// builds: admission control (a capacity model covering machine frames --
+// including the 2x backup cost -- the aggregate pause budget sold to
+// tenants, and replication bandwidth), an SLO-aware shedding ladder that
+// degrades tenants in declared priority order under pressure (never
+// uniformly), and a cross-tenant arbiter that trades one tenant's
+// replication window / GC budget against another's under shared pressure.
+//
+// Disabled (the default) is the zero-cost path: no arbiter or host-level
+// fault injector is built, the admission log stays empty, and scheduling
+// is byte-identical to a host that predates this subsystem (the
+// cloud_scale scenario suite holds the host to that).
+#pragma once
+
+#include "fault/fault_plan.h"
+
+#include <cstddef>
+
+namespace crimes {
+
+// Declared per tenant at admission time (TenantPolicy::priority). The
+// shedding ladder walks strictly upward through this order: BestEffort
+// tenants absorb all degradation before any Standard tenant is touched,
+// and Critical tenants are never shed at all -- their protection contract
+// is only ever weakened by their own SafetyGovernor, not by neighbours.
+enum class TenantPriority : std::uint8_t { BestEffort = 0, Standard = 1,
+                                           Critical = 2 };
+
+[[nodiscard]] const char* to_string(TenantPriority priority);
+
+struct HostConfig {
+  bool enabled = false;
+
+  // --- Admission capacity model (AdmissionController) -------------------
+  // Fraction of machine frames held back from admission: committed frames
+  // (primary + backup for protected tenants) must fit in
+  // capacity * (1 - frame_headroom), leaving slack for page tables,
+  // store/journal images, and dirty-page variance.
+  double frame_headroom = 0.05;
+  // Ceiling on the sum of per-tenant pause shares
+  // (SloBudget.pause_ms / epoch_interval_ms): the fraction of wall time
+  // the host may legitimately spend paused across all tenants. A single
+  // tenant whose share exceeds this is rejected outright; one that only
+  // overflows the current aggregate is deferred.
+  double max_aggregate_overhead = 0.60;
+  // Replication bandwidth, in in-flight-window slots, that admission may
+  // promise across tenants (sum of each tenant's ReplicationConfig.window).
+  std::size_t replication_slots = 64;
+
+  // --- Pressure model (HostArbiter inputs) ------------------------------
+  // Checkpoint-copy overhead ratio (aggregate copy ms / aggregate guest
+  // ms per round) the host can absorb before neighbours contend for the
+  // shared copy path. The contention factor scaled into every tenant's
+  // host-observed pause is copy_overhead / copy_overhead_limit (floored
+  // at 1), so shedding that brings the ratio back under the limit also
+  // restores neighbours' observed tails.
+  double copy_overhead_limit = 0.25;
+
+  // --- Shedding ladder --------------------------------------------------
+  // Pressure (max of frame, copy-overhead, and transport pressure, each
+  // normalized to its limit) above which the ladder escalates one rung on
+  // one tenant per round, and below which it recovers. The gap between
+  // the two is the hysteresis band: inside it the ladder holds.
+  double shed_enter = 1.0;
+  double shed_exit = 0.7;
+  // Consecutive calm rounds (pressure < shed_exit) before one rung is
+  // recovered; recovery is one rung per qualifying round, highest
+  // priority first -- the mirror image of shedding.
+  std::size_t recover_after = 2;
+  // Rung 1 of the ladder: the victim's epoch interval is stretched by
+  // this factor (fewer checkpoints per guest second; the saturating
+  // dirty-page curve makes the copy overhead drop superlinearly).
+  double stretch_factor = 2.0;
+
+  // --- Cross-tenant arbiter trades --------------------------------------
+  // Master switch for the window/GC trades (the ladder runs either way).
+  bool arbitrate = true;
+  // Replication window a donor tenant is capped to while the shared
+  // transport is saturated (transport pressure > shed_enter).
+  std::size_t donor_window_cap = 2;
+  // Store-GC budget a donor is capped to while copy pressure is the
+  // dominant signal (GC work rides the same post-resume path).
+  std::size_t donor_gc_cap = 1;
+
+  // --- Host-level adversary (FaultInjector sites per scheduling round) --
+  // flash_crowd / neighbor_dirty_storm / correlated_failover rates; use
+  // FaultPlan::overload_storm for the composed storm.
+  fault::FaultPlan faults;
+  // Workload intensity multiplier applied to every tenant for rounds in
+  // which the flash-crowd site fires.
+  double flash_crowd_factor = 3.0;
+  // Intensity multiplier applied to BestEffort-priority tenants only for
+  // rounds in which the neighbor-dirty-storm site fires.
+  double neighbor_storm_factor = 4.0;
+
+  // --- Replayable history bounds (mirror ControlConfig's) ---------------
+  std::size_t history_capacity = 512;
+  std::size_t decision_capacity = 256;
+};
+
+}  // namespace crimes

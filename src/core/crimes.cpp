@@ -270,12 +270,16 @@ RunSummary Crimes::run(Nanos max_work_time) {
     // a *host* failure, and the failover span it triggers must sit between
     // epochs on the trace, never inside one.
     if (injector_) injector_->begin_epoch(epoch_index_);
-    if (replicator_ && injector_ && injector_->kills_primary()) {
+    if (replicator_ &&
+        (host_kill_pending_ || (injector_ && injector_->kills_primary()))) {
+      const bool correlated = host_kill_pending_;
+      host_kill_pending_ = false;
       primary_killed_ = true;
       summary.primary_killed = true;
       if (flight_) {
         flight_->record(clock_.now(), epoch_index_,
-                        telemetry::FlightEventKind::Fault, "kills_primary");
+                        telemetry::FlightEventKind::Fault, "kills_primary",
+                        correlated ? "correlated-failover" : "");
       }
       kernel_->vm().pause();  // the whole host powers off
       if (!failed_over_) fail_over(summary, clock_.now());
@@ -328,6 +332,16 @@ RunSummary Crimes::run(Nanos max_work_time) {
     if (cow_stash_.active && !finish_cow_commit(summary)) {
       summary.frozen_by_governor = true;
       break;
+    }
+
+    // Shed ladder rung 3 (host_pause_protection): the epoch executed, but
+    // the checkpoint/audit pipeline is skipped entirely. Synchronous
+    // outputs stay held in the buffer -- audited-never-released is safe,
+    // just late -- and the dirty bitmap keeps accumulating, so the first
+    // checkpoint after protection resumes covers the whole gap.
+    if (host_protection_paused_) {
+      ++summary.host_paused_epochs;
+      continue;
     }
 
     const EpochResult epoch =
@@ -523,7 +537,10 @@ bool Crimes::apply_governor_action(fault::SafetyGovernor::Action action,
       return false;
     case Action::Upgrade:
       ++summary.governor_upgrades;
-      apply_output_mode(SafetyMode::Synchronous);
+      // A host-shed tenant stays in Best Effort even when its own
+      // checkpoint path heals: the host arbiter's restore lifts the shed.
+      apply_output_mode(host_downgraded_ ? SafetyMode::BestEffort
+                                         : SafetyMode::Synchronous);
       if (telemetry_) {
         telemetry_->metrics.counter("governor.upgrades").add();
         telemetry_->metrics.gauge("governor.degraded").set(0.0);
@@ -968,10 +985,14 @@ Nanos Crimes::control_epoch(const EpochResult& epoch, Nanos interval,
     // Apply the new knob positions to the actuators. The interval takes
     // effect through current_interval() at the next epoch's start.
     full_sweep_every_ = control_->full_sweep_every();
-    if (replicator_) replicator_->set_window(control_->replication_window());
+    if (replicator_) {
+      replicator_->set_window(
+          host_capped_window(control_->replication_window()));
+    }
     if (checkpointer_ && checkpointer_->store() != nullptr &&
         control_->gc_budget() > 0) {
-      checkpointer_->store()->set_gc_budget(control_->gc_budget());
+      checkpointer_->store()->set_gc_budget(
+          host_capped_gc(control_->gc_budget()));
     }
     if (flight_) {
       const auto& log = control_->decisions();
@@ -1150,9 +1171,55 @@ std::string Crimes::config_summary() const {
 }
 
 Nanos Crimes::current_interval() const {
-  if (control_) return control_->interval();
-  return adaptive_ ? adaptive_->interval()
-                   : config_.checkpoint.epoch_interval;
+  Nanos base = config_.checkpoint.epoch_interval;
+  if (control_) {
+    base = control_->interval();
+  } else if (adaptive_) {
+    base = adaptive_->interval();
+  }
+  if (host_interval_scale_ != 1.0) {
+    // Shed ladder rung 1: the host stretches epochs multiplicatively on
+    // top of the tenant's own tuning, so the tenant's loop keeps steering.
+    base = Nanos{static_cast<Nanos::rep>(static_cast<double>(base.count()) *
+                                         host_interval_scale_)};
+  }
+  return base;
+}
+
+void Crimes::host_downgrade(bool shed) {
+  if (config_.mode != SafetyMode::Synchronous) return;  // nothing to shed
+  if (shed == host_downgraded_) return;
+  host_downgraded_ = shed;
+  // Governor precedence: while it holds the pipeline Degraded/Frozen, the
+  // output mode is its call. The flag above still records the host's
+  // intent, so a later governor upgrade lands in the shed mode.
+  if (governor_ && governor_->state() != fault::GovernorState::Normal) return;
+  if (shed) {
+    // Same semantics as the governor's downgrade: everything currently
+    // held passed its audit, so releasing it is exactly Best Effort.
+    buffer_.release_all(network_, clock_.now());
+    apply_output_mode(SafetyMode::BestEffort);
+  } else if (active_mode_ == SafetyMode::BestEffort) {
+    apply_output_mode(SafetyMode::Synchronous);
+  }
+}
+
+void Crimes::set_host_window_cap(std::size_t cap) {
+  host_window_cap_ = cap;
+  if (!replicator_) return;
+  const std::size_t base =
+      control_ ? control_->replication_window() : config_.replication.window;
+  replicator_->set_window(host_capped_window(base));
+}
+
+void Crimes::set_host_gc_cap(std::size_t cap) {
+  host_gc_cap_ = cap;
+  if (!checkpointer_ || checkpointer_->store() == nullptr) return;
+  const std::size_t base =
+      control_ && control_->gc_budget() > 0
+          ? control_->gc_budget()
+          : config_.checkpoint.store.gc_generations_per_epoch;
+  if (base > 0) checkpointer_->store()->set_gc_budget(host_capped_gc(base));
 }
 
 void Crimes::launch_async_deep_scan() {

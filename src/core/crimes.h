@@ -43,6 +43,7 @@
 #include "vmi/vmi_session.h"
 #include "workload/workload.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
@@ -219,6 +220,12 @@ struct RunSummary {
   std::size_t control_holds = 0;        // cycles preempted by the governor
   std::size_t control_full_sweeps = 0;  // audits run without a ScanPlan
 
+  // --- Host overload (src/cloud host arbiter): epochs executed with
+  // protection paused by the shed ladder's top rung -- the workload ran,
+  // outputs stayed held, no checkpoint/audit work was charged. Zero
+  // unless a CloudHost with an enabled HostConfig shed this tenant.
+  std::size_t host_paused_epochs = 0;
+
   [[nodiscard]] double normalized_runtime() const {
     if (work_time.count() == 0) return 1.0;
     return to_ms(work_time + total_pause) / to_ms(work_time);
@@ -327,6 +334,48 @@ class Crimes {
   // The SafetyMode currently in force: differs from config().mode while
   // the governor holds the pipeline in degraded Best Effort.
   [[nodiscard]] SafetyMode active_mode() const { return active_mode_; }
+
+  // --- Host-arbiter hooks (CloudHost overload subsystem) ----------------
+  // The shedding ladder and cross-tenant arbiter actuate a tenant only
+  // through these; all of them are cheap, idempotent, and inert at their
+  // defaults, so a host without an enabled HostConfig never perturbs the
+  // pipeline. The SafetyGovernor keeps precedence: mode changes no-op
+  // while it holds the run, and CloudHost never calls these on a tenant
+  // whose governor is non-Normal.
+  //
+  // Rung 1: stretch (or restore, scale=1.0) the epoch interval. Applied
+  // multiplicatively on top of whatever the control plane / adaptive
+  // controller decided, so the tenant's own loop keeps steering.
+  void set_host_interval_scale(double scale) { host_interval_scale_ = scale; }
+  [[nodiscard]] double host_interval_scale() const {
+    return host_interval_scale_;
+  }
+  // Rung 2: downgrade Synchronous -> BestEffort (audited outputs release
+  // immediately, exactly the governor's degraded semantics) and back.
+  void host_downgrade(bool shed);
+  [[nodiscard]] bool host_downgraded() const { return host_downgraded_; }
+  // Rung 3: pause protection with outputs held -- epochs still execute,
+  // but the checkpoint/audit pipeline is skipped and Synchronous outputs
+  // accumulate in the buffer until protection resumes and a checkpoint
+  // covers them. Nothing unaudited ever escapes.
+  void host_pause_protection(bool paused) {
+    host_protection_paused_ = paused;
+  }
+  [[nodiscard]] bool host_protection_paused() const {
+    return host_protection_paused_;
+  }
+  // Rack-correlated failover injection: the next epoch observes a primary
+  // kill exactly like FaultKind::PrimaryKill (no-op without replication).
+  void host_kill_primary() { host_kill_pending_ = true; }
+  // Cross-tenant trades: cap the replication in-flight window / store GC
+  // budget below the tenant's own (control-plane) position; 0 lifts the
+  // cap and restores the tenant's setting.
+  void set_host_window_cap(std::size_t cap);
+  void set_host_gc_cap(std::size_t cap);
+  [[nodiscard]] std::size_t host_window_cap() const {
+    return host_window_cap_;
+  }
+  [[nodiscard]] std::size_t host_gc_cap() const { return host_gc_cap_; }
 
   // Observability layer. The flight recorder exists unless
   // config().flight_recorder was turned off; the SLO monitor unless
@@ -474,6 +523,22 @@ class Crimes {
   SafetyMode active_mode_ = SafetyMode::Synchronous;
   std::size_t epoch_index_ = 0;
   std::uint64_t faults_reported_ = 0;  // injector total already summarized
+
+  // Host-arbiter state (persists across run() slices like the governor's;
+  // all inert at defaults -- the no-CloudHost path never reads past them).
+  double host_interval_scale_ = 1.0;
+  bool host_downgraded_ = false;
+  bool host_protection_paused_ = false;
+  bool host_kill_pending_ = false;
+  std::size_t host_window_cap_ = 0;  // 0 = uncapped
+  std::size_t host_gc_cap_ = 0;      // 0 = uncapped
+  [[nodiscard]] std::size_t host_capped_window(std::size_t window) const {
+    return host_window_cap_ == 0 ? window
+                                 : std::min(window, host_window_cap_);
+  }
+  [[nodiscard]] std::size_t host_capped_gc(std::size_t budget) const {
+    return host_gc_cap_ == 0 ? budget : std::min(budget, host_gc_cap_);
+  }
 
   // Attestation accounting (per-slice deltas, like faults_reported_), plus
   // the flight-recorder's high-water mark so each detection is recorded as

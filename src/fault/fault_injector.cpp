@@ -21,6 +21,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::ReplicationTamper: return "replication-tamper";
     case FaultKind::StaleRootReplay: return "stale-root-replay";
     case FaultKind::MacTruncation: return "mac-truncation";
+    case FaultKind::FlashCrowd: return "flash-crowd";
+    case FaultKind::NeighborDirtyStorm: return "neighbor-dirty-storm";
+    case FaultKind::CorrelatedFailover: return "correlated-failover";
   }
   return "?";
 }
@@ -201,6 +204,31 @@ bool FaultInjector::truncates_mac() {
       (mac_truncation_attempt_ == 1 &&
        scheduled_hit(FaultKind::MacTruncation, ""));
   if (hit) ++injected_[static_cast<std::size_t>(FaultKind::MacTruncation)];
+  return hit;
+}
+
+bool FaultInjector::flash_crowd_hits() {
+  const bool hit = decide(FaultKind::FlashCrowd, 0xF1A5) ||
+                   scheduled_hit(FaultKind::FlashCrowd, "");
+  if (hit) ++injected_[static_cast<std::size_t>(FaultKind::FlashCrowd)];
+  return hit;
+}
+
+bool FaultInjector::neighbor_storm_hits() {
+  const bool hit = decide(FaultKind::NeighborDirtyStorm, 0xD127) ||
+                   scheduled_hit(FaultKind::NeighborDirtyStorm, "");
+  if (hit) {
+    ++injected_[static_cast<std::size_t>(FaultKind::NeighborDirtyStorm)];
+  }
+  return hit;
+}
+
+bool FaultInjector::correlated_failover_hits() {
+  const bool hit = decide(FaultKind::CorrelatedFailover, 0xFA11) ||
+                   scheduled_hit(FaultKind::CorrelatedFailover, "");
+  if (hit) {
+    ++injected_[static_cast<std::size_t>(FaultKind::CorrelatedFailover)];
+  }
   return hit;
 }
 

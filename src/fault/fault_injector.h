@@ -81,6 +81,11 @@ class FaultInjector {
   [[nodiscard]] bool tampers_replication();
   [[nodiscard]] bool replays_stale_root();
   [[nodiscard]] bool truncates_mac();
+  // Host-level sites, drawn once per CloudHost scheduling round (the host
+  // owns its own injector; "epoch" is the round index for these).
+  [[nodiscard]] bool flash_crowd_hits();
+  [[nodiscard]] bool neighbor_storm_hits();
+  [[nodiscard]] bool correlated_failover_hits();
   // Deterministic 64-bit victim selector for tamper sites (the store
   // reduces it modulo its entry count; bit 32 picks flip-vs-move).
   [[nodiscard]] std::uint64_t tamper_victim() const;

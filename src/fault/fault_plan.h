@@ -42,8 +42,13 @@ enum class FaultKind : std::uint8_t {
   ReplicationTamper,   // corrupt a replicated page in flight
   StaleRootReplay,     // replay an old attestation root on the wire
   MacTruncation,       // strip a stored record's MAC tag
+  // Host-level sites (drawn once per CloudHost scheduling round, not per
+  // tenant epoch) -- the consolidation failure modes of ROADMAP item 1.
+  FlashCrowd,          // demand spike across every tenant at once
+  NeighborDirtyStorm,  // best-effort tenants go dirty-page-heavy
+  CorrelatedFailover,  // rack-level event kills every replicated primary
 };
-inline constexpr std::size_t kFaultKindCount = 15;
+inline constexpr std::size_t kFaultKindCount = 18;
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -81,6 +86,11 @@ struct FaultPlan {
   double replication_tamper = 0.0;   // per replicated generation
   double stale_root_replay = 0.0;    // per replicated generation
   double mac_truncation = 0.0;       // per store append
+  // Host-level sites (no-ops unless a CloudHost schedules with an enabled
+  // HostConfig; "epoch" for these is the host's scheduling round).
+  double flash_crowd = 0.0;          // per scheduling round
+  double neighbor_dirty_storm = 0.0;  // per scheduling round
+  double correlated_failover = 0.0;  // per scheduling round
 
   // Probabilistic faults fire only in epochs [from_epoch, until_epoch).
   // Bounding the window lets a faulty run drain its accumulated dirty
@@ -111,6 +121,9 @@ struct FaultPlan {
       case FaultKind::ReplicationTamper: return replication_tamper;
       case FaultKind::StaleRootReplay: return stale_root_replay;
       case FaultKind::MacTruncation: return mac_truncation;
+      case FaultKind::FlashCrowd: return flash_crowd;
+      case FaultKind::NeighborDirtyStorm: return neighbor_dirty_storm;
+      case FaultKind::CorrelatedFailover: return correlated_failover;
     }
     return 0.0;
   }
@@ -125,7 +138,9 @@ struct FaultPlan {
            link_partition > 0.0 || journal_torn_write > 0.0 ||
            store_block_tamper > 0.0 || journal_block_tamper > 0.0 ||
            replication_tamper > 0.0 || stale_root_replay > 0.0 ||
-           mac_truncation > 0.0 || !scheduled.empty();
+           mac_truncation > 0.0 || flash_crowd > 0.0 ||
+           neighbor_dirty_storm > 0.0 || correlated_failover > 0.0 ||
+           !scheduled.empty();
   }
 
   // A mixed plan exercising every transport-side fault at `rate`, confined
@@ -177,6 +192,25 @@ struct FaultPlan {
     plan.replication_tamper = rate;
     plan.stale_root_replay = rate / 2.0;
     plan.mac_truncation = rate / 2.0;
+    plan.from_epoch = from;
+    plan.until_epoch = until;
+    return plan;
+  }
+
+  // A host-level overload storm: flash crowds and noisy best-effort
+  // neighbours at `rate`, with the rarer rack-correlated failover at a
+  // quarter of it, confined to scheduling rounds [from, until). Feed it to
+  // HostConfig::faults -- the cloud_scale scenario suite gates that the
+  // shedding ladder keeps every non-shed tenant inside 110% of its pause
+  // SLO while this storm runs.
+  [[nodiscard]] static FaultPlan overload_storm(double rate, std::size_t from,
+                                                std::size_t until,
+                                                std::uint64_t seed = 1) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.flash_crowd = rate;
+    plan.neighbor_dirty_storm = rate;
+    plan.correlated_failover = rate / 4.0;
     plan.from_epoch = from;
     plan.until_epoch = until;
     return plan;

@@ -17,6 +17,7 @@ const char* to_string(FlightEventKind kind) {
     case FlightEventKind::Postmortem: return "postmortem";
     case FlightEventKind::Control: return "control";
     case FlightEventKind::Tamper: return "tamper";
+    case FlightEventKind::Host: return "host";
   }
   return "?";
 }

@@ -47,6 +47,8 @@ enum class FlightEventKind : std::uint8_t {
   Postmortem,  // a dump was triggered (the trigger itself is evidence)
   Control,     // control-plane knob decision (what=knob, detail=reason)
   Tamper,      // attestation/seal verification failure (what=boundary)
+  Host,        // host arbiter action on this tenant (what=action,
+               // detail=reason) -- shedding ladder moves and trades
 };
 
 [[nodiscard]] const char* to_string(FlightEventKind kind);

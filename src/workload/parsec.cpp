@@ -74,7 +74,7 @@ void ParsecWorkload::run_epoch(Nanos start, Nanos duration) {
 
   // Page touches: uniform over the working set, so distinct-pages-per-
   // epoch follows the saturating curve of Figure 5c.
-  const double exact = profile_.touches_per_ms * ms + touch_carry_;
+  const double exact = profile_.touches_per_ms * intensity_ * ms + touch_carry_;
   const auto touches = static_cast<std::uint64_t>(exact);
   touch_carry_ = exact - static_cast<double>(touches);
 
@@ -98,7 +98,7 @@ void ParsecWorkload::run_epoch(Nanos start, Nanos duration) {
   }
 
   accesses_ += static_cast<std::uint64_t>(profile_.accesses_per_us *
-                                          to_us(duration));
+                                          intensity_ * to_us(duration));
   elapsed_ += duration;
   kernel_->tick(static_cast<std::uint64_t>(duration.count()));
 }

@@ -48,6 +48,10 @@ class ParsecWorkload final : public Workload {
   [[nodiscard]] std::uint64_t total_accesses() const override {
     return accesses_;
   }
+  // Scales the page-touch and access rates (flash-crowd / noisy-neighbour
+  // scenarios); the saturating dirty-page model keeps its shape.
+  void set_intensity(double factor) override { intensity_ = factor; }
+  [[nodiscard]] double intensity() const { return intensity_; }
 
   [[nodiscard]] const ParsecProfile& profile() const { return profile_; }
   [[nodiscard]] Nanos elapsed() const { return elapsed_; }
@@ -61,6 +65,7 @@ class ParsecWorkload final : public Workload {
   Nanos elapsed_{0};
   std::uint64_t accesses_ = 0;
   double touch_carry_ = 0.0;      // fractional touches carried across epochs
+  double intensity_ = 1.0;        // demand multiplier (host load scenarios)
 };
 
 }  // namespace crimes

@@ -27,6 +27,11 @@ class Workload {
   // Cumulative count of instrumentable memory accesses -- the accesses an
   // inline tool like AddressSanitizer would check. Used by the AS baseline.
   [[nodiscard]] virtual std::uint64_t total_accesses() const { return 0; }
+
+  // Demand multiplier for host-level load scenarios (flash crowds, noisy
+  // neighbours): 1.0 is the workload's calibrated rate. Workloads that
+  // cannot vary their demand keep the default no-op.
+  virtual void set_intensity(double factor) { (void)factor; }
 };
 
 }  // namespace crimes

@@ -136,7 +136,36 @@ TEST(CloudHost, TenantLookupByName) {
   CloudHost host(1u << 19);
   (void)host.admit({"alpha", small_guest(), tenant_crimes()});
   EXPECT_EQ(host.tenant("alpha").name(), "alpha");
+
+  // Non-throwing lookup: a hit returns the tenant, a miss returns null.
+  Tenant* hit = host.find_tenant("alpha");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name(), "alpha");
+  EXPECT_EQ(host.find_tenant("missing"), nullptr);
+
+  // The throwing lookup raises the structured error, which carries the
+  // looked-up name (no string-parsing what()) and still converts to the
+  // legacy std::out_of_range for older catch sites.
+  try {
+    (void)host.tenant("missing");
+    FAIL() << "tenant(missing) did not throw";
+  } catch (const TenantNotFoundError& error) {
+    EXPECT_EQ(error.name(), "missing");
+    EXPECT_NE(std::string(error.what()).find("missing"), std::string::npos);
+  }
   EXPECT_THROW((void)host.tenant("missing"), std::out_of_range);
+}
+
+TEST(CloudHost, AdmitWithoutHostConfigAlwaysAccepts) {
+  // The legacy open-door host: no capacity model, every admit accepted,
+  // nothing logged -- the disabled path is exactly the pre-admission host.
+  CloudHost host(1u << 19);
+  const AdmissionResult result =
+      host.admit({"legacy", small_guest(), tenant_crimes()});
+  EXPECT_TRUE(result.accepted());
+  EXPECT_EQ(result.decision.verdict, AdmissionDecision::Verdict::Accept);
+  EXPECT_STREQ(result.decision.reason, "host-admission-disabled");
+  EXPECT_TRUE(host.admission_log().empty());
 }
 
 }  // namespace
